@@ -1,0 +1,193 @@
+package ivnt
+
+// Benchmarks regenerating the paper's evaluation (one per table and
+// figure, plus the DESIGN.md ablations) at bench-friendly scales. The
+// full paper-shaped sweeps with printed tables run via
+//
+//	go run ./cmd/benchmark -exp all
+//
+// these testing.B entry points keep the same code paths under
+// `go test -bench=. -benchmem`.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ivnt/internal/bench"
+	"ivnt/internal/core"
+	"ivnt/internal/engine"
+	"ivnt/internal/gen"
+	"ivnt/internal/inhouse"
+)
+
+var benchCtx = context.Background()
+
+// BenchmarkTable5Stats regenerates Table 5 (data set statistics).
+func BenchmarkTable5Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table5(0.0005)
+		if len(rows) != 3 {
+			b.Fatal("table 5 incomplete")
+		}
+	}
+}
+
+// benchFig5 measures one Fig. 5 configuration: lines 3–11 over a fixed
+// example count of one data set.
+func benchFig5(b *testing.B, dataset string, examples int) {
+	spec, err := gen.ByName(dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := gen.Build(spec)
+	tr := d.Generate(examples)
+	fw, err := core.New(d.Catalog, d.DefaultConfig(), engine.NewLocal(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	kb := tr.ToRelation(runtime.GOMAXPROCS(0) * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := fw.ExtractAndReduce(benchCtx, kb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(examples), "examples")
+}
+
+// BenchmarkFig5 regenerates the Fig. 5 series: per data set, two
+// example counts showing the linear growth.
+func BenchmarkFig5(b *testing.B) {
+	for _, dataset := range []string{"SYN", "LIG", "STA"} {
+		for _, examples := range []int{5000, 20000} {
+			b.Run(fmt.Sprintf("%s/n=%d", dataset, examples), func(b *testing.B) {
+				benchFig5(b, dataset, examples)
+			})
+		}
+	}
+}
+
+// BenchmarkTable6Proposed measures the proposed pipeline's extraction
+// time per (journeys, signals) cell of Table 6.
+func BenchmarkTable6Proposed(b *testing.B) {
+	d := gen.Build(gen.LIG)
+	for _, journeys := range []int{1, 3} {
+		fleet := gen.GenerateJourneys(gen.LIG, journeys, 10000)
+		for _, nSignals := range []int{9, 89} {
+			b.Run(fmt.Sprintf("journeys=%d/signals=%d", journeys, nSignals), func(b *testing.B) {
+				cfg := d.DefaultConfig()
+				cfg.Name = "bench"
+				cfg.SIDs = d.SelectSIDs(nSignals)
+				fw, err := core.New(d.Catalog, cfg, engine.NewLocal(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				parts := runtime.GOMAXPROCS(0) * 2
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, j := range fleet {
+						if _, _, _, err := fw.ExtractAndReduce(benchCtx, j.ToRelation(parts)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable6Inhouse measures the baseline's ingest cost (its
+// extraction time by definition, independent of #signals).
+func BenchmarkTable6Inhouse(b *testing.B) {
+	d := gen.Build(gen.LIG)
+	for _, journeys := range []int{1, 3} {
+		fleet := gen.GenerateJourneys(gen.LIG, journeys, 10000)
+		b.Run(fmt.Sprintf("journeys=%d", journeys), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tool, err := inhouse.New(d.Catalog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, j := range fleet {
+					if err := tool.Ingest(j); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPreselect measures A1's two variants.
+func BenchmarkAblationPreselect(b *testing.B) {
+	d := gen.Build(gen.LIG)
+	tr := d.Generate(10000)
+	kb := tr.ToRelation(runtime.GOMAXPROCS(0) * 2)
+	cfg := d.DefaultConfig()
+	cfg.SIDs = d.SelectSIDs(9)
+	for _, preselect := range []bool{true, false} {
+		name := "with-preselect"
+		if !preselect {
+			name = "interpret-all"
+		}
+		b.Run(name, func(b *testing.B) {
+			fw, err := core.New(d.Catalog, cfg, engine.NewLocal(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !preselect {
+				fw.Interp.Preselect = false
+				fw.Interp.FullCatalog = d.Catalog.Translations
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := fw.ExtractAndReduce(benchCtx, kb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingWorkers measures A2: the same job on 1, 2, 4, ...
+// local workers.
+func BenchmarkScalingWorkers(b *testing.B) {
+	d := gen.Build(gen.SYN)
+	tr := d.Generate(20000)
+	maxW := runtime.GOMAXPROCS(0)
+	kb := tr.ToRelation(maxW * 2)
+	for w := 1; w <= maxW; w *= 2 {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			fw, err := core.New(d.Catalog, d.DefaultConfig(), engine.NewLocal(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := fw.ExtractAndReduce(benchCtx, kb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullPipeline measures the complete Algorithm 1 (including
+// type-dependent processing and the state representation), the cost a
+// domain pays per journey end to end.
+func BenchmarkFullPipeline(b *testing.B) {
+	d := gen.Build(gen.SYN)
+	tr := d.Generate(10000)
+	fw, err := core.New(d.Catalog, d.DefaultConfig(), engine.NewLocal(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.RunTrace(benchCtx, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

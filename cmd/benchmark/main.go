@@ -1,0 +1,110 @@
+// Command benchmark regenerates the paper's evaluation: Table 5,
+// Fig. 5, Table 6 and the DESIGN.md ablations, printing paper-shaped
+// tables. Scale factors shrink the paper's row counts to local-machine
+// budgets while preserving shape (see DESIGN.md).
+//
+//	benchmark -exp all
+//	benchmark -exp table6 -scale 5e-5
+//	benchmark -exp fig5 -cluster host1:7077,host2:7077
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ivnt/internal/bench"
+	"ivnt/internal/cluster"
+	"ivnt/internal/engine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchmark: ")
+	var (
+		exp       = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage or all")
+		scale     = flag.Float64("scale", 0, "scale factor vs paper row counts (0 = per-experiment default)")
+		workers   = flag.Int("workers", 0, "local executor workers (0 = all cores)")
+		steps     = flag.Int("steps", 8, "fig5: sweep steps per data set")
+		clusterFl = flag.String("cluster", "", "table6: comma-separated executor addresses for the proposed side")
+	)
+	flag.Parse()
+	ctx := context.Background()
+
+	run := func(name string) {
+		switch name {
+		case "table5":
+			s := *scale
+			if s == 0 {
+				s = bench.DefaultScale
+			}
+			fmt.Print(bench.FormatTable5(bench.Table5(s), s))
+		case "fig5":
+			points, err := bench.Fig5(ctx, bench.Fig5Options{Scale: *scale, Steps: *steps, Workers: *workers})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatFig5(points))
+			fmt.Println("log-log slopes (paper claims O(n), slope ≈ 1):")
+			slopes := bench.Fig5Slope(points)
+			for _, ds := range []string{"SYN", "LIG", "STA"} {
+				if s, ok := slopes[ds]; ok {
+					fmt.Printf("  %-5s %.2f\n", ds, s)
+				}
+			}
+		case "table6":
+			opts := bench.Table6Options{Scale: *scale, Workers: *workers}
+			if *clusterFl != "" {
+				opts.Exec = &cluster.Driver{Addrs: strings.Split(*clusterFl, ","), SlotsPerExecutor: 2}
+			} else {
+				opts.Exec = engine.NewLocal(*workers)
+			}
+			rows, err := bench.Table6(ctx, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatTable6(rows, opts))
+			fmt.Printf("(proposed executor: %s)\n", opts.Exec.Name())
+		case "preselect":
+			r, err := bench.AblationPreselect(ctx, *scale, *workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatPreselect(r))
+		case "scaling":
+			points, err := bench.AblationScaling(ctx, *scale, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatScaling(points))
+		case "reduction":
+			rows, err := bench.AblationReduction(ctx, *scale, *workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatReduction(rows))
+		case "storage":
+			rows, err := bench.AblationStorage(*scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatStorage(rows))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,36 @@
+// Command executor runs one cluster worker node: it accepts engine
+// stages from a driver over TCP and applies them to trace partitions —
+// the per-server executor process of the paper's Spark deployment.
+//
+//	executor -listen :7077 -capacity 5
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+
+	"ivnt/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("executor: ")
+	var (
+		listen   = flag.String("listen", ":7077", "TCP listen address")
+		capacity = flag.Int("capacity", 5, "advertised concurrent task capacity")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &cluster.ExecutorServer{Capacity: *capacity, Logf: log.Printf}
+	log.Printf("listening on %s (capacity %d)", *listen, *capacity)
+	if err := srv.ListenAndServe(ctx, *listen); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down after %d tasks", srv.TasksRun())
+}

@@ -1,0 +1,110 @@
+// Command inspect summarizes a recorded trace: row counts, channels,
+// message types and — when a rules catalog is supplied — the Z
+// classification (Sec. 4.2) every signal would receive.
+//
+//	inspect -trace syn.ivtr -catalog syn-catalog.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"ivnt/internal/classify"
+	"ivnt/internal/engine"
+	"ivnt/internal/interp"
+	"ivnt/internal/protocol/dbc"
+	"ivnt/internal/reduce"
+	"ivnt/internal/rules"
+	"ivnt/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("inspect: ")
+	var (
+		tracePath = flag.String("trace", "", "input trace file (IVTR); required")
+		catPath   = flag.String("catalog", "", "optional rules catalog (JSON) for signal classification")
+		dbcPath   = flag.String("dbc", "", "optional CAN database (DBC) to derive the catalog from")
+		dbcChan   = flag.String("channel", "FC", "channel (b_id) the DBC messages occur on")
+		rateT     = flag.Float64("rate-threshold", 2, "z_rate threshold T in values/second (Eq. 2)")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tr, err := trace.ReadFile(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("rows:     %d\n", tr.Len())
+	fmt.Printf("duration: %.2fs\n", tr.Duration())
+	type pair struct {
+		channel string
+		mid     uint32
+	}
+	channels := map[string]int{}
+	pairs := map[pair]int{}
+	for i := range tr.Tuples {
+		k := &tr.Tuples[i]
+		channels[k.Channel]++
+		pairs[pair{k.Channel, k.MsgID}]++
+	}
+	names := make([]string, 0, len(channels))
+	for c := range channels {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	fmt.Println("channels:")
+	for _, c := range names {
+		fmt.Printf("  %-8s %10d rows\n", c, channels[c])
+	}
+	fmt.Printf("message types: %d\n", len(pairs))
+
+	if *catPath == "" && *dbcPath == "" {
+		return
+	}
+	var catalog *rules.Catalog
+	if *dbcPath != "" {
+		db, err := dbc.ParseFile(*dbcPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if catalog, err = db.ToCatalog(*dbcChan); err != nil {
+			log.Fatal(err)
+		}
+	} else if catalog, err = rules.LoadCatalog(*catPath); err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	exec := engine.NewLocal(0)
+	ucomb := catalog.Translations
+	ks, _, err := interp.Extract(ctx, exec, tr.ToRelation(8), ucomb, interp.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := reduce.Split(ctx, exec, ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("signal classification (Z = (type, rate, #values, valence)):")
+	for _, g := range groups {
+		sid := g.Key.AsString()
+		var hint *rules.Translation
+		if ts := catalog.Lookup(sid); len(ts) > 0 {
+			hint = &ts[0]
+		}
+		z, err := classify.Compute(g.Rel, hint, *rateT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dt, br := classify.Classify(z)
+		fmt.Printf("  %-16s Z=%-18s -> %-8s branch %s (%d instances)\n",
+			sid, z, dt, br, g.Rel.NumRows())
+	}
+}

@@ -1,0 +1,90 @@
+// Command tracegen generates synthetic in-vehicle network traces
+// matching the paper's SYN/LIG/STA data sets (Table 5), along with the
+// rules catalog and a default domain configuration describing them.
+//
+//	tracegen -dataset SYN -n 100000 -o syn.ivtr -catalog syn-catalog.json -config syn-domain.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ivnt/internal/gen"
+	"ivnt/internal/rules"
+	"ivnt/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		dataset  = flag.String("dataset", "SYN", "data set: SYN, LIG or STA")
+		n        = flag.Int("n", 100000, "number of message instances (examples) to generate")
+		out      = flag.String("o", "", "output trace file (IVTR format); required")
+		csvOut   = flag.String("csv", "", "optional additional CSV output file")
+		catOut   = flag.String("catalog", "", "optional output path for the rules catalog (JSON)")
+		cfgOut   = flag.String("config", "", "optional output path for the default domain config (JSON)")
+		journeys = flag.Int("journeys", 1, "number of independent journeys (files suffixed .J)")
+		seed     = flag.Int64("seed", 0, "override the data set's default seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := gen.ByName(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	d := gen.Build(spec)
+
+	writeTrace := func(path string, tr *trace.Trace) {
+		if err := trace.WriteFile(path, tr); err != nil {
+			log.Fatal(err)
+		}
+		st := d.DatasetStats(tr)
+		fmt.Printf("%s: %d examples, %d signal types (α=%d β=%d γ=%d), %.2f signals/message, %.1fs span\n",
+			path, st.Examples, st.SignalTypes, st.Alpha, st.Beta, st.Gamma,
+			st.SignalsPerMessage, tr.Duration())
+	}
+
+	if *journeys <= 1 {
+		tr := d.Generate(*n)
+		writeTrace(*out, tr)
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := trace.WriteCSV(f, tr); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		fleet := gen.GenerateJourneys(spec, *journeys, *n)
+		for j, tr := range fleet {
+			writeTrace(fmt.Sprintf("%s.%d", *out, j), tr)
+		}
+	}
+
+	if *catOut != "" {
+		if err := rules.SaveCatalog(*catOut, d.Catalog); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d translation tuples\n", *catOut, len(d.Catalog.Translations))
+	}
+	if *cfgOut != "" {
+		if err := rules.SaveConfig(*cfgOut, d.DefaultConfig()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: domain %q selecting %d signals\n", *cfgOut, spec.Name, spec.NumSignals())
+	}
+}

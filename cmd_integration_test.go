@@ -1,0 +1,133 @@
+package ivnt
+
+// CLI integration: builds the command binaries once and drives the
+// documented workflow — tracegen → inspect → extract (with store) →
+// mine — end to end through their main entry points.
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildCommands compiles the CLI binaries into a temp dir.
+func buildCommands(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration is slow; skipped with -short")
+	}
+	bins := buildCommands(t, "tracegen", "inspect", "extract", "mine")
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "syn.ivtr")
+	catPath := filepath.Join(dir, "cat.json")
+	cfgPath := filepath.Join(dir, "dom.json")
+	storeDir := filepath.Join(dir, "results")
+
+	out := runCmd(t, bins["tracegen"], "-dataset", "SYN", "-n", "8000",
+		"-o", tracePath, "-catalog", catPath, "-config", cfgPath)
+	if !strings.Contains(out, "8000 examples") {
+		t.Fatalf("tracegen output:\n%s", out)
+	}
+
+	out = runCmd(t, bins["inspect"], "-trace", tracePath, "-catalog", catPath)
+	for _, frag := range []string{"rows:     8000", "signal classification", "branch alpha"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("inspect output missing %q:\n%s", frag, out)
+		}
+	}
+
+	out = runCmd(t, bins["extract"], "-trace", tracePath, "-catalog", catPath,
+		"-config", cfgPath, "-store", storeDir, "-maxrows", "3")
+	for _, frag := range []string{"K_s rows:", "reduced rows:", "results stored under"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("extract output missing %q:\n%s", frag, out)
+		}
+	}
+
+	out = runCmd(t, bins["mine"], "-store", storeDir, "-domain", "")
+	if !strings.Contains(out, "SYN") {
+		t.Fatalf("mine listing:\n%s", out)
+	}
+	out = runCmd(t, bins["mine"], "-store", storeDir, "-domain", "SYN", "-app", "anomaly", "-top", "2")
+	if !strings.Contains(out, "culprit=") {
+		t.Fatalf("mine anomaly:\n%s", out)
+	}
+	out = runCmd(t, bins["mine"], "-store", storeDir, "-domain", "SYN", "-app", "graph")
+	if !strings.Contains(out, "transitions") {
+		t.Fatalf("mine graph:\n%s", out)
+	}
+}
+
+func TestCLIClusterExtraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration is slow; skipped with -short")
+	}
+	bins := buildCommands(t, "tracegen", "extract", "executor")
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "syn.ivtr")
+	catPath := filepath.Join(dir, "cat.json")
+	cfgPath := filepath.Join(dir, "dom.json")
+	runCmd(t, bins["tracegen"], "-dataset", "SYN", "-n", "4000",
+		"-o", tracePath, "-catalog", catPath, "-config", cfgPath)
+
+	// Start an executor process on a fixed loopback port.
+	const addr = "127.0.0.1:39077"
+	exe := exec.Command(bins["executor"], "-listen", addr)
+	if err := exe.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = exe.Process.Kill()
+		_, _ = exe.Process.Wait()
+	}()
+	// Wait for the executor to listen.
+	for i := 0; ; i++ {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if i > 100 {
+			t.Fatalf("executor never came up: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	out := runCmd(t, bins["extract"], "-trace", tracePath, "-catalog", catPath,
+		"-config", cfgPath, "-cluster", addr, "-maxrows", "2")
+	if !strings.Contains(out, "cluster[1 executors") {
+		t.Fatalf("extract did not use the cluster:\n%s", out)
+	}
+	if !strings.Contains(out, "K_s rows:") {
+		t.Fatalf("cluster extraction output:\n%s", out)
+	}
+}

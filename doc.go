@@ -1,0 +1,11 @@
+// Package ivnt is a from-scratch Go reproduction of "Automated
+// Interpretation and Reduction of In-Vehicle Network Traces at a Large
+// Scale" (Mrowca, Pramsohler, Steinhorst, Baumgarten — DAC 2018): a
+// distributable, parameterizable end-to-end preprocessing framework for
+// massive in-vehicle network traces.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory); runnable entry points are the commands under cmd/ and the
+// examples under examples/. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation.
+package ivnt

@@ -1,0 +1,3 @@
+module ivnt
+
+go 1.22

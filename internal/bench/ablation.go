@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"ivnt/internal/core"
+	"ivnt/internal/engine"
+	"ivnt/internal/gen"
+	"ivnt/internal/inhouse"
+	"ivnt/internal/interp"
+	"ivnt/internal/trace"
+)
+
+// ---------------------------------------------------------- Ablation A1
+
+// PreselectResult compares extraction with and without the line-3
+// preselection (with it off, the full catalog is interpreted and the
+// selection filtered afterwards) — the paper's "interpretation is
+// expensive … early reduction is required".
+type PreselectResult struct {
+	Dataset            string
+	Signals            int
+	Examples           int
+	WithSec            float64
+	WithoutSec         float64
+	InterpretedWith    int
+	InterpretedWithout int
+}
+
+// AblationPreselect measures A1 on LIG (large catalog, small
+// selection: the situation preselection exists for).
+func AblationPreselect(ctx context.Context, scale float64, workers int) (*PreselectResult, error) {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	d := gen.Build(gen.LIG)
+	n := int(float64(gen.PaperExamples["LIG"]) * scale)
+	if n < 2000 {
+		n = 2000
+	}
+	tr := d.Generate(n)
+	exec := engine.NewLocal(workers)
+	sids := d.SelectSIDs(9)
+	cfgWith := d.DefaultConfig()
+	cfgWith.SIDs = sids
+
+	res := &PreselectResult{Dataset: "LIG", Signals: len(sids), Examples: n}
+	run := func(preselect bool) (float64, int, error) {
+		fw, err := core.New(d.Catalog, cfgWith, exec)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !preselect {
+			fw.Interp = interp.Options{Preselect: false, FullCatalog: d.Catalog.Translations}
+		}
+		kb := tr.ToRelation(runtime.GOMAXPROCS(0) * 2)
+		start := time.Now()
+		_, exStats, _, err := fw.ExtractAndReduce(ctx, kb)
+		if err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start).Seconds(), exStats.RowsOut, nil
+	}
+	var err error
+	if res.WithSec, res.InterpretedWith, err = run(true); err != nil {
+		return nil, err
+	}
+	if res.WithoutSec, res.InterpretedWithout, err = run(false); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// FormatPreselect renders A1.
+func FormatPreselect(r *PreselectResult) string {
+	var b strings.Builder
+	b.WriteString("Ablation A1: preselection before interpretation (LIG, 9 of 180 signals)\n")
+	fmt.Fprintf(&b, "%-24s %12s %14s\n", "", "seconds", "K_s rows out")
+	fmt.Fprintf(&b, "%-24s %12.4f %14d\n", "with preselection", r.WithSec, r.InterpretedWith)
+	fmt.Fprintf(&b, "%-24s %12.4f %14d\n", "interpret-all + filter", r.WithoutSec, r.InterpretedWithout)
+	if r.WithSec > 0 {
+		fmt.Fprintf(&b, "preselection speedup: %.2fx\n", r.WithoutSec/r.WithSec)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------- Ablation A2
+
+// ScalingPoint is one worker-count measurement.
+type ScalingPoint struct {
+	Workers int
+	Seconds float64
+	Speedup float64 // vs workers=1
+}
+
+// AblationScaling measures lines 3–11 wall time for 1..maxWorkers local
+// workers on a SYN trace — the "distribution is essential" claim at
+// laptop scale.
+func AblationScaling(ctx context.Context, scale float64, maxWorkers int) ([]ScalingPoint, error) {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	d := gen.Build(gen.SYN)
+	n := int(float64(gen.PaperExamples["SYN"]) * scale)
+	if n < 2000 {
+		n = 2000
+	}
+	tr := d.Generate(n)
+	var out []ScalingPoint
+	var base float64
+	for w := 1; w <= maxWorkers; w *= 2 {
+		exec := engine.NewLocal(w)
+		fw, err := core.New(d.Catalog, d.DefaultConfig(), exec)
+		if err != nil {
+			return nil, err
+		}
+		kb := tr.ToRelation(maxWorkers * 2)
+		start := time.Now()
+		if _, _, _, err := fw.ExtractAndReduce(ctx, kb); err != nil {
+			return nil, err
+		}
+		sec := time.Since(start).Seconds()
+		if w == 1 {
+			base = sec
+		}
+		p := ScalingPoint{Workers: w, Seconds: sec}
+		if sec > 0 {
+			p.Speedup = base / sec
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FormatScaling renders A2.
+func FormatScaling(points []ScalingPoint) string {
+	var b strings.Builder
+	b.WriteString("Ablation A2: worker scaling (SYN, lines 3-11)\n")
+	fmt.Fprintf(&b, "%8s %12s %8s\n", "workers", "seconds", "speedup")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %12.4f %8.2f\n", p.Workers, p.Seconds, p.Speedup)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------- Ablation A3
+
+// ReductionRow reports the redundancy actually removed per data set.
+type ReductionRow struct {
+	Dataset     string
+	Examples    int
+	KsRows      int
+	ReducedRows int
+	Ratio       float64 // reduced/ks
+	GatewayDups int     // corresponding channels folded by line 9
+}
+
+// AblationReduction measures A3: dedup-of-unchanged + gateway folding
+// per data set.
+func AblationReduction(ctx context.Context, scale float64, workers int) ([]ReductionRow, error) {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	exec := engine.NewLocal(workers)
+	var out []ReductionRow
+	for _, spec := range specs() {
+		d := gen.Build(spec)
+		n := int(float64(gen.PaperExamples[spec.Name]) * scale)
+		if n < 2000 {
+			n = 2000
+		}
+		tr := d.Generate(n)
+		fw, err := core.New(d.Catalog, d.DefaultConfig(), exec)
+		if err != nil {
+			return nil, err
+		}
+		reduced, exStats, redStats, err := fw.ExtractAndReduce(ctx, tr.ToRelation(runtime.GOMAXPROCS(0)*2))
+		if err != nil {
+			return nil, err
+		}
+		dups := 0
+		for i := range reduced {
+			dups += len(reduced[i].Gateway.Corresponding)
+		}
+		row := ReductionRow{
+			Dataset:     spec.Name,
+			Examples:    n,
+			KsRows:      exStats.RowsOut,
+			ReducedRows: redStats.RowsOut,
+			GatewayDups: dups,
+		}
+		if row.KsRows > 0 {
+			row.Ratio = float64(row.ReducedRows) / float64(row.KsRows)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatReduction renders A3.
+func FormatReduction(rows []ReductionRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation A3: reduction ratios (change-constraint + gateway dedup)\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %12s %8s %14s\n",
+		"dataset", "examples", "K_s rows", "reduced rows", "ratio", "gateway folds")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10d %10d %12d %8.3f %14d\n",
+			r.Dataset, r.Examples, r.KsRows, r.ReducedRows, r.Ratio, r.GatewayDups)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------- Ablation A4
+
+// StorageRow quantifies Sec. 3.2's memory argument: "we store traces in
+// raw format K_b which is more efficient than translating all K_b to
+// K_s as, e.g., per CAN message 8 bytes could contain 8 signals which
+// would result in a K_s of 8 times the size of K_b".
+type StorageRow struct {
+	Dataset string
+	// RawBytes is the serialized size of the raw trace (IVTR).
+	RawBytes int
+	// EagerInstances is the interpreted-store row count of the
+	// ingest-everything baseline; EagerBytes estimates its footprint.
+	EagerInstances int
+	EagerBytes     int
+	// Blowup is EagerBytes / RawBytes.
+	Blowup float64
+}
+
+// eagerInstanceBytes approximates one stored signal instance:
+// timestamp + value + the two string headers interned to ids.
+const eagerInstanceBytes = 8 + 16 + 8 + 8
+
+// AblationStorage measures A4 across the data sets.
+func AblationStorage(scale float64) ([]StorageRow, error) {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	var out []StorageRow
+	for _, spec := range specs() {
+		d := gen.Build(spec)
+		n := int(float64(gen.PaperExamples[spec.Name]) * scale)
+		if n < 2000 {
+			n = 2000
+		}
+		tr := d.Generate(n)
+		var raw bytes.Buffer
+		if err := trace.WriteBinary(&raw, tr); err != nil {
+			return nil, err
+		}
+		tool, err := inhouse.New(d.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		if err := tool.Ingest(tr); err != nil {
+			return nil, err
+		}
+		row := StorageRow{
+			Dataset:        spec.Name,
+			RawBytes:       raw.Len(),
+			EagerInstances: tool.StoredInstances(),
+		}
+		row.EagerBytes = row.EagerInstances * eagerInstanceBytes
+		if row.RawBytes > 0 {
+			row.Blowup = float64(row.EagerBytes) / float64(row.RawBytes)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatStorage renders A4.
+func FormatStorage(rows []StorageRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation A4: raw K_b storage vs eager interpreted store (Sec. 3.2)\n")
+	fmt.Fprintf(&b, "%-8s %12s %16s %14s %8s\n",
+		"dataset", "raw bytes", "eager instances", "eager bytes", "blowup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %12d %16d %14d %7.2fx\n",
+			r.Dataset, r.RawBytes, r.EagerInstances, r.EagerBytes, r.Blowup)
+	}
+	return b.String()
+}

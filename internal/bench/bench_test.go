@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+var ctx = context.Background()
+
+// tiny scales keep the unit tests fast; the real runs happen via
+// cmd/benchmark and the root bench_test.go.
+const tinyScale = 0.0002
+
+func TestTable5MatchesPaperStructure(t *testing.T) {
+	rows := Table5(tinyScale)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[string][4]int{
+		"SYN": {13, 6, 4, 3},
+		"LIG": {180, 27, 71, 82},
+		"STA": {78, 6, 1, 71},
+	}
+	for _, r := range rows {
+		w := want[r.Name]
+		if r.SignalTypes != w[0] || r.Alpha != w[1] || r.Beta != w[2] || r.Gamma != w[3] {
+			t.Errorf("%s: (%d, %d, %d, %d), want %v",
+				r.Name, r.SignalTypes, r.Alpha, r.Beta, r.Gamma, w)
+		}
+		if r.Examples == 0 {
+			t.Errorf("%s: no examples", r.Name)
+		}
+	}
+	out := FormatTable5(rows, tinyScale)
+	for _, frag := range []string{"SYN", "LIG", "STA", "# signal types - alpha", "180"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("format missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig5ProducesMonotoneExampleSeries(t *testing.T) {
+	points, err := Fig5(ctx, Fig5Options{Scale: tinyScale, Steps: 3, Datasets: []string{"SYN"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Examples <= points[i-1].Examples {
+			t.Fatalf("examples not increasing: %+v", points)
+		}
+	}
+	for _, p := range points {
+		if p.Seconds <= 0 {
+			t.Fatalf("non-positive time: %+v", p)
+		}
+	}
+	out := FormatFig5(points)
+	if !strings.Contains(out, "SYN") {
+		t.Fatalf("format:\n%s", out)
+	}
+	slopes := Fig5Slope(points)
+	if _, ok := slopes["SYN"]; !ok {
+		t.Fatal("slope missing")
+	}
+}
+
+func TestFig5UnknownDataset(t *testing.T) {
+	if _, err := Fig5(ctx, Fig5Options{Datasets: []string{"NOPE"}, Scale: tinyScale, Steps: 2}); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}
+
+func TestTable6ShapeClaims(t *testing.T) {
+	rows, err := Table6(ctx, Table6Options{
+		Scale:        2e-5, // ~9.6k rows per journey
+		Journeys:     []int{1, 3},
+		SignalCounts: []int{9, 89},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[[2]int]Table6Row{}
+	for _, r := range rows {
+		byKey[[2]int{r.Journeys, r.Signals}] = r
+		if r.InhouseSec <= 0 || r.ProposedSec <= 0 {
+			t.Fatalf("non-positive time: %+v", r)
+		}
+		if r.ExtractedRows == 0 {
+			t.Fatalf("nothing extracted: %+v", r)
+		}
+	}
+	// Shape claim 1: in-house time is flat in #signals (same journeys).
+	a, b := byKey[[2]int{3, 9}], byKey[[2]int{3, 89}]
+	if a.InhouseSec != b.InhouseSec {
+		t.Fatalf("in-house time must be independent of signals: %v vs %v", a.InhouseSec, b.InhouseSec)
+	}
+	// Shape claim 2: proposed extracts fewer rows for fewer signals.
+	if a.ExtractedRows >= b.ExtractedRows {
+		t.Fatalf("extracted rows: 9 signals %d vs 89 signals %d", a.ExtractedRows, b.ExtractedRows)
+	}
+	// Shape claim 3: extraction with fewer signals is not slower.
+	if a.ProposedSec > b.ProposedSec*1.5 {
+		t.Fatalf("9-signal extraction slower than 89-signal: %v vs %v", a.ProposedSec, b.ProposedSec)
+	}
+	out := FormatTable6(rows, Table6Options{Scale: 2e-5})
+	if !strings.Contains(out, "speedup") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestAblationPreselect(t *testing.T) {
+	r, err := AblationPreselect(ctx, tinyScale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correctness claim: both paths interpret the same relevant rows.
+	if r.InterpretedWith != r.InterpretedWithout {
+		t.Fatalf("row counts differ: %d vs %d", r.InterpretedWith, r.InterpretedWithout)
+	}
+	if r.WithSec <= 0 || r.WithoutSec <= 0 {
+		t.Fatalf("non-positive times: %+v", r)
+	}
+	if !strings.Contains(FormatPreselect(r), "preselection") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationScaling(t *testing.T) {
+	points, err := AblationScaling(ctx, tinyScale, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 || points[0].Workers != 1 {
+		t.Fatalf("points = %+v", points)
+	}
+	if points[0].Speedup != 1 {
+		t.Fatalf("baseline speedup = %v", points[0].Speedup)
+	}
+	if !strings.Contains(FormatScaling(points), "workers") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationReduction(t *testing.T) {
+	rows, err := AblationReduction(ctx, tinyScale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio <= 0 || r.Ratio >= 1 {
+			t.Errorf("%s: reduction ratio %v not in (0,1) — traces are redundant by construction", r.Dataset, r.Ratio)
+		}
+		if r.KsRows == 0 {
+			t.Errorf("%s: no K_s rows", r.Dataset)
+		}
+	}
+	if !strings.Contains(FormatReduction(rows), "ratio") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationStorage(t *testing.T) {
+	rows, err := AblationStorage(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RawBytes == 0 || r.EagerInstances == 0 {
+			t.Fatalf("%s: empty measurement %+v", r.Dataset, r)
+		}
+		// Sec. 3.2: the eager store must blow up relative to raw,
+		// most for LIG (5.11 signals/message).
+		if r.Blowup <= 1 {
+			t.Errorf("%s: blowup = %v, want > 1", r.Dataset, r.Blowup)
+		}
+	}
+	if !strings.Contains(FormatStorage(rows), "blowup") {
+		t.Fatal("format broken")
+	}
+}

@@ -1,0 +1,329 @@
+// Package branch implements the type-dependent processing of Sec. 4.2
+// (Algorithm 1 lines 13–28): each reduced signal sequence is classified
+// and routed to branch α (numeric: outlier split, smoothing, SWAB
+// segmentation, SAX symbolization), branch β (ordinal: F/V affiliation
+// split, numeric translation, gradient trend) or branch γ (nominal and
+// binary: pass-through), producing the homogeneous symbolic sequences
+// merged into the state representation (Sec. 4.3).
+package branch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ivnt/internal/classify"
+	"ivnt/internal/dsp/outlier"
+	"ivnt/internal/dsp/sax"
+	"ivnt/internal/dsp/smooth"
+	"ivnt/internal/dsp/swab"
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+	"ivnt/internal/trace"
+)
+
+// trendSlopeThreshold classifies SWAB segment slopes, in z-normalized
+// units per second.
+const trendSlopeThreshold = 0.1
+
+// Result is one signal's homogenized output.
+type Result struct {
+	SID      string
+	Criteria classify.Criteria
+	DataType classify.DataType
+	Branch   classify.Branch
+	// Rel holds the symbolized sequence in K_s shape with string
+	// values — "(high, increasing)", "ON", "outlier v=800" — ready for
+	// the state representation.
+	Rel *relation.Relation
+	// Outliers counts values split off as potential errors.
+	Outliers int
+	// Segments counts SWAB segments (branch α only).
+	Segments int
+}
+
+// Process classifies and homogenizes one reduced per-signal sequence
+// (time-ordered). The hint may be nil; cfg supplies the rate threshold
+// and α parameters.
+func Process(sid string, seq *relation.Relation, hint *rules.Translation, cfg *rules.DomainConfig) (*Result, error) {
+	z, err := classify.Compute(seq, hint, cfg.RateThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("branch: %s: %w", sid, err)
+	}
+	dt, br := classify.Classify(z)
+	res := &Result{SID: sid, Criteria: z, DataType: dt, Branch: br}
+
+	pts, err := collect(seq)
+	if err != nil {
+		return nil, fmt.Errorf("branch: %s: %w", sid, err)
+	}
+	switch br {
+	case classify.Alpha:
+		err = processAlpha(res, pts, cfg.Alpha)
+	case classify.Beta:
+		err = processBeta(res, pts, hint, cfg.Alpha)
+	default:
+		processGamma(res, pts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("branch: %s: %w", sid, err)
+	}
+	return res, nil
+}
+
+// point is one sequence element with its source row context.
+type point struct {
+	t   float64
+	v   relation.Value
+	bid string
+}
+
+func collect(seq *relation.Relation) ([]point, error) {
+	tIdx := seq.Schema.Index(trace.ColT)
+	vIdx := seq.Schema.Index(trace.ColV)
+	bIdx := seq.Schema.Index(trace.ColBID)
+	if tIdx < 0 || vIdx < 0 || bIdx < 0 {
+		return nil, fmt.Errorf("sequence lacks t/v/bid columns (%s)", seq.Schema)
+	}
+	pts := make([]point, 0, seq.NumRows())
+	for _, p := range seq.Partitions {
+		for _, r := range p {
+			if r[vIdx].IsNull() {
+				continue
+			}
+			pts = append(pts, point{t: r[tIdx].AsFloat(), v: r[vIdx], bid: r[bIdx].AsString()})
+		}
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].t < pts[j].t })
+	return pts, nil
+}
+
+func emit(res *Result, sid string, rows []outRow) {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].t < rows[j].t })
+	rel := relation.New(rules.SequenceSchema())
+	for _, r := range rows {
+		rel.Append(relation.Row{
+			relation.Float(r.t),
+			relation.Str(sid),
+			relation.Str(r.v),
+			relation.Str(r.bid),
+		})
+	}
+	res.Rel = rel
+}
+
+type outRow struct {
+	t   float64
+	v   string
+	bid string
+}
+
+func outlierText(v relation.Value) string {
+	return "outlier v=" + v.AsString()
+}
+
+// processAlpha implements lines 14–19: split off outliers as potential
+// errors, smooth, segment with SWAB, symbolize each segment with SAX
+// (level + trend), then merge the outliers back.
+func processAlpha(res *Result, pts []point, p rules.AlphaParams) error {
+	var numeric, nominal []point
+	for _, pt := range pts {
+		// typeSplit (line 15): stray non-numeric instances pass
+		// through as nominal.
+		if pt.v.IsNumeric() {
+			numeric = append(numeric, pt)
+		} else {
+			nominal = append(nominal, pt)
+		}
+	}
+	xs := make([]float64, len(numeric))
+	ts := make([]float64, len(numeric))
+	for i, pt := range numeric {
+		xs[i] = pt.v.AsFloat()
+		ts[i] = pt.t
+	}
+	mask := outlier.Hampel(xs, p.OutlierWindow, p.OutlierK)
+	keptIdx, outIdx := outlier.Partition(mask)
+	res.Outliers = len(outIdx)
+
+	var rows []outRow
+	for _, i := range outIdx {
+		rows = append(rows, outRow{t: numeric[i].t, v: outlierText(numeric[i].v), bid: numeric[i].bid})
+	}
+	for _, pt := range nominal {
+		rows = append(rows, outRow{t: pt.t, v: pt.v.AsString(), bid: pt.bid})
+	}
+
+	if len(keptIdx) > 0 {
+		cleanX := make([]float64, len(keptIdx))
+		cleanT := make([]float64, len(keptIdx))
+		cleanB := make([]string, len(keptIdx))
+		for j, i := range keptIdx {
+			cleanX[j] = xs[i]
+			cleanT[j] = ts[i]
+			cleanB[j] = numeric[i].bid
+		}
+		smoothed := smooth.MovingAverage(cleanX, p.SmoothWindow)
+		norm, _, std := sax.ZNormalize(smoothed)
+		if std == 0 {
+			// Constant after cleaning: one steady segment.
+			sym, err := sax.Symbol(0, p.SAXAlphabet)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, outRow{
+				t:   cleanT[0],
+				v:   fmt.Sprintf("(%s,steady)", sax.LevelName(sym, p.SAXAlphabet)),
+				bid: cleanB[0],
+			})
+			res.Segments = 1
+		} else {
+			segs := swab.Segmentize(cleanT, norm, swab.Options{BufferSize: p.SWABBuffer, MaxError: p.SWABMaxError})
+			res.Segments = len(segs)
+			for _, s := range segs {
+				sym, err := sax.Symbol(s.Mean(cleanT, norm), p.SAXAlphabet)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, outRow{
+					t: cleanT[s.Start],
+					v: fmt.Sprintf("(%s,%s)", sax.LevelName(sym, p.SAXAlphabet),
+						swab.Trend(s.Slope, trendSlopeThreshold)),
+					bid: cleanB[s.Start],
+				})
+			}
+		}
+	}
+	emit(res, res.SID, rows)
+	return nil
+}
+
+// processBeta implements lines 20–25: split by affiliation z_aff into a
+// validity part K_V (pass-through) and a functional part K_F, translate
+// K_F to numeric equivalents, split off outliers, attach the gradient
+// trend, merge.
+func processBeta(res *Result, pts []point, hint *rules.Translation, p rules.AlphaParams) error {
+	validity := map[string]bool{}
+	if hint != nil {
+		for _, v := range hint.ValidityValues {
+			validity[v] = true
+		}
+	}
+	var functional, validityPts []point
+	for _, pt := range pts {
+		if validity[pt.v.AsString()] {
+			validityPts = append(validityPts, pt)
+		} else {
+			functional = append(functional, pt)
+		}
+	}
+
+	scale := ordinalScale(functional, hint)
+	xs := make([]float64, len(functional))
+	for i, pt := range functional {
+		xs[i] = ordinalValue(pt.v, scale)
+	}
+	mask := outlier.Hampel(xs, p.OutlierWindow, p.OutlierK)
+	keptIdx, outIdx := outlier.Partition(mask)
+	res.Outliers = len(outIdx)
+
+	var rows []outRow
+	for _, pt := range validityPts {
+		rows = append(rows, outRow{t: pt.t, v: pt.v.AsString(), bid: pt.bid})
+	}
+	for _, i := range outIdx {
+		rows = append(rows, outRow{t: functional[i].t, v: outlierText(functional[i].v), bid: functional[i].bid})
+	}
+	// addGradient (line 23): trend from the numeric equivalent's
+	// difference to the previous kept element.
+	prev := 0.0
+	for j, i := range keptIdx {
+		trend := "steady"
+		if j > 0 {
+			switch {
+			case xs[i] > prev:
+				trend = "increasing"
+			case xs[i] < prev:
+				trend = "decreasing"
+			}
+		}
+		prev = xs[i]
+		rows = append(rows, outRow{
+			t:   functional[i].t,
+			v:   fmt.Sprintf("(%s,%s)", functional[i].v.AsString(), trend),
+			bid: functional[i].bid,
+		})
+	}
+	emit(res, res.SID, rows)
+	return nil
+}
+
+// ordinalScale resolves symbol→rank: the documented OrdinalScale when
+// available, else the sorted distinct values (deterministic fallback).
+func ordinalScale(pts []point, hint *rules.Translation) map[string]int {
+	scale := map[string]int{}
+	if hint != nil && len(hint.OrdinalScale) > 0 {
+		for i, s := range hint.OrdinalScale {
+			scale[s] = i
+		}
+		return scale
+	}
+	set := map[string]bool{}
+	numeric := true
+	for _, pt := range pts {
+		set[pt.v.AsString()] = true
+		if !pt.v.IsNumeric() {
+			numeric = false
+		}
+	}
+	if numeric {
+		// Numeric ordinals use their own value; no table needed.
+		return nil
+	}
+	vals := make([]string, 0, len(set))
+	for s := range set {
+		vals = append(vals, s)
+	}
+	sort.Strings(vals)
+	for i, s := range vals {
+		scale[s] = i
+	}
+	return scale
+}
+
+func ordinalValue(v relation.Value, scale map[string]int) float64 {
+	if v.IsNumeric() {
+		return v.AsFloat()
+	}
+	if scale != nil {
+		if r, ok := scale[v.AsString()]; ok {
+			return float64(r)
+		}
+	}
+	return -1 // undocumented symbol ranks below the scale
+}
+
+// processGamma implements lines 26–28: nominal and binary values need
+// no transformation; instances pass through with values rendered as
+// strings.
+func processGamma(res *Result, pts []point) {
+	rows := make([]outRow, len(pts))
+	for i, pt := range pts {
+		rows[i] = outRow{t: pt.t, v: pt.v.AsString(), bid: pt.bid}
+	}
+	emit(res, res.SID, rows)
+}
+
+// Summary renders a one-line report of the result for logs and the
+// inspect tool.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: Z=%s type=%s branch=%s rows=%d", r.SID, r.Criteria, r.DataType, r.Branch, r.Rel.NumRows())
+	if r.Outliers > 0 {
+		fmt.Fprintf(&b, " outliers=%d", r.Outliers)
+	}
+	if r.Segments > 0 {
+		fmt.Fprintf(&b, " segments=%d", r.Segments)
+	}
+	return b.String()
+}

@@ -1,0 +1,273 @@
+package branch
+
+import (
+	"strings"
+	"testing"
+
+	"ivnt/internal/classify"
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+)
+
+func cfg() *rules.DomainConfig {
+	d := &rules.DomainConfig{Name: "test", SIDs: []string{"s"}}
+	if err := d.Normalize(); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func seqOf(dt float64, vals ...relation.Value) *relation.Relation {
+	rel := relation.New(rules.SequenceSchema())
+	for i, v := range vals {
+		rel.Append(relation.Row{
+			relation.Float(float64(i) * dt),
+			relation.Str("s"),
+			v,
+			relation.Str("FC"),
+		})
+	}
+	return rel
+}
+
+func TestAlphaRampSymbolization(t *testing.T) {
+	// Fast numeric ramp up then down: α must produce few segments with
+	// (level, trend) tuples and no outliers.
+	vals := make([]relation.Value, 120)
+	for i := range vals {
+		x := float64(i)
+		if i >= 60 {
+			x = 120 - float64(i)
+		}
+		vals[i] = relation.Float(x)
+	}
+	res, err := Process("speed", seqOf(0.1, vals...), nil, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branch != classify.Alpha || res.DataType != classify.Numeric {
+		t.Fatalf("classified (%s, %s)", res.DataType, res.Branch)
+	}
+	if res.Segments == 0 || res.Segments > 20 {
+		t.Fatalf("segments = %d", res.Segments)
+	}
+	if res.Outliers != 0 {
+		t.Fatalf("outliers = %d", res.Outliers)
+	}
+	rows := res.Rel.Rows()
+	if len(rows) != res.Segments {
+		t.Fatalf("rows = %d, segments = %d", len(rows), res.Segments)
+	}
+	first := rows[0][2].AsString()
+	if !strings.HasPrefix(first, "(") || !strings.Contains(first, ",") {
+		t.Fatalf("symbolized value = %q", first)
+	}
+	// The ramp up must contain an increasing segment, the descent a
+	// decreasing one.
+	all := ""
+	for _, r := range rows {
+		all += r[2].AsString() + " "
+	}
+	if !strings.Contains(all, "increasing") || !strings.Contains(all, "decreasing") {
+		t.Fatalf("trends missing in %q", all)
+	}
+}
+
+func TestAlphaOutlierMergedBack(t *testing.T) {
+	// Table 4's outlier row: a spike of 800 in an otherwise smooth
+	// fast signal must surface as "outlier v=800" at its timestamp.
+	vals := make([]relation.Value, 60)
+	for i := range vals {
+		vals[i] = relation.Float(100 + float64(i%5))
+	}
+	vals[30] = relation.Float(800)
+	res, err := Process("speed", seqOf(0.1, vals...), nil, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outliers != 1 {
+		t.Fatalf("outliers = %d, want 1", res.Outliers)
+	}
+	found := false
+	for _, r := range res.Rel.Rows() {
+		if r[2].AsString() == "outlier v=800" {
+			found = true
+			if r[0].AsFloat() != 3.0 {
+				t.Fatalf("outlier at t=%v, want 3.0", r[0])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("outlier row missing: %v", res.Rel.Rows())
+	}
+}
+
+func TestAlphaConstantSignal(t *testing.T) {
+	// Constant fast numeric (many samples, but z_num must be > 2 for
+	// α, so add tiny jitter values making it numeric-rich yet flat
+	// after smoothing).
+	vals := make([]relation.Value, 50)
+	for i := range vals {
+		vals[i] = relation.Float(10 + float64(i%7)/100)
+	}
+	res, err := Process("temp", seqOf(0.05, vals...), nil, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branch != classify.Alpha {
+		t.Fatalf("branch = %s", res.Branch)
+	}
+	if res.Rel.NumRows() == 0 {
+		t.Fatal("no output rows")
+	}
+}
+
+func TestBetaOrdinalWithScaleAndValidity(t *testing.T) {
+	hint := &rules.Translation{
+		SID:            "heat",
+		Class:          rules.ClassOrdinal,
+		OrdinalScale:   []string{"off", "low", "medium", "high"},
+		ValidityValues: []string{"signal invalid"},
+	}
+	vals := []relation.Value{
+		relation.Str("off"), relation.Str("low"), relation.Str("medium"),
+		relation.Str("signal invalid"),
+		relation.Str("high"), relation.Str("medium"),
+	}
+	res, err := Process("heat", seqOf(10, vals...), hint, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branch != classify.Beta || res.DataType != classify.Ordinal {
+		t.Fatalf("classified (%s, %s)", res.DataType, res.Branch)
+	}
+	rows := res.Rel.Rows()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The validity instance passes through untransformed.
+	if rows[3][2].AsString() != "signal invalid" {
+		t.Fatalf("validity row = %q", rows[3][2])
+	}
+	// Functional rows carry (value, trend) with gradient-based trends.
+	wantTrends := []string{"steady", "increasing", "increasing", "increasing", "decreasing"}
+	fi := 0
+	for i, r := range rows {
+		if i == 3 {
+			continue
+		}
+		v := r[2].AsString()
+		if !strings.HasSuffix(v, ","+wantTrends[fi]+")") {
+			t.Fatalf("row %d = %q, want trend %s", i, v, wantTrends[fi])
+		}
+		fi++
+	}
+}
+
+func TestBetaNumericOrdinalOutlier(t *testing.T) {
+	// Slow numeric gear-like signal with one absurd value.
+	vals := []relation.Value{
+		relation.Float(1), relation.Float(2), relation.Float(3),
+		relation.Float(99), // outlier
+		relation.Float(4), relation.Float(5), relation.Float(4), relation.Float(3),
+	}
+	res, err := Process("gear", seqOf(30, vals...), nil, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branch != classify.Beta {
+		t.Fatalf("branch = %s", res.Branch)
+	}
+	if res.Outliers != 1 {
+		t.Fatalf("outliers = %d", res.Outliers)
+	}
+	joined := ""
+	for _, r := range res.Rel.Rows() {
+		joined += r[2].AsString() + "|"
+	}
+	if !strings.Contains(joined, "outlier v=99") {
+		t.Fatalf("outlier missing: %s", joined)
+	}
+}
+
+func TestGammaBinaryPassThrough(t *testing.T) {
+	vals := []relation.Value{
+		relation.Str("ON"), relation.Str("OFF"), relation.Str("ON"),
+	}
+	res, err := Process("belt", seqOf(1, vals...), nil, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branch != classify.Gamma || res.DataType != classify.Binary {
+		t.Fatalf("classified (%s, %s)", res.DataType, res.Branch)
+	}
+	rows := res.Rel.Rows()
+	if len(rows) != 3 || rows[0][2].AsString() != "ON" || rows[1][2].AsString() != "OFF" {
+		t.Fatalf("gamma rows = %v", rows)
+	}
+}
+
+func TestGammaNominalPassThrough(t *testing.T) {
+	vals := []relation.Value{
+		relation.Str("driving"), relation.Str("parking"), relation.Str("charging"),
+		relation.Str("idle"),
+	}
+	res, err := Process("state", seqOf(1, vals...), nil, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branch != classify.Gamma || res.DataType != classify.Nominal {
+		t.Fatalf("classified (%s, %s)", res.DataType, res.Branch)
+	}
+	if res.Rel.NumRows() != 4 {
+		t.Fatalf("rows = %d", res.Rel.NumRows())
+	}
+}
+
+func TestProcessEmptySequence(t *testing.T) {
+	res, err := Process("empty", seqOf(1), nil, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.NumRows() != 0 {
+		t.Fatalf("rows = %d", res.Rel.NumRows())
+	}
+}
+
+func TestProcessBadSchema(t *testing.T) {
+	bad := relation.New(relation.NewSchema(relation.Column{Name: "x", Kind: relation.KindInt}))
+	if _, err := Process("s", bad, nil, cfg()); err == nil {
+		t.Fatal("bad schema must fail")
+	}
+}
+
+func TestSummaryMentionsEverything(t *testing.T) {
+	vals := make([]relation.Value, 60)
+	for i := range vals {
+		vals[i] = relation.Float(float64(i % 13))
+	}
+	vals[30] = relation.Float(10000)
+	res, err := Process("speed", seqOf(0.1, vals...), nil, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	for _, frag := range []string{"speed", "alpha", "outliers=", "segments="} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("summary %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestOrdinalValueFallbacks(t *testing.T) {
+	scale := map[string]int{"low": 0, "high": 1}
+	if ordinalValue(relation.Str("low"), scale) != 0 || ordinalValue(relation.Str("high"), scale) != 1 {
+		t.Fatal("scale lookup broken")
+	}
+	if ordinalValue(relation.Str("unknown"), scale) != -1 {
+		t.Fatal("undocumented symbol must rank -1")
+	}
+	if ordinalValue(relation.Float(3.5), nil) != 3.5 {
+		t.Fatal("numeric passthrough broken")
+	}
+}

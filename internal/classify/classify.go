@@ -1,0 +1,265 @@
+// Package classify implements the type-dependent classification of
+// Sec. 4.2: every reduced signal sequence K_red is assigned criteria
+// Z = (z_type, z_rate, z_num, z_val) and mapped to a data type and a
+// processing branch (α numeric, β ordinal, γ nominal/binary) per
+// Table 3. Criteria come from the sequence itself plus documentation
+// hints from the rules catalog (the paper derived the scheme from
+// inspecting over 1000 signal types).
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+	"ivnt/internal/trace"
+)
+
+// Branch is a processing branch of Sec. 4.2.
+type Branch uint8
+
+// Processing branches.
+const (
+	// Alpha processes fast-changing numeric signals: outlier removal,
+	// smoothing, SWAB segmentation, SAX symbolization.
+	Alpha Branch = iota
+	// Beta processes ordinal signals: F/V split, numeric translation,
+	// gradient trend.
+	Beta
+	// Gamma passes nominal and binary signals through.
+	Gamma
+)
+
+// String returns the Greek letter name.
+func (b Branch) String() string {
+	switch b {
+	case Alpha:
+		return "alpha"
+	case Beta:
+		return "beta"
+	case Gamma:
+		return "gamma"
+	default:
+		return fmt.Sprintf("branch(%d)", uint8(b))
+	}
+}
+
+// DataType is the classified value domain of Table 3.
+type DataType uint8
+
+// Data types.
+const (
+	Numeric DataType = iota
+	Ordinal
+	Nominal
+	Binary
+)
+
+// String returns the type name.
+func (d DataType) String() string {
+	switch d {
+	case Numeric:
+		return "numeric"
+	case Ordinal:
+		return "ordinal"
+	case Nominal:
+		return "nominal"
+	case Binary:
+		return "binary"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(d))
+	}
+}
+
+// Rate is z_rate of Eq. 2.
+type Rate uint8
+
+// Change rates.
+const (
+	// High change rate (n/Δt > T).
+	High Rate = iota
+	// Low change rate.
+	Low
+)
+
+// String returns "H" or "L".
+func (r Rate) String() string {
+	if r == High {
+		return "H"
+	}
+	return "L"
+}
+
+// Criteria is Z = (z_type, z_rate, z_num, z_val).
+type Criteria struct {
+	// NumericType is z_type: true for N, false for S.
+	NumericType bool
+	// Rate is z_rate.
+	Rate Rate
+	// Num is z_num, the count of distinct functional values.
+	Num int
+	// Val is z_val, whether values carry a comparable valence.
+	Val bool
+}
+
+// String renders the tuple for reports.
+func (z Criteria) String() string {
+	ty := "S"
+	if z.NumericType {
+		ty = "N"
+	}
+	return fmt.Sprintf("(%s, %s, %d, %t)", ty, z.Rate, z.Num, z.Val)
+}
+
+// idleFactor separates active segments: a gap more than idleFactor
+// times the median gap ends an active segment.
+const idleFactor = 10
+
+// Compute derives Z for one reduced per-signal sequence. The
+// translation tuple supplies documentation hints (nil means infer
+// everything from data); rateThreshold is T of Eq. 2 in values per
+// second.
+func Compute(seq *relation.Relation, hint *rules.Translation, rateThreshold float64) (Criteria, error) {
+	vIdx := seq.Schema.Index(trace.ColV)
+	tIdx := seq.Schema.Index(trace.ColT)
+	if vIdx < 0 || tIdx < 0 {
+		return Criteria{}, fmt.Errorf("classify: sequence lacks %s/%s (%s)", trace.ColV, trace.ColT, seq.Schema)
+	}
+	var (
+		ts       []float64
+		distinct = map[string]bool{}
+		numeric  = true
+		n        int
+	)
+	for _, p := range seq.Partitions {
+		for _, r := range p {
+			v := r[vIdx]
+			if v.IsNull() {
+				continue
+			}
+			n++
+			ts = append(ts, r[tIdx].AsFloat())
+			distinct[v.AsString()] = true
+			if !v.IsNumeric() {
+				numeric = false
+			}
+		}
+	}
+	z := Criteria{
+		NumericType: numeric,
+		Num:         len(distinct),
+		Rate:        computeRate(ts, rateThreshold),
+		Val:         inferValence(numeric, len(distinct), hint),
+	}
+	return z, nil
+}
+
+// computeRate implements Eq. 2 over active segments: segments are
+// separated by gaps exceeding idleFactor times the median gap; the rate
+// is points per second of active time.
+func computeRate(ts []float64, threshold float64) Rate {
+	if len(ts) < 2 {
+		return Low
+	}
+	if threshold <= 0 {
+		threshold = 2
+	}
+	sort.Float64s(ts)
+	gaps := make([]float64, 0, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		gaps = append(gaps, ts[i]-ts[i-1])
+	}
+	med := medianOf(gaps)
+	idle := med * idleFactor
+	if idle <= 0 {
+		// All timestamps identical: infinitely fast.
+		return High
+	}
+	var active float64
+	var count int
+	segStart := ts[0]
+	points := 1
+	for i := 1; i < len(ts); i++ {
+		if ts[i]-ts[i-1] > idle {
+			if points >= 2 {
+				active += ts[i-1] - segStart
+				count += points
+			}
+			segStart = ts[i]
+			points = 1
+			continue
+		}
+		points++
+	}
+	if points >= 2 {
+		active += ts[len(ts)-1] - segStart
+		count += points
+	}
+	if active <= 0 {
+		return Low
+	}
+	if float64(count)/active > threshold {
+		return High
+	}
+	return Low
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	m := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[m]
+	}
+	return (cp[m-1] + cp[m]) / 2
+}
+
+// inferValence determines z_val: documentation wins; otherwise numeric
+// values are comparable, two-valued string signals are treated as
+// comparable (binary), and richer string domains are not.
+func inferValence(numeric bool, distinct int, hint *rules.Translation) bool {
+	if hint != nil {
+		switch hint.Class {
+		case rules.ClassNumeric, rules.ClassOrdinal, rules.ClassBinary:
+			return true
+		case rules.ClassNominal:
+			return false
+		}
+	}
+	if numeric {
+		return true
+	}
+	return distinct <= 2
+}
+
+// Classify maps Z to (data type, branch) per Table 3. Combinations the
+// table leaves open (constant signals, numeric without valence) default
+// to the pass-through branch γ.
+func Classify(z Criteria) (DataType, Branch) {
+	switch {
+	case z.Num <= 2 && z.Val:
+		// Rows 4 and 6: binary → γ, regardless of type and rate.
+		return Binary, Gamma
+	case z.NumericType && z.Rate == High && z.Num > 2 && z.Val:
+		// Row 1: fast numeric → α.
+		return Numeric, Alpha
+	case z.NumericType && z.Rate == Low && z.Num > 2 && z.Val:
+		// Row 2: slow numeric ordinal → β.
+		return Ordinal, Beta
+	case !z.NumericType && z.Num > 2 && z.Val:
+		// Row 3: comparable strings → β.
+		return Ordinal, Beta
+	case !z.NumericType && z.Num > 2 && !z.Val:
+		// Row 5: nominal → γ.
+		return Nominal, Gamma
+	default:
+		// Constant signals and numeric-without-valence: nothing to
+		// transform.
+		return Nominal, Gamma
+	}
+}

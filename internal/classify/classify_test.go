@@ -1,0 +1,222 @@
+package classify
+
+import (
+	"testing"
+
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+)
+
+func seq(vals []relation.Value, dt float64) *relation.Relation {
+	rel := relation.New(rules.SequenceSchema())
+	for i, v := range vals {
+		rel.Append(relation.Row{
+			relation.Float(float64(i) * dt),
+			relation.Str("s"),
+			v,
+			relation.Str("FC"),
+		})
+	}
+	return rel
+}
+
+func floats(xs ...float64) []relation.Value {
+	out := make([]relation.Value, len(xs))
+	for i, x := range xs {
+		out[i] = relation.Float(x)
+	}
+	return out
+}
+
+func strsV(xs ...string) []relation.Value {
+	out := make([]relation.Value, len(xs))
+	for i, x := range xs {
+		out[i] = relation.Str(x)
+	}
+	return out
+}
+
+// TestTable3Mapping verifies every row of the paper's Table 3.
+func TestTable3Mapping(t *testing.T) {
+	cases := []struct {
+		name   string
+		z      Criteria
+		dtype  DataType
+		branch Branch
+	}{
+		{"N H >2 true -> numeric alpha", Criteria{NumericType: true, Rate: High, Num: 5, Val: true}, Numeric, Alpha},
+		{"N L >2 true -> ordinal beta", Criteria{NumericType: true, Rate: Low, Num: 5, Val: true}, Ordinal, Beta},
+		{"S H >2 true -> ordinal beta", Criteria{NumericType: false, Rate: High, Num: 5, Val: true}, Ordinal, Beta},
+		{"S L >2 true -> ordinal beta", Criteria{NumericType: false, Rate: Low, Num: 5, Val: true}, Ordinal, Beta},
+		{"S H =2 true -> binary gamma", Criteria{NumericType: false, Rate: High, Num: 2, Val: true}, Binary, Gamma},
+		{"S L =2 true -> binary gamma", Criteria{NumericType: false, Rate: Low, Num: 2, Val: true}, Binary, Gamma},
+		{"S H >2 false -> nominal gamma", Criteria{NumericType: false, Rate: High, Num: 5, Val: false}, Nominal, Gamma},
+		{"S L >2 false -> nominal gamma", Criteria{NumericType: false, Rate: Low, Num: 5, Val: false}, Nominal, Gamma},
+		{"N H =2 true -> binary gamma", Criteria{NumericType: true, Rate: High, Num: 2, Val: true}, Binary, Gamma},
+		{"N L =2 true -> binary gamma", Criteria{NumericType: true, Rate: Low, Num: 2, Val: true}, Binary, Gamma},
+		// Combinations outside the table default to gamma.
+		{"constant -> gamma", Criteria{NumericType: true, Rate: Low, Num: 1, Val: true}, Binary, Gamma},
+		{"numeric w/o valence -> gamma", Criteria{NumericType: true, Rate: High, Num: 5, Val: false}, Nominal, Gamma},
+	}
+	for _, c := range cases {
+		dt, br := Classify(c.z)
+		if dt != c.dtype || br != c.branch {
+			t.Errorf("%s: got (%s, %s), want (%s, %s)", c.name, dt, br, c.dtype, c.branch)
+		}
+	}
+}
+
+func TestComputeFastNumericIsAlpha(t *testing.T) {
+	// 100 samples at 10 Hz with many distinct values.
+	vals := make([]relation.Value, 100)
+	for i := range vals {
+		vals[i] = relation.Float(float64(i % 37))
+	}
+	z, err := Compute(seq(vals, 0.1), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !z.NumericType || z.Rate != High || z.Num != 37 || !z.Val {
+		t.Fatalf("Z = %s", z)
+	}
+	dt, br := Classify(z)
+	if dt != Numeric || br != Alpha {
+		t.Fatalf("classified (%s, %s)", dt, br)
+	}
+}
+
+func TestComputeSlowNumericIsBeta(t *testing.T) {
+	// 10 samples spread over 100 seconds: 0.09/s < T=2.
+	vals := floats(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	z, err := Compute(seq(vals, 10), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Rate != Low {
+		t.Fatalf("rate = %s", z.Rate)
+	}
+	if dt, br := Classify(z); dt != Ordinal || br != Beta {
+		t.Fatalf("classified (%s, %s)", dt, br)
+	}
+}
+
+func TestComputeBinaryString(t *testing.T) {
+	vals := strsV("ON", "OFF", "ON", "OFF")
+	z, err := Compute(seq(vals, 1), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NumericType || z.Num != 2 || !z.Val {
+		t.Fatalf("Z = %s", z)
+	}
+	if dt, br := Classify(z); dt != Binary || br != Gamma {
+		t.Fatalf("classified (%s, %s)", dt, br)
+	}
+}
+
+func TestComputeNominalString(t *testing.T) {
+	vals := strsV("driving", "parking", "charging", "driving", "idle")
+	z, err := Compute(seq(vals, 1), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Val {
+		t.Fatalf("nominal inferred comparable: %s", z)
+	}
+	if dt, br := Classify(z); dt != Nominal || br != Gamma {
+		t.Fatalf("classified (%s, %s)", dt, br)
+	}
+}
+
+func TestComputeHintOverridesInference(t *testing.T) {
+	// heat: high/medium/low strings — nominal by inference, ordinal by
+	// documentation.
+	vals := strsV("high", "medium", "low", "high")
+	hint := &rules.Translation{SID: "heat", Class: rules.ClassOrdinal,
+		OrdinalScale: []string{"low", "medium", "high"}}
+	z, err := Compute(seq(vals, 1), hint, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !z.Val {
+		t.Fatalf("hint ignored: %s", z)
+	}
+	if dt, br := Classify(z); dt != Ordinal || br != Beta {
+		t.Fatalf("classified (%s, %s)", dt, br)
+	}
+	// Nominal hint forces val=false even for numeric-looking data.
+	nomHint := &rules.Translation{SID: "code", Class: rules.ClassNominal}
+	z, err = Compute(seq(floats(1, 2, 3, 4), 0.01), nomHint, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Val {
+		t.Fatalf("nominal hint ignored: %s", z)
+	}
+}
+
+func TestComputeActiveSegments(t *testing.T) {
+	// Bursts of fast activity separated by long idle: rate must be
+	// computed over active time only, hence High.
+	rel := relation.New(rules.SequenceSchema())
+	tt := 0.0
+	for burst := 0; burst < 3; burst++ {
+		for i := 0; i < 20; i++ {
+			rel.Append(relation.Row{
+				relation.Float(tt), relation.Str("s"),
+				relation.Float(float64(i)), relation.Str("FC"),
+			})
+			tt += 0.05 // 20 Hz
+		}
+		tt += 600 // 10 minutes idle
+	}
+	z, err := Compute(rel, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Rate != High {
+		t.Fatalf("bursty signal must be High over active segments: %s", z)
+	}
+}
+
+func TestComputeEdgeCases(t *testing.T) {
+	// Empty sequence.
+	z, err := Compute(seq(nil, 1), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Num != 0 || z.Rate != Low {
+		t.Fatalf("empty Z = %s", z)
+	}
+	// Nulls are skipped.
+	vals := []relation.Value{relation.Null(), relation.Float(1), relation.Null()}
+	z, err = Compute(seq(vals, 1), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Num != 1 {
+		t.Fatalf("null handling: %s", z)
+	}
+	// Bad schema.
+	bad := relation.New(relation.NewSchema(relation.Column{Name: "x", Kind: relation.KindInt}))
+	if _, err := Compute(bad, nil, 2); err == nil {
+		t.Fatal("bad schema must fail")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Alpha.String() != "alpha" || Beta.String() != "beta" || Gamma.String() != "gamma" {
+		t.Fatal("branch names")
+	}
+	if Numeric.String() != "numeric" || Ordinal.String() != "ordinal" ||
+		Nominal.String() != "nominal" || Binary.String() != "binary" {
+		t.Fatal("data type names")
+	}
+	if High.String() != "H" || Low.String() != "L" {
+		t.Fatal("rate names")
+	}
+	z := Criteria{NumericType: true, Rate: High, Num: 3, Val: true}
+	if z.String() != "(N, H, 3, true)" {
+		t.Fatalf("criteria string = %q", z.String())
+	}
+}

@@ -1,0 +1,492 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+)
+
+func traceRel(n, parts int) *relation.Relation {
+	s := relation.NewSchema(
+		relation.Column{Name: "t", Kind: relation.KindFloat},
+		relation.Column{Name: "mid", Kind: relation.KindInt},
+		relation.Column{Name: "l", Kind: relation.KindBytes},
+	)
+	rows := make([]relation.Row, n)
+	for i := range rows {
+		rows[i] = relation.Row{
+			relation.Float(float64(i) * 0.1),
+			relation.Int(int64(3 + i%2)),
+			relation.Bytes([]byte{byte(i % 5), byte(i % 3)}),
+		}
+	}
+	return relation.FromRows(s, rows).Repartition(parts)
+}
+
+func stageOps() []engine.OpDesc {
+	return []engine.OpDesc{
+		engine.Filter("mid == 3"),
+		engine.AddColumn("v", relation.KindFloat, "0.5 * byteat(l, 0)"),
+	}
+}
+
+func TestClusterMatchesLocal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	rel := traceRel(500, 8)
+	drv := &Driver{Addrs: addrs, SlotsPerExecutor: 2}
+	got, st, err := drv.RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := engine.NewLocal(2).RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("cluster rows = %d, local = %d", got.NumRows(), want.NumRows())
+	}
+	gr, wr := got.Rows(), want.Rows()
+	for i := range gr {
+		if !gr[i].Equal(wr[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, gr[i], wr[i])
+		}
+	}
+	if st.Tasks != 8 || st.Partitions != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !got.Schema.Has("v") {
+		t.Fatalf("schema missing computed column: %s", got.Schema)
+	}
+}
+
+func TestClusterBroadcastJoin(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	small := relation.FromRows(
+		relation.NewSchema(
+			relation.Column{Name: "rmid", Kind: relation.KindInt},
+			relation.Column{Name: "sid", Kind: relation.KindString},
+			relation.Column{Name: "rule", Kind: relation.KindString},
+		),
+		[]relation.Row{
+			{relation.Int(3), relation.Str("wpos"), relation.Str("byteat(l, 0)")},
+			{relation.Int(4), relation.Str("wvel"), relation.Str("byteat(l, 1) * 2")},
+		},
+	)
+	ops := []engine.OpDesc{
+		engine.BroadcastJoin(small, []string{"mid"}, []string{"rmid"}),
+		engine.EvalRule("v", relation.KindFloat, "rule"),
+	}
+	rel := traceRel(100, 4)
+	drv := &Driver{Addrs: addrs}
+	got, _, err := drv.RunStage(ctx, rel, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 100 {
+		t.Fatalf("rows = %d, want 100", got.NumRows())
+	}
+	sidIdx := got.Schema.MustIndex("sid")
+	vIdx := got.Schema.MustIndex("v")
+	lIdx := got.Schema.MustIndex("l")
+	for _, r := range got.Rows() {
+		var want int64
+		if r[sidIdx].AsString() == "wpos" {
+			want = int64(r[lIdx].B[0])
+		} else {
+			want = int64(r[lIdx].B[1]) * 2
+		}
+		if r[vIdx].AsInt() != want {
+			t.Fatalf("interpreted %v, want %d (%v)", r[vIdx], want, r)
+		}
+	}
+}
+
+func TestClusterTaskErrorAborts(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// A per-row rule that fails to compile is a deterministic task
+	// error: no retry, stage aborts.
+	small := relation.FromRows(
+		relation.NewSchema(
+			relation.Column{Name: "rmid", Kind: relation.KindInt},
+			relation.Column{Name: "rule", Kind: relation.KindString},
+		),
+		[]relation.Row{{relation.Int(3), relation.Str("byteat(")}},
+	)
+	ops := []engine.OpDesc{
+		engine.BroadcastJoin(small, []string{"mid"}, []string{"rmid"}),
+		engine.EvalRule("v", relation.KindFloat, "rule"),
+	}
+	drv := &Driver{Addrs: addrs}
+	if _, _, err := drv.RunStage(ctx, traceRel(50, 4), ops); err == nil {
+		t.Fatal("expected task error to abort stage")
+	}
+}
+
+func TestClusterBadPlanRejectedOnDriver(t *testing.T) {
+	drv := &Driver{Addrs: []string{"127.0.0.1:1"}} // never dialed
+	_, _, err := drv.RunStage(context.Background(), traceRel(10, 1),
+		[]engine.OpDesc{engine.Filter("nosuchcol > 0")})
+	if err == nil {
+		t.Fatal("bad plan must be rejected before dialing")
+	}
+}
+
+func TestClusterNoExecutors(t *testing.T) {
+	drv := &Driver{}
+	if _, _, err := drv.RunStage(context.Background(), traceRel(10, 1), stageOps()); err == nil {
+		t.Fatal("driver without addresses must fail")
+	}
+}
+
+func TestClusterAllExecutorsUnreachable(t *testing.T) {
+	drv := &Driver{Addrs: []string{"127.0.0.1:1"}, DialTimeout: 200 * time.Millisecond}
+	_, _, err := drv.RunStage(context.Background(), traceRel(10, 2), stageOps())
+	if err == nil {
+		t.Fatal("unreachable executors must fail the stage")
+	}
+}
+
+func TestClusterSurvivesOneDeadExecutor(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// One live executor, one address that refuses connections.
+	drv := &Driver{Addrs: []string{addrs[0], "127.0.0.1:1"}, DialTimeout: 200 * time.Millisecond}
+	got, _, err := drv.RunStage(ctx, traceRel(200, 6), stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 100 {
+		t.Fatalf("rows = %d, want 100", got.NumRows())
+	}
+}
+
+func TestClusterRetryOnConnectionDrop(t *testing.T) {
+	// An adversarial executor that accepts, handshakes, then drops the
+	// first task connection mid-stream; a healthy executor must pick up
+	// the requeued partition.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	addrs, stop, err := StartLocalCluster(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	evil, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evil.Close()
+	var once sync.Once
+	go func() {
+		for {
+			raw, err := evil.Accept()
+			if err != nil {
+				return
+			}
+			go func(raw net.Conn) {
+				c := newConn(raw)
+				var hello helloMsg
+				if c.dec.Decode(&hello) != nil {
+					return
+				}
+				_ = c.enc.Encode(helloAck{OK: true, Version: protocolVersion, Capacity: 1})
+				var task taskMsg
+				if c.dec.Decode(&task) != nil {
+					return
+				}
+				once.Do(func() { raw.Close() }) // drop first task
+				// Subsequent connections: politely run nothing and hang
+				// up too (driver should stop using us).
+				raw.Close()
+			}(raw)
+		}
+	}()
+
+	drv := &Driver{Addrs: []string{addrs[0], evil.Addr().String()}, MaxRetries: 3}
+	got, st, err := drv.RunStage(ctx, traceRel(200, 4), stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 100 {
+		t.Fatalf("rows = %d, want 100", got.NumRows())
+	}
+	if st.Retries == 0 {
+		t.Fatal("expected at least one retry to be recorded")
+	}
+}
+
+func TestExecutorRejectsBadMagic(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	raw, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	c := newConn(raw)
+	if err := c.enc.Encode(helloMsg{Magic: "BAD!", Version: protocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	var ack helloAck
+	if err := c.dec.Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.OK {
+		t.Fatal("executor accepted bad magic")
+	}
+}
+
+func TestDriverName(t *testing.T) {
+	drv := &Driver{Addrs: []string{"a", "b"}, SlotsPerExecutor: 3}
+	if drv.Name() != "cluster[2 executors x 3 slots]" {
+		t.Fatalf("Name = %q", drv.Name())
+	}
+}
+
+func TestClusterConcurrentStages(t *testing.T) {
+	// One driver, many concurrent RunStage calls — the multi-domain
+	// situation where several analyses share the cluster.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	drv := &Driver{Addrs: addrs, SlotsPerExecutor: 2}
+	rel := traceRel(300, 5)
+	const stages = 8
+	errs := make(chan error, stages)
+	for i := 0; i < stages; i++ {
+		go func() {
+			out, _, err := drv.RunStage(ctx, rel, stageOps())
+			if err == nil && out.NumRows() != 150 {
+				err = fmt.Errorf("rows = %d", out.NumRows())
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < stages; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClusterLargePartitions(t *testing.T) {
+	// Multi-megabyte partitions must stream through gob without
+	// corruption.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	s := relation.NewSchema(
+		relation.Column{Name: "mid", Kind: relation.KindInt},
+		relation.Column{Name: "l", Kind: relation.KindBytes},
+	)
+	rows := make([]relation.Row, 20000)
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := range rows {
+		rows[i] = relation.Row{relation.Int(int64(i % 2)), relation.Bytes(payload)}
+	}
+	rel := relation.FromRows(s, rows).Repartition(4)
+	drv := &Driver{Addrs: addrs}
+	out, _, err := drv.RunStage(ctx, rel, []engine.OpDesc{engine.Filter("mid == 0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 10000 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	lIdx := out.Schema.MustIndex("l")
+	got := out.Rows()[9999][lIdx].B
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("payload corrupted at byte %d", i)
+		}
+	}
+}
+
+func TestClusterEmptyRelation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	drv := &Driver{Addrs: addrs}
+	empty := traceRel(0, 1)
+	out, _, err := drv.RunStage(ctx, empty, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 0 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+}
+
+func TestClusterContextCancellation(t *testing.T) {
+	addrs, stop, err := StartLocalCluster(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled
+	drv := &Driver{Addrs: addrs}
+	if _, _, err := drv.RunStage(ctx, traceRel(100, 4), stageOps()); err == nil {
+		t.Fatal("cancelled context must fail the stage")
+	}
+}
+
+func TestDistributedAggregationOverTCP(t *testing.T) {
+	// The reduceByKey analogue: map-side partial aggregation runs on
+	// remote executors; the driver merges. Must match local Aggregate.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	rel := traceRel(400, 8)
+	aggs := []engine.AggSpec{
+		{Fn: engine.AggCount, As: "n"},
+		{Fn: engine.AggMean, Col: "t", As: "meanT"},
+		{Fn: engine.AggMax, Col: "t", As: "maxT"},
+	}
+	want, err := engine.Aggregate(rel, []string{"mid"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.AggregateDistributed(ctx, &Driver{Addrs: addrs}, rel, []string{"mid"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("groups %d vs %d", got.NumRows(), want.NumRows())
+	}
+	gr, wr := got.Rows(), want.Rows()
+	for i := range gr {
+		for j := range gr[i] {
+			// Partial sums combine in a different order than the local
+			// single pass; float results agree only up to rounding.
+			a, b := gr[i][j].AsFloat(), wr[i][j].AsFloat()
+			if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("group %d col %d: %v vs %v", i, j, gr[i][j], wr[i][j])
+			}
+		}
+	}
+}
+
+func TestExecutorAddrAndTasksRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &ExecutorServer{Capacity: 2}
+	if srv.Addr() != nil {
+		t.Fatal("Addr before Serve must be nil")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ctx, l)
+	}()
+	drv := &Driver{Addrs: []string{l.Addr().String()}}
+	if _, _, err := drv.RunStage(ctx, traceRel(50, 3), stageOps()); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr() == nil {
+		t.Fatal("Addr after Serve must be set")
+	}
+	if srv.TasksRun() != 3 {
+		t.Fatalf("tasks run = %d, want 3", srv.TasksRun())
+	}
+	cancel()
+	<-done
+}
+
+func TestDriverRejectsWrongVersionExecutor(t *testing.T) {
+	// An "executor" speaking a different protocol version: the driver's
+	// handshake must fail, and with no other executors the stage fails.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			raw, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(raw net.Conn) {
+				defer raw.Close()
+				c := newConn(raw)
+				var hello helloMsg
+				if c.dec.Decode(&hello) != nil {
+					return
+				}
+				_ = c.enc.Encode(helloAck{OK: false, Version: 999})
+			}(raw)
+		}
+	}()
+	drv := &Driver{Addrs: []string{l.Addr().String()}, DialTimeout: time.Second}
+	if _, _, err := drv.RunStage(context.Background(), traceRel(10, 2), stageOps()); err == nil {
+		t.Fatal("version mismatch must fail the stage")
+	}
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+)
+
+// Driver distributes engine stages across remote executors. It
+// implements engine.Executor, so every pipeline in the framework runs
+// unchanged either locally or on a cluster — the property the paper
+// gets from targeting Spark.
+type Driver struct {
+	// Addrs are executor addresses ("host:port").
+	Addrs []string
+	// SlotsPerExecutor is how many concurrent task connections the
+	// driver opens per executor (the paper's "5 cores per executor").
+	// Default 1.
+	SlotsPerExecutor int
+	// MaxRetries is how often a task is re-dispatched after a transport
+	// failure before the stage aborts. Default 2.
+	MaxRetries int
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+}
+
+// Name implements engine.Executor.
+func (d *Driver) Name() string {
+	return fmt.Sprintf("cluster[%d executors x %d slots]", len(d.Addrs), d.slots())
+}
+
+func (d *Driver) slots() int {
+	if d.SlotsPerExecutor > 0 {
+		return d.SlotsPerExecutor
+	}
+	return 1
+}
+
+func (d *Driver) retries() int {
+	if d.MaxRetries > 0 {
+		return d.MaxRetries
+	}
+	return 2
+}
+
+func (d *Driver) dialTimeout() time.Duration {
+	if d.DialTimeout > 0 {
+		return d.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+// stageRun is the shared scheduling state of one RunStage call. Tasks
+// are partition indexes flowing through work; pending counts tasks not
+// yet completed. A worker that hits a transport failure requeues its
+// task and retires its connection slot (executor blacklisting); when
+// every slot has retired with work outstanding, the stage fails.
+type stageRun struct {
+	rel      *relation.Relation
+	ops      []engine.OpDesc
+	outParts [][]relation.Row
+
+	mu       sync.Mutex
+	work     chan int
+	closed   bool
+	pending  int
+	attempts []int
+	retries  int
+	firstErr error
+	cancel   context.CancelFunc
+}
+
+// closeWorkLocked closes the work channel exactly once; callers hold
+// sr.mu.
+func (sr *stageRun) closeWorkLocked() {
+	if !sr.closed {
+		sr.closed = true
+		close(sr.work)
+	}
+}
+
+func (sr *stageRun) fail(err error) {
+	sr.mu.Lock()
+	if sr.firstErr == nil {
+		sr.firstErr = err
+	}
+	sr.pending = 0
+	sr.closeWorkLocked()
+	sr.mu.Unlock()
+	sr.cancel()
+}
+
+// complete marks one task done and closes the work channel when all
+// tasks have finished.
+func (sr *stageRun) complete() {
+	sr.mu.Lock()
+	if sr.pending > 0 {
+		sr.pending--
+		if sr.pending == 0 {
+			sr.closeWorkLocked()
+		}
+	}
+	sr.mu.Unlock()
+}
+
+// requeue re-offers a task after a transport failure; returns false
+// (and fails the stage) when the retry budget is exhausted. The send
+// happens under the mutex — the channel is buffered generously, so it
+// never blocks, and the lock serializes it against closeWorkLocked.
+func (sr *stageRun) requeue(pi, maxRetries int, cause error, addr string) bool {
+	sr.mu.Lock()
+	if sr.closed {
+		sr.mu.Unlock()
+		return false
+	}
+	sr.attempts[pi]++
+	sr.retries++
+	tooMany := sr.attempts[pi] > maxRetries
+	attempts := sr.attempts[pi]
+	if !tooMany {
+		sr.work <- pi
+	}
+	sr.mu.Unlock()
+	if tooMany {
+		sr.fail(fmt.Errorf("cluster: partition %d failed %d times (last on %s): %w", pi, attempts, addr, cause))
+		return false
+	}
+	return true
+}
+
+// RunStage implements engine.Executor: each partition becomes one task,
+// dispatched over a pool of executor connections; results reassemble in
+// partition order so the stage is deterministic.
+func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []engine.OpDesc) (*relation.Relation, engine.Stats, error) {
+	start := time.Now()
+	if len(d.Addrs) == 0 {
+		return nil, engine.Stats{}, fmt.Errorf("cluster: driver has no executor addresses")
+	}
+	// Validate the plan on the driver before shipping anything.
+	outSchema, err := engine.OutputSchema(rel.Schema, ops)
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+
+	nParts := len(rel.Partitions)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sr := &stageRun{
+		rel:      rel,
+		ops:      ops,
+		outParts: make([][]relation.Row, nParts),
+		// Capacity covers every task being requeued up to the retry
+		// budget, so requeue never blocks.
+		work:     make(chan int, nParts*(d.retries()+2)),
+		pending:  nParts,
+		attempts: make([]int, nParts),
+		cancel:   cancel,
+	}
+	for pi := 0; pi < nParts; pi++ {
+		sr.work <- pi
+	}
+	if nParts == 0 {
+		close(sr.work)
+	}
+
+	var wg sync.WaitGroup
+	for _, addr := range d.Addrs {
+		for s := 0; s < d.slots(); s++ {
+			wg.Add(1)
+			go func(addr string) {
+				defer wg.Done()
+				d.runSlot(cctx, addr, sr)
+			}(addr)
+		}
+	}
+	wg.Wait()
+
+	sr.mu.Lock()
+	firstErr, pending, retries := sr.firstErr, sr.pending, sr.retries
+	sr.mu.Unlock()
+	if firstErr != nil {
+		return nil, engine.Stats{}, firstErr
+	}
+	if pending > 0 {
+		return nil, engine.Stats{}, fmt.Errorf("cluster: %d partition(s) undeliverable: no executor reachable", pending)
+	}
+	if ctx.Err() != nil {
+		return nil, engine.Stats{}, ctx.Err()
+	}
+	out := &relation.Relation{Schema: outSchema, Partitions: sr.outParts}
+	st := engine.Stats{
+		RowsIn:     rel.NumRows(),
+		RowsOut:    out.NumRows(),
+		Partitions: nParts,
+		Wall:       time.Since(start),
+		Tasks:      nParts,
+		Retries:    retries,
+	}
+	return out, st, nil
+}
+
+// runSlot owns one executor connection. On a transport failure it
+// requeues the in-flight task and retires, blacklisting this slot for
+// the remainder of the stage (a flaky executor must not starve the
+// retry budget of healthy ones).
+func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
+	raw, err := net.DialTimeout("tcp", addr, d.dialTimeout())
+	if err != nil {
+		return
+	}
+	c := newConn(raw)
+	defer c.close()
+	if err := c.handshake(d.dialTimeout()); err != nil {
+		return
+	}
+	for {
+		var pi int
+		var ok bool
+		select {
+		case <-ctx.Done():
+			return
+		case pi, ok = <-sr.work:
+			if !ok {
+				return
+			}
+		}
+		if err := d.sendTask(c, sr, pi); err != nil {
+			if tf, isTF := err.(*taskFailure); isTF && tf.taskErr != nil {
+				sr.fail(tf.taskErr)
+				return
+			}
+			sr.requeue(pi, d.retries(), err, addr)
+			return
+		}
+		sr.complete()
+	}
+}
+
+// taskFailure distinguishes deterministic task errors (abort) from
+// transport errors (retry elsewhere).
+type taskFailure struct {
+	taskErr error // non-retryable
+	ioErr   error // retryable
+}
+
+// Error implements error.
+func (t *taskFailure) Error() string {
+	if t.taskErr != nil {
+		return t.taskErr.Error()
+	}
+	return t.ioErr.Error()
+}
+
+func (t *taskFailure) Unwrap() error {
+	if t.taskErr != nil {
+		return t.taskErr
+	}
+	return t.ioErr
+}
+
+func (d *Driver) sendTask(c *conn, sr *stageRun, pi int) error {
+	task := taskMsg{ID: uint64(pi), Schema: sr.rel.Schema, Rows: sr.rel.Partitions[pi], Ops: sr.ops}
+	if err := c.enc.Encode(task); err != nil {
+		return &taskFailure{ioErr: err}
+	}
+	var res resultMsg
+	if err := c.dec.Decode(&res); err != nil {
+		return &taskFailure{ioErr: err}
+	}
+	if res.Err != "" {
+		return &taskFailure{taskErr: fmt.Errorf("cluster: task %d: %s", pi, res.Err)}
+	}
+	if res.ID != uint64(pi) {
+		return &taskFailure{ioErr: fmt.Errorf("cluster: task id mismatch: sent %d got %d", pi, res.ID)}
+	}
+	sr.outParts[pi] = res.Rows
+	return nil
+}

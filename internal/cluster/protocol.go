@@ -1,0 +1,91 @@
+// Package cluster distributes engine stages across executor processes
+// over TCP — the stand-in for the paper's Spark cluster (Sec. 5.1 runs
+// on 70 servers; we run the same operator plans on N executors reachable
+// over stdlib net, or in-process for tests).
+//
+// The wire protocol is deliberately minimal: a driver opens one or more
+// connections per executor, performs a version handshake, then streams
+// gob-encoded tasks. A task is a partition of rows plus the serializable
+// operator pipeline (engine.OpDesc) to apply — rules ride along as
+// expression text, so executors need no code shipping, mirroring how the
+// paper submits one-time parameterization to its Big Data jobs.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+)
+
+// protocolVersion guards against driver/executor skew.
+const protocolVersion = 1
+
+// magic identifies the protocol on connect.
+const magic = "IVNT"
+
+type helloMsg struct {
+	Magic   string
+	Version int
+}
+
+type helloAck struct {
+	OK      bool
+	Version int
+	// Capacity advertises how many tasks the executor is willing to run
+	// concurrently; informational.
+	Capacity int
+}
+
+// taskMsg carries one partition and the stage pipeline to apply to it.
+type taskMsg struct {
+	ID     uint64
+	Schema relation.Schema
+	Rows   []relation.Row
+	Ops    []engine.OpDesc
+}
+
+// resultMsg returns the transformed partition (or a task error).
+type resultMsg struct {
+	ID     uint64
+	Schema relation.Schema
+	Rows   []relation.Row
+	// Err is a non-retryable task failure (e.g. a malformed rule); the
+	// driver aborts the stage rather than re-running elsewhere.
+	Err string
+}
+
+// conn wraps a net.Conn with gob codecs and deadlines.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+func (c *conn) close() { _ = c.raw.Close() }
+
+// handshake runs the driver side of the version exchange.
+func (c *conn) handshake(timeout time.Duration) error {
+	if timeout > 0 {
+		_ = c.raw.SetDeadline(time.Now().Add(timeout))
+		defer func() { _ = c.raw.SetDeadline(time.Time{}) }()
+	}
+	if err := c.enc.Encode(helloMsg{Magic: magic, Version: protocolVersion}); err != nil {
+		return fmt.Errorf("cluster: handshake send: %w", err)
+	}
+	var ack helloAck
+	if err := c.dec.Decode(&ack); err != nil {
+		return fmt.Errorf("cluster: handshake recv: %w", err)
+	}
+	if !ack.OK {
+		return fmt.Errorf("cluster: executor rejected handshake (version %d, ours %d)", ack.Version, protocolVersion)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+// Package core assembles the paper's contribution end to end: the
+// fully automated, parameterizable preprocessing framework of
+// Algorithm 1. Given a raw trace K_b, a rules catalog (U_rel) and a
+// domain configuration (U_comb selection, constraints C, extensions E,
+// thresholds Z), it produces the homogeneous, reduced, interpreted
+// output R_out and its state representation — on any engine.Executor,
+// local or distributed.
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ivnt/internal/branch"
+	"ivnt/internal/engine"
+	"ivnt/internal/extend"
+	"ivnt/internal/interp"
+	"ivnt/internal/reduce"
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+	"ivnt/internal/staterep"
+	"ivnt/internal/trace"
+)
+
+// Framework is a parameterized instance of the preprocessing pipeline:
+// parameterize once, run on every journey.
+type Framework struct {
+	Catalog *rules.Catalog
+	Config  *rules.DomainConfig
+	Exec    engine.Executor
+	// Interp tunes the extraction stage (preselection toggle).
+	Interp interp.Options
+}
+
+// New validates the parameterization and returns a ready framework.
+func New(catalog *rules.Catalog, cfg *rules.DomainConfig, exec engine.Executor) (*Framework, error) {
+	if catalog == nil || cfg == nil || exec == nil {
+		return nil, fmt.Errorf("core: catalog, config and executor are required")
+	}
+	if err := catalog.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if _, err := catalog.Select(cfg.SIDs...); err != nil {
+		return nil, err
+	}
+	return &Framework{Catalog: catalog, Config: cfg, Exec: exec, Interp: interp.DefaultOptions()}, nil
+}
+
+// Result is R_out plus everything a caller may want to inspect.
+type Result struct {
+	// State is the merged, forward-filled state representation
+	// (Sec. 4.3).
+	State *staterep.Table
+	// Signals are the per-signal homogenized outputs, sorted by id.
+	Signals []*branch.Result
+	// Reduced keeps the intermediate reduction results (gateway
+	// bookkeeping, per-signal stats).
+	Reduced []reduce.Reduced
+	// Extensions is the concatenated W relation (nil when the domain
+	// defines no extensions).
+	Extensions *relation.Relation
+	// ExtractStats are the engine statistics of lines 3–6;
+	// ReduceStats aggregates lines 8–11.
+	ExtractStats engine.Stats
+	ReduceStats  engine.Stats
+	// KsRows counts interpreted signal instances before reduction.
+	KsRows int
+}
+
+// partitions picks the stage partition count.
+func (f *Framework) partitions() int {
+	if f.Config.Partitions > 0 {
+		return f.Config.Partitions
+	}
+	return runtime.GOMAXPROCS(0) * 2
+}
+
+// ExtractAndReduce runs Algorithm 1 lines 3–11 (the part the paper's
+// evaluation measures): interpretation of the selected signals followed
+// by signal splitting, gateway dedup and constraint reduction.
+func (f *Framework) ExtractAndReduce(ctx context.Context, kb *relation.Relation) ([]reduce.Reduced, engine.Stats, engine.Stats, error) {
+	ucomb, err := f.Catalog.Select(f.Config.SIDs...)
+	if err != nil {
+		return nil, engine.Stats{}, engine.Stats{}, err
+	}
+	opts := f.Interp
+	if !opts.Preselect && len(opts.FullCatalog) == 0 {
+		opts.FullCatalog = f.Catalog.Translations
+	}
+	ks, exStats, err := interp.Extract(ctx, f.Exec, kb, ucomb, opts)
+	if err != nil {
+		return nil, engine.Stats{}, engine.Stats{}, err
+	}
+	reduced, err := reduce.Run(ctx, f.Exec, ks, f.Config)
+	if err != nil {
+		return nil, engine.Stats{}, engine.Stats{}, err
+	}
+	var redStats engine.Stats
+	for i := range reduced {
+		redStats.Add(reduced[i].Stats)
+	}
+	return reduced, exStats, redStats, nil
+}
+
+// Run executes the full pipeline on a K_b relation: extraction,
+// reduction, extension, type-dependent processing and the state
+// representation. Per-signal processing fans out across GOMAXPROCS
+// goroutines — the driver-side parallelism over Σ*.
+func (f *Framework) Run(ctx context.Context, kb *relation.Relation) (*Result, error) {
+	reduced, exStats, redStats, err := f.ExtractAndReduce(ctx, kb)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Reduced:      reduced,
+		ExtractStats: exStats,
+		ReduceStats:  redStats,
+		KsRows:       exStats.RowsOut,
+	}
+
+	type sigOut struct {
+		idx int
+		br  *branch.Result
+		w   *relation.Relation
+		err error
+	}
+	outs := make([]sigOut, len(reduced))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range reduced {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			red := &reduced[i]
+			hint := f.hintFor(red.SID)
+			br, err := branch.Process(red.SID, red.Rel, hint, f.Config)
+			if err != nil {
+				outs[i] = sigOut{idx: i, err: err}
+				return
+			}
+			w, err := extend.Run(ctx, f.Exec, red.SID, red.Rel, f.Config)
+			outs[i] = sigOut{idx: i, br: br, w: w, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	var seqs []*relation.Relation
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Signals = append(res.Signals, o.br)
+		seqs = append(seqs, o.br.Rel)
+		if o.w == nil {
+			continue
+		}
+		if res.Extensions == nil {
+			res.Extensions = o.w
+		} else {
+			res.Extensions, err = res.Extensions.Concat(o.w)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if res.Extensions != nil {
+		seqs = append(seqs, res.Extensions)
+	}
+	res.State, err = staterep.Build(seqs...)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunTrace is Run over an in-memory trace, handling partitioning.
+func (f *Framework) RunTrace(ctx context.Context, tr *trace.Trace) (*Result, error) {
+	return f.Run(ctx, tr.ToRelation(f.partitions()))
+}
+
+// hintFor returns the first catalog tuple for a signal (hints are
+// per-signal, identical across routes).
+func (f *Framework) hintFor(sid string) *rules.Translation {
+	ts := f.Catalog.Lookup(sid)
+	if len(ts) == 0 {
+		return nil
+	}
+	return &ts[0]
+}
+
+// ReductionRatio reports rows-in versus rows-out of the reduction
+// stage, the redundancy-exploitation headline of Sec. 1.
+func (r *Result) ReductionRatio() float64 {
+	if r.ReduceStats.RowsIn == 0 {
+		return 1
+	}
+	return float64(r.ReduceStats.RowsOut) / float64(r.ReduceStats.RowsIn)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"ivnt/internal/classify"
+	"ivnt/internal/trace"
+)
+
+// FleetResult aggregates one parameterization applied to many journeys
+// — the fleet-scale workflow of Fig. 1 ("500 cars produce 1.5 TB per
+// day"). Besides the per-journey results it surfaces cross-journey
+// inconsistencies, which are diagnostic signals in their own right: a
+// signal that classifies as numeric in one journey and binary in
+// another is either misdocumented or misbehaving.
+type FleetResult struct {
+	// Journeys holds the per-journey pipeline results, input order.
+	Journeys []*Result
+	// Branches maps signal id to the set of branches it classified
+	// into across journeys (sorted, deduplicated).
+	Branches map[string][]classify.Branch
+	// Unstable lists signals whose classification differed across
+	// journeys, sorted.
+	Unstable []string
+	// GatewayMismatches lists (journey index, signal) pairs where
+	// gateway routes disagreed — potential gateway faults.
+	GatewayMismatches []FleetGatewayMismatch
+	// TotalKsRows and TotalReducedRows sum across journeys.
+	TotalKsRows      int
+	TotalReducedRows int
+}
+
+// FleetGatewayMismatch locates one gateway disagreement.
+type FleetGatewayMismatch struct {
+	Journey  int
+	SID      string
+	Channels []string
+}
+
+// RunFleet runs the framework on every journey and aggregates. The
+// journeys run sequentially (each already parallelizes internally);
+// an error in any journey aborts the fleet run.
+func (f *Framework) RunFleet(ctx context.Context, journeys []*trace.Trace) (*FleetResult, error) {
+	if len(journeys) == 0 {
+		return nil, fmt.Errorf("core: fleet run without journeys")
+	}
+	fr := &FleetResult{Branches: map[string][]classify.Branch{}}
+	branchSets := map[string]map[classify.Branch]bool{}
+	for ji, tr := range journeys {
+		res, err := f.RunTrace(ctx, tr)
+		if err != nil {
+			return nil, fmt.Errorf("core: journey %d: %w", ji, err)
+		}
+		fr.Journeys = append(fr.Journeys, res)
+		fr.TotalKsRows += res.KsRows
+		fr.TotalReducedRows += res.ReduceStats.RowsOut
+		for _, sig := range res.Signals {
+			set := branchSets[sig.SID]
+			if set == nil {
+				set = map[classify.Branch]bool{}
+				branchSets[sig.SID] = set
+			}
+			set[sig.Branch] = true
+		}
+		for _, red := range res.Reduced {
+			if len(red.Gateway.Mismatched) > 0 {
+				fr.GatewayMismatches = append(fr.GatewayMismatches, FleetGatewayMismatch{
+					Journey:  ji,
+					SID:      red.SID,
+					Channels: red.Gateway.Mismatched,
+				})
+			}
+		}
+	}
+	for sid, set := range branchSets {
+		branches := make([]classify.Branch, 0, len(set))
+		for b := range set {
+			branches = append(branches, b)
+		}
+		sort.Slice(branches, func(i, j int) bool { return branches[i] < branches[j] })
+		fr.Branches[sid] = branches
+		if len(branches) > 1 {
+			fr.Unstable = append(fr.Unstable, sid)
+		}
+	}
+	sort.Strings(fr.Unstable)
+	return fr, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/trace"
+)
+
+func TestRunFleetAggregates(t *testing.T) {
+	fw, err := New(wiperCatalog(), wiperConfig(), engine.NewLocal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	journeys := []*trace.Trace{wiperTrace(), wiperTrace(), wiperTrace()}
+	fr, err := fw.RunFleet(ctx, journeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Journeys) != 3 {
+		t.Fatalf("journeys = %d", len(fr.Journeys))
+	}
+	if fr.TotalKsRows != 3*fr.Journeys[0].KsRows {
+		t.Fatalf("total K_s = %d", fr.TotalKsRows)
+	}
+	// Identical journeys: no instability, consistent branches.
+	if len(fr.Unstable) != 0 {
+		t.Fatalf("unstable = %v", fr.Unstable)
+	}
+	if got := fr.Branches["wpos"]; len(got) != 1 || got[0].String() != "alpha" {
+		t.Fatalf("wpos branches = %v", got)
+	}
+	if len(fr.GatewayMismatches) != 0 {
+		t.Fatalf("mismatches = %v", fr.GatewayMismatches)
+	}
+}
+
+func TestRunFleetDetectsInstabilityAndMismatch(t *testing.T) {
+	fw, err := New(wiperCatalog(), wiperConfig(), engine.NewLocal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Journey A: normal. Journey B: wpos frozen to a constant (branch
+	// degenerates to γ) and the gateway copy corrupted (mismatch).
+	normal := wiperTrace()
+	frozen := &trace.Trace{}
+	tt := 0.0
+	for i := 0; i < 200; i++ {
+		payload := []byte{0x00, 0x5A, 0x00, 0x01}
+		frozen.Append(trace.ByteTuple{T: tt, Channel: "FC", MsgID: 3, Payload: payload,
+			Info: trace.MsgInfo{Protocol: trace.ProtoCAN, DLC: 4}})
+		// Gateway copy with a corrupted byte: values disagree.
+		bad := []byte{0x00, byte(0x5A + i%2)}
+		frozen.Append(trace.ByteTuple{T: tt + 0.001, Channel: "BC", MsgID: 77, Payload: bad,
+			Info: trace.MsgInfo{Protocol: trace.ProtoCAN, DLC: 2}})
+		if i%10 == 0 {
+			frozen.Append(trace.ByteTuple{T: tt + 0.002, Channel: "FC", MsgID: 5,
+				Payload: []byte{byte(i / 100 % 2)},
+				Info:    trace.MsgInfo{Protocol: trace.ProtoCAN, DLC: 1}})
+		}
+		tt += 0.05
+	}
+	fr, err := fw.RunFleet(ctx, []*trace.Trace{normal, frozen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, u := range fr.Unstable {
+		if u == "wpos" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wpos should be unstable across journeys: branches=%v unstable=%v",
+			fr.Branches["wpos"], fr.Unstable)
+	}
+	mismatch := false
+	for _, m := range fr.GatewayMismatches {
+		if m.SID == "wpos" && m.Journey == 1 {
+			mismatch = true
+		}
+	}
+	if !mismatch {
+		t.Fatalf("corrupted gateway route not flagged: %v", fr.GatewayMismatches)
+	}
+}
+
+func TestRunFleetEmpty(t *testing.T) {
+	fw, err := New(wiperCatalog(), wiperConfig(), engine.NewLocal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.RunFleet(ctx, nil); err == nil {
+		t.Fatal("empty fleet must fail")
+	}
+}

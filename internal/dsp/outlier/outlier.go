@@ -1,0 +1,128 @@
+// Package outlier implements the outlier detection used by branches α
+// and β of the type-dependent processing (Sec. 4.2): outliers are split
+// off before smoothing/segmentation and merged back afterwards as
+// potential errors (Sec. 4.4 inspects them as error candidates).
+//
+// The primary detector is a Hampel filter (sliding-window median ±
+// k·MAD), which is robust against the very outliers it hunts; a global
+// z-score detector is provided for comparison and tests.
+package outlier
+
+import (
+	"math"
+	"sort"
+)
+
+// hampelScale makes MAD a consistent estimator of the standard
+// deviation under normality.
+const hampelScale = 1.4826
+
+// Hampel flags outliers with a centered sliding window of the given
+// total width (forced odd, minimum 3). A point is an outlier when its
+// distance to the window median exceeds k scaled MADs; when the window
+// MAD is zero (constant neighbourhood), any deviation from the median
+// is an outlier.
+func Hampel(xs []float64, window int, k float64) []bool {
+	n := len(xs)
+	out := make([]bool, n)
+	if n == 0 {
+		return out
+	}
+	if window < 3 {
+		window = 3
+	}
+	if window%2 == 0 {
+		window++
+	}
+	if k <= 0 {
+		k = 3
+	}
+	half := window / 2
+	buf := make([]float64, 0, window)
+	dev := make([]float64, 0, window)
+	for i := range xs {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		buf = buf[:0]
+		buf = append(buf, xs[lo:hi+1]...)
+		med := median(buf)
+		dev = dev[:0]
+		for _, x := range xs[lo : hi+1] {
+			dev = append(dev, math.Abs(x-med))
+		}
+		mad := median(dev)
+		diff := math.Abs(xs[i] - med)
+		if mad == 0 {
+			out[i] = diff > 0
+		} else {
+			out[i] = diff > k*hampelScale*mad
+		}
+	}
+	return out
+}
+
+// ZScore flags points more than k global standard deviations from the
+// global mean. Degenerate inputs (constant or shorter than 2) flag
+// nothing.
+func ZScore(xs []float64, k float64) []bool {
+	out := make([]bool, len(xs))
+	if len(xs) < 2 {
+		return out
+	}
+	if k <= 0 {
+		k = 3
+	}
+	mean, std := meanStd(xs)
+	if std == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = math.Abs(x-mean) > k*std
+	}
+	return out
+}
+
+// Partition splits indexes by the mask: kept (false) and removed
+// (true) — the (K_num_out, K_num_rep) split of Algorithm 1 line 16.
+func Partition(mask []bool) (kept, removed []int) {
+	for i, m := range mask {
+		if m {
+			removed = append(removed, i)
+		} else {
+			kept = append(kept, i)
+		}
+	}
+	return kept, removed
+}
+
+// median computes the median, mutating (sorting) its argument.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(xs)
+	m := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[m]
+	}
+	return (xs[m-1] + xs[m]) / 2
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / float64(len(xs)))
+	return mean, std
+}

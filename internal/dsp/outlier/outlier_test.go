@@ -1,0 +1,123 @@
+package outlier
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHampelFlagsSpike(t *testing.T) {
+	xs := []float64{1, 1.1, 0.9, 1, 1.05, 800, 1, 0.95, 1.02, 1}
+	mask := Hampel(xs, 5, 3)
+	for i, m := range mask {
+		want := i == 5
+		if m != want {
+			t.Errorf("index %d: outlier = %v, want %v (xs=%v)", i, m, want, xs[i])
+		}
+	}
+}
+
+func TestHampelConstantSeriesNoOutliers(t *testing.T) {
+	xs := []float64{5, 5, 5, 5, 5}
+	for i, m := range Hampel(xs, 5, 3) {
+		if m {
+			t.Errorf("constant series flagged at %d", i)
+		}
+	}
+}
+
+func TestHampelConstantNeighbourhoodFlagsDeviation(t *testing.T) {
+	xs := []float64{5, 5, 5, 6, 5, 5, 5}
+	mask := Hampel(xs, 7, 3)
+	if !mask[3] {
+		t.Error("deviation from constant neighbourhood must be flagged (MAD=0 case)")
+	}
+}
+
+func TestHampelDefaultsAndEdgeCases(t *testing.T) {
+	if got := Hampel(nil, 0, 0); len(got) != 0 {
+		t.Fatal("nil input must yield empty mask")
+	}
+	// Even window and zero k must not panic, defaults apply.
+	xs := []float64{1, 2, 1, 2, 100, 2, 1}
+	mask := Hampel(xs, 4, 0)
+	if !mask[4] {
+		t.Error("spike not flagged with defaulted parameters")
+	}
+}
+
+func TestZScore(t *testing.T) {
+	xs := []float64{0, 0.1, -0.1, 0.05, 50, -0.02, 0.08, 0, 0.1, -0.1, 0.05, -0.02}
+	mask := ZScore(xs, 3)
+	for i, m := range mask {
+		want := i == 4
+		if m != want {
+			t.Errorf("index %d: z-outlier = %v, want %v", i, m, want)
+		}
+	}
+	if got := ZScore([]float64{1}, 3); got[0] {
+		t.Error("single sample must not be flagged")
+	}
+	for i, m := range ZScore([]float64{2, 2, 2}, 3) {
+		if m {
+			t.Errorf("constant series flagged at %d", i)
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	kept, removed := Partition([]bool{false, true, false, true, true})
+	if len(kept) != 2 || kept[0] != 0 || kept[1] != 2 {
+		t.Fatalf("kept = %v", kept)
+	}
+	if len(removed) != 3 || removed[0] != 1 {
+		t.Fatalf("removed = %v", removed)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if !math.IsNaN(median(nil)) {
+		t.Fatal("empty median must be NaN")
+	}
+}
+
+func TestHampelMaskLengthProperty(t *testing.T) {
+	f := func(xs []float64, w uint8, k float64) bool {
+		mask := Hampel(xs, int(w), math.Abs(k))
+		return len(mask) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHampelScaleInvarianceProperty(t *testing.T) {
+	// Scaling a series by a positive constant must not change the mask.
+	f := func(seed uint8) bool {
+		xs := make([]float64, 40)
+		for i := range xs {
+			xs[i] = float64((int(seed)+i*7)%11) / 10
+		}
+		xs[17] = 1e6
+		a := Hampel(xs, 7, 3)
+		for i := range xs {
+			xs[i] *= 42.5
+		}
+		b := Hampel(xs, 7, 3)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package sax implements Symbolic Aggregate approXimation (Lin, Keogh,
+// Lonardi, Chiu: "A Symbolic Representation of Time Series...", SIGMOD
+// DMKD 2003/2004): z-normalization, piecewise aggregate approximation
+// and Gaussian-breakpoint symbolization. Branch α (Sec. 4.2) maps each
+// SWAB segment to a SAX symbol, yielding the (trend, symbol) tuples of
+// the homogeneous representation.
+package sax
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxAlphabet is the largest supported alphabet size.
+const MaxAlphabet = 10
+
+// breakpoints[a] are the a-1 Gaussian quantile boundaries for alphabet
+// size a (standard SAX lookup table).
+var breakpoints = map[int][]float64{
+	2:  {0},
+	3:  {-0.43, 0.43},
+	4:  {-0.67, 0, 0.67},
+	5:  {-0.84, -0.25, 0.25, 0.84},
+	6:  {-0.97, -0.43, 0, 0.43, 0.97},
+	7:  {-1.07, -0.57, -0.18, 0.18, 0.57, 1.07},
+	8:  {-1.15, -0.67, -0.32, 0, 0.32, 0.67, 1.15},
+	9:  {-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22},
+	10: {-1.28, -0.84, -0.52, -0.25, 0, 0.25, 0.52, 0.84, 1.28},
+}
+
+// Breakpoints returns the quantile boundaries for an alphabet size in
+// [2, MaxAlphabet].
+func Breakpoints(alphabet int) ([]float64, error) {
+	bp, ok := breakpoints[alphabet]
+	if !ok {
+		return nil, fmt.Errorf("sax: unsupported alphabet size %d (want 2..%d)", alphabet, MaxAlphabet)
+	}
+	return bp, nil
+}
+
+// ZNormalize returns (xs - mean)/std along with the normalization
+// parameters. A constant series (std≈0) normalizes to all zeros.
+func ZNormalize(xs []float64) (normalized []float64, mean, std float64) {
+	n := len(xs)
+	normalized = make([]float64, n)
+	if n == 0 {
+		return normalized, 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / float64(n))
+	if std < 1e-12 {
+		return normalized, mean, 0
+	}
+	for i, x := range xs {
+		normalized[i] = (x - mean) / std
+	}
+	return normalized, mean, std
+}
+
+// PAA reduces xs to frames piecewise-aggregate means. Frame boundaries
+// distribute remainder points evenly (the standard fractional scheme is
+// approximated by floor boundaries).
+func PAA(xs []float64, frames int) []float64 {
+	n := len(xs)
+	if frames <= 0 || n == 0 {
+		return nil
+	}
+	if frames > n {
+		frames = n
+	}
+	out := make([]float64, frames)
+	for f := 0; f < frames; f++ {
+		lo := f * n / frames
+		hi := (f + 1) * n / frames
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+		}
+		out[f] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Symbol maps one z-normalized value to its SAX letter.
+func Symbol(z float64, alphabet int) (byte, error) {
+	bp, err := Breakpoints(alphabet)
+	if err != nil {
+		return 0, err
+	}
+	idx := 0
+	for _, b := range bp {
+		if z >= b {
+			idx++
+		}
+	}
+	return byte('a' + idx), nil
+}
+
+// Symbolize computes the full SAX word of a series: z-normalize, PAA
+// into frames, symbol per frame.
+func Symbolize(xs []float64, frames, alphabet int) (string, error) {
+	if _, err := Breakpoints(alphabet); err != nil {
+		return "", err
+	}
+	norm, _, _ := ZNormalize(xs)
+	paa := PAA(norm, frames)
+	word := make([]byte, len(paa))
+	for i, z := range paa {
+		s, err := Symbol(z, alphabet)
+		if err != nil {
+			return "", err
+		}
+		word[i] = s
+	}
+	return string(word), nil
+}
+
+// LevelName renders a SAX letter as a human-readable level for the
+// state representation of Table 4 (e.g. alphabet 5: very low, low,
+// medium, high, very high — "(high, increasing)").
+func LevelName(sym byte, alphabet int) string {
+	idx := int(sym - 'a')
+	if idx < 0 || idx >= alphabet {
+		return string(sym)
+	}
+	switch alphabet {
+	case 2:
+		return []string{"low", "high"}[idx]
+	case 3:
+		return []string{"low", "medium", "high"}[idx]
+	case 4:
+		return []string{"very low", "low", "high", "very high"}[idx]
+	case 5:
+		return []string{"very low", "low", "medium", "high", "very high"}[idx]
+	default:
+		return fmt.Sprintf("level%d", idx+1)
+	}
+}
+
+// distCell returns the breakpoint distance between symbol cells r and
+// c for the given alphabet (the dist() lookup table of the SAX paper):
+// adjacent or equal symbols have distance 0.
+func distCell(r, c int, bp []float64) float64 {
+	if r > c {
+		r, c = c, r
+	}
+	if c-r <= 1 {
+		return 0
+	}
+	return bp[c-1] - bp[r]
+}
+
+// MinDist computes the SAX lower-bounding distance between two equal
+// length words (Lin et al. 2004, Definition MINDIST): a lower bound of
+// the Euclidean distance between the original z-normalized series of
+// length n. It enables exact-answer pruning in similarity search over
+// symbolized traces.
+func MinDist(a, b string, alphabet, n int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("sax: word lengths differ: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	if n < len(a) {
+		return 0, fmt.Errorf("sax: series length %d shorter than word length %d", n, len(a))
+	}
+	bp, err := Breakpoints(alphabet)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := 0; i < len(a); i++ {
+		ra, rb := int(a[i]-'a'), int(b[i]-'a')
+		if ra < 0 || ra >= alphabet || rb < 0 || rb >= alphabet {
+			return 0, fmt.Errorf("sax: symbol outside alphabet %d in %q/%q", alphabet, a, b)
+		}
+		d := distCell(ra, rb, bp)
+		sum += d * d
+	}
+	return math.Sqrt(float64(n)/float64(len(a))) * math.Sqrt(sum), nil
+}

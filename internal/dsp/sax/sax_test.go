@@ -1,0 +1,268 @@
+package sax
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakpointsTable(t *testing.T) {
+	for a := 2; a <= MaxAlphabet; a++ {
+		bp, err := Breakpoints(a)
+		if err != nil {
+			t.Fatalf("alphabet %d: %v", a, err)
+		}
+		if len(bp) != a-1 {
+			t.Fatalf("alphabet %d: %d breakpoints", a, len(bp))
+		}
+		for i := 1; i < len(bp); i++ {
+			if bp[i] <= bp[i-1] {
+				t.Fatalf("alphabet %d: breakpoints not increasing: %v", a, bp)
+			}
+		}
+	}
+	for _, bad := range []int{0, 1, 11, -3} {
+		if _, err := Breakpoints(bad); err == nil {
+			t.Errorf("alphabet %d must be rejected", bad)
+		}
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	xs := []float64{2, 4, 6, 8}
+	norm, mean, std := ZNormalize(xs)
+	if mean != 5 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(std-math.Sqrt(5)) > 1e-9 {
+		t.Fatalf("std = %v", std)
+	}
+	var sum float64
+	for _, z := range norm {
+		sum += z
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("normalized mean not 0: %v", sum)
+	}
+	// Constant series → zeros, std 0.
+	norm, _, std = ZNormalize([]float64{3, 3, 3})
+	if std != 0 || norm[0] != 0 {
+		t.Fatalf("constant normalize = %v, std %v", norm, std)
+	}
+	if n, _, _ := ZNormalize(nil); len(n) != 0 {
+		t.Fatal("empty input must stay empty")
+	}
+}
+
+func TestPAA(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	got := PAA(xs, 3)
+	want := []float64{1.5, 3.5, 5.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("paa = %v, want %v", got, want)
+		}
+	}
+	// More frames than points clamps to len.
+	if got := PAA(xs, 10); len(got) != 6 {
+		t.Fatalf("clamped paa len = %d", len(got))
+	}
+	if PAA(nil, 3) != nil || PAA(xs, 0) != nil {
+		t.Fatal("degenerate PAA must be nil")
+	}
+}
+
+func TestSymbolBoundaries(t *testing.T) {
+	// Alphabet 4: breakpoints -0.67, 0, 0.67.
+	cases := map[float64]byte{
+		-1:    'a',
+		-0.68: 'a',
+		-0.5:  'b',
+		-0.0:  'c', // z >= 0 crosses the middle breakpoint
+		0.5:   'c',
+		0.68:  'd',
+		2:     'd',
+	}
+	for z, want := range cases {
+		got, err := Symbol(z, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Symbol(%v) = %c, want %c", z, got, want)
+		}
+	}
+	if _, err := Symbol(0, 1); err == nil {
+		t.Fatal("bad alphabet must error")
+	}
+}
+
+func TestSymbolizeRampWord(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	word, err := Symbolize(xs, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(word) != 5 {
+		t.Fatalf("word = %q", word)
+	}
+	// A ramp must produce a non-decreasing word starting low ending
+	// high.
+	if word[0] != 'a' || word[4] != 'e' {
+		t.Fatalf("ramp word = %q", word)
+	}
+	for i := 1; i < len(word); i++ {
+		if word[i] < word[i-1] {
+			t.Fatalf("ramp word not monotone: %q", word)
+		}
+	}
+	if _, err := Symbolize(xs, 5, 99); err == nil {
+		t.Fatal("bad alphabet must error")
+	}
+}
+
+func TestSymbolizeConstantIsMiddle(t *testing.T) {
+	xs := []float64{7, 7, 7, 7}
+	word, err := Symbolize(xs, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word != strings.Repeat("c", 2) {
+		t.Fatalf("constant word = %q, want cc", word)
+	}
+}
+
+func TestLevelName(t *testing.T) {
+	if LevelName('d', 5) != "high" || LevelName('a', 5) != "very low" || LevelName('c', 5) != "medium" {
+		t.Fatal("alphabet-5 level names wrong")
+	}
+	if LevelName('b', 2) != "high" {
+		t.Fatal("alphabet-2 level names wrong")
+	}
+	if LevelName('c', 3) != "high" {
+		t.Fatal("alphabet-3 level names wrong")
+	}
+	if LevelName('f', 8) != "level6" {
+		t.Fatalf("fallback name = %q", LevelName('f', 8))
+	}
+	if LevelName('z', 5) != "z" {
+		t.Fatal("out-of-range symbol must render as itself")
+	}
+}
+
+func TestSymbolMonotoneProperty(t *testing.T) {
+	// Property: Symbol is monotone in z for every alphabet size.
+	f := func(z1, z2 float64, a uint8) bool {
+		alpha := int(a)%9 + 2
+		if math.IsNaN(z1) || math.IsNaN(z2) {
+			return true
+		}
+		if z1 > z2 {
+			z1, z2 = z2, z1
+		}
+		s1, err1 := Symbol(z1, alpha)
+		s2, err2 := Symbol(z2, alpha)
+		return err1 == nil && err2 == nil && s1 <= s2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPAAPreservesMeanProperty(t *testing.T) {
+	// PAA with equal frame sizes preserves the overall mean.
+	f := func(seed uint8) bool {
+		xs := make([]float64, 64)
+		for i := range xs {
+			xs[i] = float64((int(seed) * (i + 3) % 17))
+		}
+		paa := PAA(xs, 8)
+		var m1, m2 float64
+		for _, x := range xs {
+			m1 += x
+		}
+		m1 /= float64(len(xs))
+		for _, x := range paa {
+			m2 += x
+		}
+		m2 /= float64(len(paa))
+		return math.Abs(m1-m2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDistBasics(t *testing.T) {
+	// Equal words have distance 0; adjacent symbols too (SAX dist
+	// table); far symbols do not.
+	if d, err := MinDist("abc", "abc", 5, 12); err != nil || d != 0 {
+		t.Fatalf("identical words: %v, %v", d, err)
+	}
+	if d, err := MinDist("aa", "bb", 5, 8); err != nil || d != 0 {
+		t.Fatalf("adjacent symbols must be 0: %v, %v", d, err)
+	}
+	d, err := MinDist("aa", "cc", 5, 8)
+	if err != nil || d <= 0 {
+		t.Fatalf("distant symbols: %v, %v", d, err)
+	}
+	d2, err := MinDist("aa", "ee", 5, 8)
+	if err != nil || d2 <= d {
+		t.Fatalf("farther symbols must be farther: %v vs %v", d2, d)
+	}
+}
+
+func TestMinDistErrors(t *testing.T) {
+	if _, err := MinDist("ab", "abc", 5, 8); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := MinDist("ab", "ab", 99, 8); err == nil {
+		t.Fatal("bad alphabet must fail")
+	}
+	if _, err := MinDist("az", "ab", 5, 8); err == nil {
+		t.Fatal("symbol outside alphabet must fail")
+	}
+	if _, err := MinDist("abcd", "abcd", 5, 2); err == nil {
+		t.Fatal("n < word length must fail")
+	}
+	if d, err := MinDist("", "", 5, 0); err != nil || d != 0 {
+		t.Fatalf("empty words: %v, %v", d, err)
+	}
+}
+
+func TestMinDistLowerBoundsEuclideanProperty(t *testing.T) {
+	// MINDIST's defining property: it never exceeds the Euclidean
+	// distance of the z-normalized series it symbolizes.
+	f := func(seed uint8) bool {
+		n := 64
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Sin(float64(i)/7 + float64(seed))
+			ys[i] = math.Cos(float64(i)/5) * (1 + float64(seed%5))
+		}
+		nx, _, _ := ZNormalize(xs)
+		ny, _, _ := ZNormalize(ys)
+		var euclid float64
+		for i := range nx {
+			d := nx[i] - ny[i]
+			euclid += d * d
+		}
+		euclid = math.Sqrt(euclid)
+		const frames, alphabet = 8, 6
+		wa, err1 := Symbolize(xs, frames, alphabet)
+		wb, err2 := Symbolize(ys, frames, alphabet)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		md, err := MinDist(wa, wb, alphabet, n)
+		return err == nil && md <= euclid+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

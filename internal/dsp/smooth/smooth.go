@@ -1,0 +1,58 @@
+// Package smooth provides the smoothing step of branch α (Sec. 4.2):
+// centered moving average and exponential smoothing over cleaned
+// (outlier-free) numeric sequences.
+package smooth
+
+// MovingAverage returns the centered moving average with the given
+// total window width (forced odd, minimum 1). Edges shrink the window
+// symmetrically, so output length equals input length.
+func MovingAverage(xs []float64, window int) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if window < 1 {
+		window = 1
+	}
+	if window%2 == 0 {
+		window++
+	}
+	half := window / 2
+	// Prefix sums for O(n) averaging.
+	prefix := make([]float64, n+1)
+	for i, x := range xs {
+		prefix[i+1] = prefix[i] + x
+	}
+	for i := range xs {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Exponential returns single exponential smoothing with factor alpha in
+// (0,1]; alpha outside the range is clamped.
+func Exponential(xs []float64, alpha float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	out[0] = xs[0]
+	for i := 1; i < len(xs); i++ {
+		out[i] = alpha*xs[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package smooth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMovingAverageBasic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := MovingAverage(xs, 3)
+	want := []float64{1.5, 2, 3, 4, 4.5}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Errorf("ma[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMovingAverageWindowOneIsIdentity(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	got := MovingAverage(xs, 1)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("window 1 must be identity: %v", got)
+		}
+	}
+}
+
+func TestMovingAverageEvenWindowAndEmpty(t *testing.T) {
+	if got := MovingAverage(nil, 3); len(got) != 0 {
+		t.Fatal("empty input must stay empty")
+	}
+	// Even window is bumped to odd; must not panic and keep length.
+	xs := []float64{1, 2, 3, 4}
+	if got := MovingAverage(xs, 2); len(got) != 4 {
+		t.Fatalf("length = %d", len(got))
+	}
+}
+
+func TestExponential(t *testing.T) {
+	xs := []float64{0, 10, 10, 10}
+	got := Exponential(xs, 0.5)
+	want := []float64{0, 5, 7.5, 8.75}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Errorf("exp[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Alpha 1 is identity.
+	got = Exponential(xs, 1)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("alpha=1 must be identity")
+		}
+	}
+	// Out-of-range alphas are clamped, no panic.
+	_ = Exponential(xs, -1)
+	_ = Exponential(xs, 5)
+	if got := Exponential(nil, 0.5); len(got) != 0 {
+		t.Fatal("empty input must stay empty")
+	}
+}
+
+func TestMovingAveragePreservesConstantProperty(t *testing.T) {
+	f := func(c float64, n, w uint8) bool {
+		if math.IsNaN(c) || math.Abs(c) > 1e12 {
+			return true
+		}
+		xs := make([]float64, int(n)%50+1)
+		for i := range xs {
+			xs[i] = c
+		}
+		for _, y := range MovingAverage(xs, int(w)) {
+			if math.Abs(y-c) > 1e-9*math.Max(1, math.Abs(c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovingAverageBoundsProperty(t *testing.T) {
+	// Averages stay within [min, max] of the input.
+	f := func(raw []float64, w uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && math.Abs(x) <= 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		for _, y := range MovingAverage(xs, int(w)) {
+			if y < lo-1e-9 || y > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

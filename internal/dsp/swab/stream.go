@@ -1,0 +1,88 @@
+package swab
+
+// Stream is the genuinely online form of SWAB (the algorithm's original
+// setting in Keogh et al. 2001): points arrive one at a time, finalized
+// segments are emitted as soon as the working buffer proves their left
+// boundary stable. Offline callers use Segmentize; live-monitoring
+// pipelines (e.g. symbolizing a signal while the vehicle is still
+// driving) use Stream.
+type Stream struct {
+	opts Options
+	ts   []float64
+	xs   []float64
+	// emitted counts points already covered by emitted segments; the
+	// buffer holds the remainder. base is the stream index of ts[0]
+	// after compaction, so reported segment indexes always count from
+	// the first pushed point.
+	emitted int
+	base    int
+	out     []Segment
+}
+
+// NewStream creates an online segmenter.
+func NewStream(opts Options) *Stream {
+	return &Stream{opts: opts.withDefaults()}
+}
+
+// Push adds one point and returns any segments finalized by it. The
+// returned slice is valid until the next call.
+func (s *Stream) Push(t, x float64) []Segment {
+	s.ts = append(s.ts, t)
+	s.xs = append(s.xs, x)
+	s.out = s.out[:0]
+	for len(s.ts)-s.emitted >= s.opts.BufferSize {
+		s.emitLeftmost()
+	}
+	return s.out
+}
+
+// emitLeftmost runs bottom-up on the current buffer and finalizes its
+// first segment.
+func (s *Stream) emitLeftmost() {
+	lo := s.emitted
+	hi := lo + s.opts.BufferSize
+	if hi > len(s.ts) {
+		hi = len(s.ts)
+	}
+	segs := BottomUp(s.ts[lo:hi], s.xs[lo:hi], s.opts.MaxError)
+	first := offset(segs[0], lo)
+	s.out = append(s.out, offset(first, s.base))
+	s.emitted = first.End
+	s.compact()
+}
+
+// Flush finalizes everything still buffered (end of trace) and resets
+// the stream for reuse.
+func (s *Stream) Flush() []Segment {
+	s.out = s.out[:0]
+	lo := s.emitted
+	if lo < len(s.ts) {
+		segs := BottomUp(s.ts[lo:], s.xs[lo:], s.opts.MaxError)
+		for _, seg := range segs {
+			s.out = append(s.out, offset(seg, lo+s.base))
+		}
+	}
+	s.ts = s.ts[:0]
+	s.xs = s.xs[:0]
+	s.emitted = 0
+	s.base = 0
+	return s.out
+}
+
+// Buffered reports how many points await finalization.
+func (s *Stream) Buffered() int { return len(s.ts) - s.emitted }
+
+// compact drops emitted points once they dominate the backing arrays,
+// keeping memory proportional to the buffer, not the trace. Segment
+// indexes keep counting from the stream start.
+func (s *Stream) compact() {
+	if s.emitted < s.opts.BufferSize*4 {
+		return
+	}
+	n := copy(s.ts, s.ts[s.emitted:])
+	s.ts = s.ts[:n]
+	m := copy(s.xs, s.xs[s.emitted:])
+	s.xs = s.xs[:m]
+	s.base += s.emitted
+	s.emitted = 0
+}

@@ -1,0 +1,186 @@
+// Package swab implements the SWAB online time-series segmentation
+// algorithm (Keogh, Chu, Hart, Pazzani: "An Online Algorithm for
+// Segmenting Time Series", ICDM 2001), the segmentation/trend step of
+// branch α (Sec. 4.2).
+//
+// SWAB (Sliding Window And Bottom-up) keeps a working buffer, runs
+// bottom-up segmentation on it, emits the leftmost segment as final,
+// and refills the buffer — combining bottom-up quality with online
+// operation. Segments carry a least-squares linear fit, whose slope is
+// the trend reported in the symbolized output ("(high, increasing)").
+package swab
+
+import "math"
+
+// Segment is one fitted piece of a series: the half-open index range
+// [Start, End) with a least-squares line v ≈ Slope·t + Intercept and
+// the fit's SSE.
+type Segment struct {
+	Start, End int // indexes into the input, End exclusive
+	Slope      float64
+	Intercept  float64
+	SSE        float64
+}
+
+// Mean returns the mean fitted value over the segment's time span.
+func (s Segment) Mean(ts, xs []float64) float64 {
+	if s.End <= s.Start {
+		return math.NaN()
+	}
+	var sum float64
+	for i := s.Start; i < s.End; i++ {
+		sum += xs[i]
+	}
+	return sum / float64(s.End-s.Start)
+}
+
+// fit computes the least-squares line over [start,end) and its SSE.
+func fit(ts, xs []float64, start, end int) (slope, intercept, sse float64) {
+	n := float64(end - start)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	if n == 1 {
+		return 0, xs[start], 0
+	}
+	var st, sx, stt, stx float64
+	for i := start; i < end; i++ {
+		st += ts[i]
+		sx += xs[i]
+		stt += ts[i] * ts[i]
+		stx += ts[i] * xs[i]
+	}
+	den := n*stt - st*st
+	if den == 0 {
+		// Identical timestamps: fall back to a flat fit through the
+		// mean.
+		slope = 0
+		intercept = sx / n
+	} else {
+		slope = (n*stx - st*sx) / den
+		intercept = (sx - slope*st) / n
+	}
+	for i := start; i < end; i++ {
+		d := xs[i] - (slope*ts[i] + intercept)
+		sse += d * d
+	}
+	return slope, intercept, sse
+}
+
+// BottomUp segments [ts, xs] by the classic bottom-up algorithm: start
+// from two-point segments and greedily merge the adjacent pair with the
+// smallest merge cost while that cost stays below maxErr.
+func BottomUp(ts, xs []float64, maxErr float64) []Segment {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		s, i, e := fit(ts, xs, 0, 1)
+		return []Segment{{Start: 0, End: 1, Slope: s, Intercept: i, SSE: e}}
+	}
+	// Initial fine segmentation into pairs.
+	var segs []Segment
+	for i := 0; i < n; i += 2 {
+		end := i + 2
+		if end > n {
+			end = n
+		}
+		sl, ic, e := fit(ts, xs, i, end)
+		segs = append(segs, Segment{Start: i, End: end, Slope: sl, Intercept: ic, SSE: e})
+	}
+	mergeCost := func(i int) float64 {
+		_, _, e := fit(ts, xs, segs[i].Start, segs[i+1].End)
+		return e
+	}
+	for len(segs) > 1 {
+		best, bestCost := -1, math.Inf(1)
+		for i := 0; i < len(segs)-1; i++ {
+			if c := mergeCost(i); c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		if bestCost > maxErr {
+			break
+		}
+		sl, ic, e := fit(ts, xs, segs[best].Start, segs[best+1].End)
+		segs[best] = Segment{Start: segs[best].Start, End: segs[best+1].End, Slope: sl, Intercept: ic, SSE: e}
+		segs = append(segs[:best+1], segs[best+2:]...)
+	}
+	return segs
+}
+
+// Options tune SWAB.
+type Options struct {
+	// BufferSize is the working buffer length in points; minimum 4,
+	// default 50.
+	BufferSize int
+	// MaxError is the bottom-up merge cost ceiling (SSE). Default 0.5,
+	// calibrated for z-normalized data.
+	MaxError float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BufferSize < 4 {
+		if o.BufferSize == 0 {
+			o.BufferSize = 50
+		} else {
+			o.BufferSize = 4
+		}
+	}
+	if o.MaxError <= 0 {
+		o.MaxError = 0.5
+	}
+	return o
+}
+
+// Segmentize runs SWAB over the full series (offline driver over the
+// online algorithm): repeatedly bottom-up the buffer, emit its leftmost
+// segment, refill; trailing buffer contents are emitted as-is.
+func Segmentize(ts, xs []float64, opts Options) []Segment {
+	opts = opts.withDefaults()
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	var out []Segment
+	lo := 0
+	for lo < n {
+		hi := lo + opts.BufferSize
+		if hi > n {
+			hi = n
+		}
+		segs := BottomUp(ts[lo:hi], xs[lo:hi], opts.MaxError)
+		if hi == n {
+			// Final buffer: everything is final.
+			for _, s := range segs {
+				out = append(out, offset(s, lo))
+			}
+			break
+		}
+		// Emit only the leftmost segment; the rest re-enters the
+		// buffer with fresh data appended.
+		out = append(out, offset(segs[0], lo))
+		lo += segs[0].End - segs[0].Start
+	}
+	return out
+}
+
+func offset(s Segment, by int) Segment {
+	s.Start += by
+	s.End += by
+	return s
+}
+
+// Trend classifies a segment's slope against a threshold in value units
+// per second.
+func Trend(slope, threshold float64) string {
+	switch {
+	case slope > threshold:
+		return "increasing"
+	case slope < -threshold:
+		return "decreasing"
+	default:
+		return "steady"
+	}
+}

@@ -1,0 +1,258 @@
+package swab
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// ramp builds ts = 0,1,2,... and a piecewise-linear xs.
+func piecewise() (ts, xs []float64) {
+	for i := 0; i < 30; i++ {
+		ts = append(ts, float64(i))
+		switch {
+		case i < 10:
+			xs = append(xs, float64(i)) // slope +1
+		case i < 20:
+			xs = append(xs, 10) // flat
+		default:
+			xs = append(xs, 10-2*float64(i-20)) // slope -2
+		}
+	}
+	return ts, xs
+}
+
+func TestFitExactLine(t *testing.T) {
+	ts := []float64{0, 1, 2, 3}
+	xs := []float64{5, 7, 9, 11} // 2t + 5
+	slope, intercept, sse := fit(ts, xs, 0, 4)
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-5) > 1e-9 || sse > 1e-9 {
+		t.Fatalf("fit = %v, %v, %v", slope, intercept, sse)
+	}
+}
+
+func TestFitDegenerate(t *testing.T) {
+	slope, intercept, sse := fit([]float64{1}, []float64{7}, 0, 1)
+	if slope != 0 || intercept != 7 || sse != 0 {
+		t.Fatalf("single point fit = %v, %v, %v", slope, intercept, sse)
+	}
+	// Identical timestamps fall back to flat fit through mean.
+	slope, intercept, _ = fit([]float64{2, 2}, []float64{4, 6}, 0, 2)
+	if slope != 0 || intercept != 5 {
+		t.Fatalf("degenerate fit = %v, %v", slope, intercept)
+	}
+}
+
+func TestBottomUpRecoversBreakpoints(t *testing.T) {
+	ts, xs := piecewise()
+	segs := BottomUp(ts, xs, 0.5)
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3: %+v", len(segs), segs)
+	}
+	// Segment boundaries at the structural breaks (±1 point slack:
+	// point 10 fits both the ramp's end and the plateau).
+	if abs(segs[0].End-10) > 1 || abs(segs[1].End-20) > 1 {
+		t.Fatalf("boundaries = %d, %d", segs[0].End, segs[1].End)
+	}
+	if Trend(segs[0].Slope, 0.1) != "increasing" ||
+		Trend(segs[1].Slope, 0.1) != "steady" ||
+		Trend(segs[2].Slope, 0.1) != "decreasing" {
+		t.Fatalf("trends = %v %v %v", segs[0].Slope, segs[1].Slope, segs[2].Slope)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBottomUpEdgeCases(t *testing.T) {
+	if segs := BottomUp(nil, nil, 1); segs != nil {
+		t.Fatal("empty input must yield nil")
+	}
+	segs := BottomUp([]float64{1}, []float64{5}, 1)
+	if len(segs) != 1 || segs[0].Start != 0 || segs[0].End != 1 {
+		t.Fatalf("single point = %+v", segs)
+	}
+}
+
+func TestSegmentizeCoversSeriesExactly(t *testing.T) {
+	ts, xs := piecewise()
+	segs := Segmentize(ts, xs, Options{BufferSize: 8, MaxError: 0.5})
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	if segs[0].Start != 0 || segs[len(segs)-1].End != len(xs) {
+		t.Fatalf("coverage [%d,%d), want [0,%d)", segs[0].Start, segs[len(segs)-1].End, len(xs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Fatalf("gap/overlap between segments %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestSegmentizeMatchesTrendStructure(t *testing.T) {
+	ts, xs := piecewise()
+	segs := Segmentize(ts, xs, Options{BufferSize: 12, MaxError: 0.5})
+	// Collapse consecutive segments with equal trend.
+	var trends []string
+	for _, s := range segs {
+		tr := Trend(s.Slope, 0.1)
+		if len(trends) == 0 || trends[len(trends)-1] != tr {
+			trends = append(trends, tr)
+		}
+	}
+	want := []string{"increasing", "steady", "decreasing"}
+	if len(trends) != 3 {
+		t.Fatalf("trend structure = %v, want %v", trends, want)
+	}
+	for i := range want {
+		if trends[i] != want[i] {
+			t.Fatalf("trend structure = %v, want %v", trends, want)
+		}
+	}
+}
+
+func TestSegmentizeDefaults(t *testing.T) {
+	ts := []float64{0, 1, 2}
+	xs := []float64{0, 0, 0}
+	segs := Segmentize(ts, xs, Options{})
+	if len(segs) != 1 {
+		t.Fatalf("constant series = %d segments", len(segs))
+	}
+	if Segmentize(nil, nil, Options{}) != nil {
+		t.Fatal("empty must be nil")
+	}
+}
+
+func TestSegmentMean(t *testing.T) {
+	ts := []float64{0, 1, 2, 3}
+	xs := []float64{2, 4, 6, 8}
+	s := Segment{Start: 1, End: 3}
+	if m := s.Mean(ts, xs); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if !math.IsNaN((Segment{Start: 2, End: 2}).Mean(ts, xs)) {
+		t.Fatal("empty segment mean must be NaN")
+	}
+}
+
+func TestTrendThreshold(t *testing.T) {
+	if Trend(0.05, 0.1) != "steady" || Trend(0.2, 0.1) != "increasing" || Trend(-0.2, 0.1) != "decreasing" {
+		t.Fatal("trend classification wrong")
+	}
+}
+
+func TestSegmentizeCoverageProperty(t *testing.T) {
+	f := func(raw []float64, buf uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		ts := make([]float64, 0, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+			ts = append(ts, float64(i))
+		}
+		segs := Segmentize(ts, xs, Options{BufferSize: int(buf), MaxError: 0.5})
+		if len(xs) == 0 {
+			return segs == nil
+		}
+		if segs[0].Start != 0 || segs[len(segs)-1].End != len(xs) {
+			return false
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start != segs[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamMatchesOffline(t *testing.T) {
+	ts, xs := piecewise()
+	opts := Options{BufferSize: 8, MaxError: 0.5}
+	want := Segmentize(ts, xs, opts)
+
+	st := NewStream(opts)
+	var got []Segment
+	for i := range xs {
+		got = append(got, st.Push(ts[i], xs[i])...)
+	}
+	got = append(got, st.Flush()...)
+
+	if len(got) != len(want) {
+		t.Fatalf("stream %d segments, offline %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Start != want[i].Start || got[i].End != want[i].End {
+			t.Fatalf("segment %d: stream [%d,%d) vs offline [%d,%d)",
+				i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+		}
+	}
+}
+
+func TestStreamCoverageAndReuse(t *testing.T) {
+	opts := Options{BufferSize: 6, MaxError: 0.5}
+	st := NewStream(opts)
+	n := 100
+	var segs []Segment
+	for i := 0; i < n; i++ {
+		segs = append(segs, st.Push(float64(i), float64(i%10))...)
+	}
+	segs = append(segs, st.Flush()...)
+	if segs[0].Start != 0 || segs[len(segs)-1].End != n {
+		t.Fatalf("coverage [%d,%d), want [0,%d)", segs[0].Start, segs[len(segs)-1].End, n)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Fatalf("gap between segments %d and %d", i-1, i)
+		}
+	}
+	if st.Buffered() != 0 {
+		t.Fatalf("buffered after flush = %d", st.Buffered())
+	}
+	// The stream is reusable after Flush.
+	if out := st.Push(0, 1); len(out) != 0 {
+		t.Fatalf("fresh stream emitted %d segments", len(out))
+	}
+	if got := st.Flush(); len(got) != 1 || got[0].Start != 0 {
+		t.Fatalf("reuse flush = %+v", got)
+	}
+}
+
+func TestStreamCompactionKeepsIndexes(t *testing.T) {
+	// Push far more points than the buffer so compaction kicks in;
+	// indexes must stay global.
+	opts := Options{BufferSize: 4, MaxError: 0.01}
+	st := NewStream(opts)
+	var segs []Segment
+	n := 500
+	for i := 0; i < n; i++ {
+		x := float64(i % 2 * 100) // sawtooth forces many segments
+		segs = append(segs, st.Push(float64(i), x)...)
+	}
+	segs = append(segs, st.Flush()...)
+	if segs[0].Start != 0 || segs[len(segs)-1].End != n {
+		t.Fatalf("coverage [%d,%d), want [0,%d)", segs[0].Start, segs[len(segs)-1].End, n)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Fatalf("discontinuity at segment %d after compaction", i)
+		}
+	}
+}
+
+func TestStreamEmptyFlush(t *testing.T) {
+	st := NewStream(Options{})
+	if got := st.Flush(); len(got) != 0 {
+		t.Fatalf("empty flush = %+v", got)
+	}
+}

@@ -1,0 +1,417 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"ivnt/internal/relation"
+)
+
+// AggFunc enumerates the supported aggregation functions. Aggregations
+// are the "aggregation operation" flavour of constraint functions f in
+// Sec. 4.1 and back the transition-graph counting in Sec. 4.4.
+type AggFunc uint8
+
+// Supported aggregation functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggMean
+	AggFirst
+	AggLast
+)
+
+// String returns the function name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggMean:
+		return "mean"
+	case AggFirst:
+		return "first"
+	case AggLast:
+		return "last"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// AggSpec is one output aggregate: Fn applied to column Col, emitted as
+// column As.
+type AggSpec struct {
+	Fn  AggFunc
+	Col string // ignored for AggCount
+	As  string
+}
+
+// Aggregate groups rel by the key columns and computes the aggregates.
+// Output rows are ordered by the group keys, so results are
+// deterministic regardless of input partitioning.
+func Aggregate(rel *relation.Relation, groupBy []string, aggs []AggSpec) (*relation.Relation, error) {
+	keyIdx := make([]int, len(groupBy))
+	for i, c := range groupBy {
+		j := rel.Schema.Index(c)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: aggregate: no group column %q", c)
+		}
+		keyIdx[i] = j
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Fn == AggCount {
+			aggIdx[i] = -1
+			continue
+		}
+		j := rel.Schema.Index(a.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: aggregate: no column %q for %s", a.Col, a.Fn)
+		}
+		aggIdx[i] = j
+	}
+
+	type accum struct {
+		key    relation.Row
+		count  int64
+		sums   []float64
+		mins   []relation.Value
+		maxs   []relation.Value
+		firsts []relation.Value
+		lasts  []relation.Value
+		ns     []int64
+	}
+	groups := map[string]*accum{}
+	var order []string
+	for _, p := range rel.Partitions {
+		for _, r := range p {
+			kb := make([]byte, 0, 32)
+			for _, ki := range keyIdx {
+				kb = append(kb, r[ki].AsString()...)
+				kb = append(kb, 0)
+			}
+			k := string(kb)
+			acc, ok := groups[k]
+			if !ok {
+				key := make(relation.Row, len(keyIdx))
+				for i, ki := range keyIdx {
+					key[i] = r[ki]
+				}
+				acc = &accum{
+					key:    key,
+					sums:   make([]float64, len(aggs)),
+					mins:   make([]relation.Value, len(aggs)),
+					maxs:   make([]relation.Value, len(aggs)),
+					firsts: make([]relation.Value, len(aggs)),
+					lasts:  make([]relation.Value, len(aggs)),
+					ns:     make([]int64, len(aggs)),
+				}
+				groups[k] = acc
+				order = append(order, k)
+			}
+			acc.count++
+			for i, a := range aggs {
+				if a.Fn == AggCount {
+					continue
+				}
+				v := r[aggIdx[i]]
+				if v.IsNull() {
+					continue
+				}
+				if acc.ns[i] == 0 {
+					acc.mins[i], acc.maxs[i], acc.firsts[i] = v, v, v
+				} else {
+					if v.Compare(acc.mins[i]) < 0 {
+						acc.mins[i] = v
+					}
+					if v.Compare(acc.maxs[i]) > 0 {
+						acc.maxs[i] = v
+					}
+				}
+				acc.lasts[i] = v
+				acc.sums[i] += v.AsFloat()
+				acc.ns[i]++
+			}
+		}
+	}
+	sort.Strings(order)
+
+	cols := make([]relation.Column, 0, len(groupBy)+len(aggs))
+	for i, g := range groupBy {
+		cols = append(cols, relation.Column{Name: g, Kind: rel.Schema.Cols[keyIdx[i]].Kind})
+	}
+	for _, a := range aggs {
+		kind := relation.KindFloat
+		if a.Fn == AggCount {
+			kind = relation.KindInt
+		}
+		cols = append(cols, relation.Column{Name: a.As, Kind: kind})
+	}
+	out := relation.New(relation.NewSchema(cols...))
+	for _, k := range order {
+		acc := groups[k]
+		row := make(relation.Row, 0, len(cols))
+		row = append(row, acc.key...)
+		for i, a := range aggs {
+			switch a.Fn {
+			case AggCount:
+				row = append(row, relation.Int(acc.count))
+			case AggSum:
+				row = append(row, relation.Float(acc.sums[i]))
+			case AggMin:
+				row = append(row, orNull(acc.ns[i] > 0, acc.mins[i]))
+			case AggMax:
+				row = append(row, orNull(acc.ns[i] > 0, acc.maxs[i]))
+			case AggMean:
+				if acc.ns[i] == 0 {
+					row = append(row, relation.Null())
+				} else {
+					row = append(row, relation.Float(acc.sums[i]/float64(acc.ns[i])))
+				}
+			case AggFirst:
+				row = append(row, orNull(acc.ns[i] > 0, acc.firsts[i]))
+			case AggLast:
+				row = append(row, orNull(acc.ns[i] > 0, acc.lasts[i]))
+			case aggCountNonNull:
+				row = append(row, relation.Int(acc.ns[i]))
+			default:
+				row = append(row, relation.Null())
+			}
+		}
+		out.Append(row)
+	}
+	return out, nil
+}
+
+func orNull(ok bool, v relation.Value) relation.Value {
+	if !ok {
+		return relation.Null()
+	}
+	return v
+}
+
+// ColumnFloats extracts a column as float64s, skipping nulls; a helper
+// for statistics over materialized relations.
+func ColumnFloats(rel *relation.Relation, col string) ([]float64, error) {
+	idx := rel.Schema.Index(col)
+	if idx < 0 {
+		return nil, fmt.Errorf("engine: no column %q", col)
+	}
+	out := make([]float64, 0, rel.NumRows())
+	for _, p := range rel.Partitions {
+		for _, r := range p {
+			if r[idx].IsNull() {
+				continue
+			}
+			f := r[idx].AsFloat()
+			if math.IsNaN(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// partialAggSchema computes the partial-aggregate row shape: group
+// columns followed by the partial columns of each aggregate. Mean
+// expands into "<as>__sum" and "<as>__n" so partials stay mergeable.
+func partialAggSchema(in relation.Schema, groupBy []string, aggs []AggSpec) (relation.Schema, error) {
+	if len(groupBy) == 0 {
+		return relation.Schema{}, fmt.Errorf("partial aggregation needs group columns")
+	}
+	cols := make([]relation.Column, 0, len(groupBy)+len(aggs)+1)
+	for _, g := range groupBy {
+		i := in.Index(g)
+		if i < 0 {
+			return relation.Schema{}, fmt.Errorf("no group column %q", g)
+		}
+		cols = append(cols, in.Cols[i])
+	}
+	for _, a := range aggs {
+		switch a.Fn {
+		case AggFirst, AggLast:
+			return relation.Schema{}, fmt.Errorf("%s is order-dependent and not distributable", a.Fn)
+		case AggCount:
+			cols = append(cols, relation.Column{Name: a.As, Kind: relation.KindInt})
+		case AggMean:
+			cols = append(cols,
+				relation.Column{Name: a.As + "__sum", Kind: relation.KindFloat},
+				relation.Column{Name: a.As + "__n", Kind: relation.KindInt})
+		default:
+			if !in.Has(a.Col) {
+				return relation.Schema{}, fmt.Errorf("no column %q for %s", a.Col, a.Fn)
+			}
+			kind := relation.KindFloat
+			if a.Fn == AggMin || a.Fn == AggMax {
+				kind = in.Cols[in.Index(a.Col)].Kind
+			}
+			cols = append(cols, relation.Column{Name: a.As, Kind: kind})
+		}
+	}
+	return relation.NewSchema(cols...), nil
+}
+
+// expandForPartial rewrites the aggregate list into mergeable partial
+// specs (mean → sum + count).
+func expandForPartial(aggs []AggSpec) []AggSpec {
+	out := make([]AggSpec, 0, len(aggs)+1)
+	for _, a := range aggs {
+		if a.Fn == AggMean {
+			out = append(out,
+				AggSpec{Fn: AggSum, Col: a.Col, As: a.As + "__sum"},
+				AggSpec{Fn: aggCountNonNull, Col: a.Col, As: a.As + "__n"})
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// aggCountNonNull counts non-null values of a column (internal partial
+// for mean; Aggregate handles it like count but skips nulls).
+const aggCountNonNull AggFunc = 200
+
+// applyPartialAgg runs the map-side aggregation over one partition.
+func applyPartialAgg(in relation.Schema, rows []relation.Row, groupBy []string, aggs []AggSpec) ([]relation.Row, error) {
+	part := relation.FromRows(in, rows)
+	out, err := Aggregate(part, groupBy, expandForPartial(aggs))
+	if err != nil {
+		return nil, err
+	}
+	return out.Rows(), nil
+}
+
+// AggregateDistributed computes a group-by over rel using the executor:
+// a partial-aggregation stage runs on every partition (possibly on
+// remote executors), then the partials merge on the driver. Results
+// match Aggregate exactly and come back ordered by group key.
+func AggregateDistributed(ctx context.Context, exec Executor, rel *relation.Relation, groupBy []string, aggs []AggSpec) (*relation.Relation, error) {
+	partials, _, err := exec.RunStage(ctx, rel, []OpDesc{PartialAgg(groupBy, aggs)})
+	if err != nil {
+		return nil, err
+	}
+	return mergePartials(partials, groupBy, aggs)
+}
+
+// mergePartials combines partial-aggregate rows into final results.
+func mergePartials(partials *relation.Relation, groupBy []string, aggs []AggSpec) (*relation.Relation, error) {
+	s := partials.Schema
+	keyIdx := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		keyIdx[i] = s.MustIndex(g)
+	}
+	type accum struct {
+		key    relation.Row
+		counts []int64
+		sums   []float64
+		mins   []relation.Value
+		maxs   []relation.Value
+		seen   []bool
+	}
+	groups := map[string]*accum{}
+	var order []string
+	for _, p := range partials.Partitions {
+		for _, r := range p {
+			kb := make([]byte, 0, 32)
+			for _, ki := range keyIdx {
+				kb = append(kb, r[ki].AsString()...)
+				kb = append(kb, 0)
+			}
+			k := string(kb)
+			acc, ok := groups[k]
+			if !ok {
+				key := make(relation.Row, len(keyIdx))
+				for i, ki := range keyIdx {
+					key[i] = r[ki]
+				}
+				acc = &accum{
+					key:    key,
+					counts: make([]int64, len(aggs)*2),
+					sums:   make([]float64, len(aggs)*2),
+					mins:   make([]relation.Value, len(aggs)),
+					maxs:   make([]relation.Value, len(aggs)),
+					seen:   make([]bool, len(aggs)),
+				}
+				groups[k] = acc
+				order = append(order, k)
+			}
+			for i, a := range aggs {
+				switch a.Fn {
+				case AggCount:
+					acc.counts[i*2] += r[s.MustIndex(a.As)].AsInt()
+				case AggSum:
+					acc.sums[i*2] += r[s.MustIndex(a.As)].AsFloat()
+				case AggMean:
+					acc.sums[i*2] += r[s.MustIndex(a.As+"__sum")].AsFloat()
+					acc.counts[i*2+1] += r[s.MustIndex(a.As+"__n")].AsInt()
+				case AggMin, AggMax:
+					v := r[s.MustIndex(a.As)]
+					if v.IsNull() {
+						continue
+					}
+					if !acc.seen[i] {
+						acc.mins[i], acc.maxs[i], acc.seen[i] = v, v, true
+						continue
+					}
+					if v.Compare(acc.mins[i]) < 0 {
+						acc.mins[i] = v
+					}
+					if v.Compare(acc.maxs[i]) > 0 {
+						acc.maxs[i] = v
+					}
+				default:
+					return nil, fmt.Errorf("engine: %s not mergeable", a.Fn)
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+
+	cols := make([]relation.Column, 0, len(groupBy)+len(aggs))
+	for i, g := range groupBy {
+		cols = append(cols, relation.Column{Name: g, Kind: s.Cols[keyIdx[i]].Kind})
+	}
+	for _, a := range aggs {
+		kind := relation.KindFloat
+		if a.Fn == AggCount {
+			kind = relation.KindInt
+		}
+		cols = append(cols, relation.Column{Name: a.As, Kind: kind})
+	}
+	out := relation.New(relation.NewSchema(cols...))
+	for _, k := range order {
+		acc := groups[k]
+		row := make(relation.Row, 0, len(cols))
+		row = append(row, acc.key...)
+		for i, a := range aggs {
+			switch a.Fn {
+			case AggCount:
+				row = append(row, relation.Int(acc.counts[i*2]))
+			case AggSum:
+				row = append(row, relation.Float(acc.sums[i*2]))
+			case AggMean:
+				if acc.counts[i*2+1] == 0 {
+					row = append(row, relation.Null())
+				} else {
+					row = append(row, relation.Float(acc.sums[i*2]/float64(acc.counts[i*2+1])))
+				}
+			case AggMin:
+				row = append(row, orNull(acc.seen[i], acc.mins[i]))
+			case AggMax:
+				row = append(row, orNull(acc.seen[i], acc.maxs[i]))
+			}
+		}
+		out.Append(row)
+	}
+	return out, nil
+}

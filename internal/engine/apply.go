@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"ivnt/internal/expr"
+	"ivnt/internal/relation"
+)
+
+// StagePipeline is a validated chain of narrow operators bound to an
+// input schema. Building one compiles all static expressions once;
+// Apply then runs the chain over one partition. A pipeline is safe for
+// concurrent Apply calls from multiple workers.
+type StagePipeline struct {
+	in    relation.Schema
+	out   relation.Schema
+	steps []compiledOp
+}
+
+type compiledOp struct {
+	desc OpDesc
+	in   relation.Schema // input schema of this step
+	out  relation.Schema
+	prog *expr.Program // OpFilter, OpAddColumn
+	// broadcast hash table for OpBroadcastJoin
+	hash     map[uint64][]relation.Row
+	rightIdx []int // key column indexes in the broadcast table
+	leftIdx  []int
+	keepIdx  []int // non-key broadcast columns appended to output
+	colIdx   []int // resolved op.Cols
+	ruleIdx  int   // OpEvalRule rule column
+	rules    *ruleCache
+}
+
+// NewStagePipeline validates and compiles ops against the input schema.
+func NewStagePipeline(in relation.Schema, ops []OpDesc) (*StagePipeline, error) {
+	p := &StagePipeline{in: in}
+	cur := in
+	for i, op := range ops {
+		next, err := opSchema(cur, op)
+		if err != nil {
+			return nil, fmt.Errorf("engine: op %d (%s): %w", i, op.Kind, err)
+		}
+		st := compiledOp{desc: op, in: cur, out: next, ruleIdx: -1}
+		switch op.Kind {
+		case OpFilter:
+			st.prog, err = expr.Compile(op.Expr, cur)
+		case OpAddColumn:
+			st.prog, err = expr.Compile(op.Expr, cur)
+		case OpEvalRule:
+			st.ruleIdx = cur.MustIndex(op.RuleCol)
+			st.rules = newRuleCache(cur)
+		case OpBroadcastJoin:
+			j := op.Join
+			st.leftIdx = make([]int, len(j.LeftKeys))
+			for k, name := range j.LeftKeys {
+				st.leftIdx[k] = cur.MustIndex(name)
+			}
+			st.rightIdx = make([]int, len(j.RightKeys))
+			rightKeySet := map[string]bool{}
+			for k, name := range j.RightKeys {
+				st.rightIdx[k] = j.Schema.MustIndex(name)
+				rightKeySet[name] = true
+			}
+			for ci, c := range j.Schema.Cols {
+				if !rightKeySet[c.Name] {
+					st.keepIdx = append(st.keepIdx, ci)
+				}
+			}
+			st.hash = make(map[uint64][]relation.Row, len(j.Rows))
+			for _, r := range j.Rows {
+				h := r.Hash(st.rightIdx...)
+				st.hash[h] = append(st.hash[h], r)
+			}
+		case OpProject, OpDedupConsecutive, OpSortWithin:
+			st.colIdx = make([]int, len(op.Cols))
+			for k, name := range op.Cols {
+				st.colIdx[k] = cur.MustIndex(name)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: op %d (%s): %w", i, op.Kind, err)
+		}
+		p.steps = append(p.steps, st)
+		cur = next
+	}
+	p.out = cur
+	return p, nil
+}
+
+// InputSchema returns the schema the pipeline consumes.
+func (p *StagePipeline) InputSchema() relation.Schema { return p.in }
+
+// OutputSchema returns the schema the pipeline produces.
+func (p *StagePipeline) OutputSchema() relation.Schema { return p.out }
+
+// Apply runs the pipeline over one partition and returns the produced
+// rows. The input slice is never mutated.
+func (p *StagePipeline) Apply(part []relation.Row) ([]relation.Row, error) {
+	rows := part
+	for i := range p.steps {
+		var err error
+		rows, err = p.steps[i].apply(rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func (st *compiledOp) apply(rows []relation.Row) ([]relation.Row, error) {
+	switch st.desc.Kind {
+	case OpFilter:
+		out := make([]relation.Row, 0, len(rows))
+		env := &expr.RowEnv{Rows: rows}
+		for i := range rows {
+			env.Idx = i
+			if st.prog.EvalBool(env) {
+				out = append(out, rows[i])
+			}
+		}
+		return out, nil
+
+	case OpProject:
+		out := make([]relation.Row, len(rows))
+		for i, r := range rows {
+			nr := make(relation.Row, len(st.colIdx))
+			for k, ci := range st.colIdx {
+				nr[k] = r[ci]
+			}
+			out[i] = nr
+		}
+		return out, nil
+
+	case OpAddColumn:
+		out := make([]relation.Row, len(rows))
+		env := &expr.RowEnv{Rows: rows}
+		for i, r := range rows {
+			env.Idx = i
+			nr := make(relation.Row, len(r)+1)
+			copy(nr, r)
+			nr[len(r)] = st.prog.Eval(env)
+			out[i] = nr
+		}
+		return out, nil
+
+	case OpEvalRule:
+		out := make([]relation.Row, len(rows))
+		env := &expr.RowEnv{Rows: rows}
+		for i, r := range rows {
+			env.Idx = i
+			var v relation.Value
+			src := r[st.ruleIdx].AsString()
+			if src != "" {
+				prog, err := st.rules.get(src)
+				if err != nil {
+					return nil, fmt.Errorf("engine: row rule %q: %w", src, err)
+				}
+				v = prog.Eval(env)
+			}
+			nr := make(relation.Row, len(r)+1)
+			copy(nr, r)
+			nr[len(r)] = v
+			out[i] = nr
+		}
+		return out, nil
+
+	case OpBroadcastJoin:
+		var out []relation.Row
+		for _, r := range rows {
+			h := r.Hash(st.leftIdx...)
+			for _, cand := range st.hash[h] {
+				if !keysEqual(r, cand, st.leftIdx, st.rightIdx) {
+					continue
+				}
+				nr := make(relation.Row, len(r)+len(st.keepIdx))
+				copy(nr, r)
+				for k, ci := range st.keepIdx {
+					nr[len(r)+k] = cand[ci]
+				}
+				out = append(out, nr)
+			}
+		}
+		return out, nil
+
+	case OpDedupConsecutive:
+		out := make([]relation.Row, 0, len(rows))
+		for i, r := range rows {
+			if i > 0 && sameOn(r, rows[i-1], st.colIdx) {
+				continue
+			}
+			out = append(out, r)
+		}
+		return out, nil
+
+	case OpSortWithin:
+		cp := make([]relation.Row, len(rows))
+		copy(cp, rows)
+		sort.SliceStable(cp, func(a, b int) bool {
+			for _, ci := range st.colIdx {
+				if c := cp[a][ci].Compare(cp[b][ci]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		return cp, nil
+
+	case OpPartialAgg:
+		return applyPartialAgg(st.in, rows, st.desc.GroupBy, st.desc.Aggs)
+	}
+	return nil, fmt.Errorf("engine: unknown op kind %v", st.desc.Kind)
+}
+
+func keysEqual(l, r relation.Row, li, ri []int) bool {
+	for k := range li {
+		if !l[li[k]].Equal(r[ri[k]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameOn(a, b relation.Row, idx []int) bool {
+	for _, i := range idx {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

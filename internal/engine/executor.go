@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ivnt/internal/relation"
+)
+
+// Stats aggregates execution counters for one stage run. The bench
+// harness reads these to report reduction ratios (Ablation A3).
+type Stats struct {
+	RowsIn     int
+	RowsOut    int
+	Partitions int
+	Wall       time.Duration
+	Tasks      int
+	Retries    int
+}
+
+// Add accumulates another stage's stats.
+func (s *Stats) Add(o Stats) {
+	s.RowsIn += o.RowsIn
+	s.RowsOut += o.RowsOut
+	s.Partitions += o.Partitions
+	s.Wall += o.Wall
+	s.Tasks += o.Tasks
+	s.Retries += o.Retries
+}
+
+// Executor runs a stage — a narrow-operator pipeline over every
+// partition of a relation — somewhere: in-process (Local) or on a TCP
+// cluster (internal/cluster.Driver).
+type Executor interface {
+	// RunStage applies ops to each partition of rel and returns the
+	// resulting relation with the same partition count and order.
+	RunStage(ctx context.Context, rel *relation.Relation, ops []OpDesc) (*relation.Relation, Stats, error)
+	// Name identifies the executor for reports.
+	Name() string
+}
+
+// Local is the in-process data-parallel executor: a worker pool
+// processes partitions concurrently, the moral equivalent of running
+// Spark in local[N] mode.
+type Local struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// NewLocal returns a Local executor with the given worker count.
+func NewLocal(workers int) *Local { return &Local{Workers: workers} }
+
+// Name implements Executor.
+func (l *Local) Name() string { return fmt.Sprintf("local[%d]", l.workers()) }
+
+func (l *Local) workers() int {
+	if l.Workers > 0 {
+		return l.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunStage implements Executor.
+func (l *Local) RunStage(ctx context.Context, rel *relation.Relation, ops []OpDesc) (*relation.Relation, Stats, error) {
+	start := time.Now()
+	pipe, err := NewStagePipeline(rel.Schema, ops)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	nParts := len(rel.Partitions)
+	outParts := make([][]relation.Row, nParts)
+	errs := make([]error, nParts)
+
+	workers := l.workers()
+	if workers > nParts {
+		workers = nParts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := range next {
+				if cctx.Err() != nil {
+					errs[pi] = cctx.Err()
+					continue
+				}
+				out, err := pipe.Apply(rel.Partitions[pi])
+				if err != nil {
+					errs[pi] = err
+					cancel()
+					continue
+				}
+				outParts[pi] = out
+			}
+		}()
+	}
+	for pi := 0; pi < nParts; pi++ {
+		next <- pi
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	out := &relation.Relation{Schema: pipe.OutputSchema(), Partitions: outParts}
+	st := Stats{
+		RowsIn:     rel.NumRows(),
+		RowsOut:    out.NumRows(),
+		Partitions: nParts,
+		Wall:       time.Since(start),
+		Tasks:      nParts,
+	}
+	return out, st, nil
+}

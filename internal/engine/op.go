@@ -1,0 +1,272 @@
+// Package engine implements the distributable tabular batch engine the
+// framework runs on — the substitute for Apache Spark in the paper's
+// evaluation. It provides the relational operator algebra Algorithm 1 is
+// written in (σ filter, ⋈ broadcast hash join, F row-wise map, run
+// deduplication, projection, per-partition sort) as *serializable
+// operator descriptors*, so the same stage pipeline executes on the
+// in-process parallel executor or on remote TCP executors
+// (internal/cluster) unchanged.
+//
+// Operators are deliberately data-driven: every parameter is plain data
+// (expression source text, rule tables, column names), never a Go
+// closure, which is what makes plans shippable across the wire — the
+// analogue of the paper's "one-time parameterization" being submitted to
+// a Big Data cluster.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"ivnt/internal/expr"
+	"ivnt/internal/relation"
+)
+
+// OpKind enumerates the narrow (per-partition) operators.
+type OpKind uint8
+
+// Narrow operator kinds. All of them preserve partitioning, which is why
+// a stage pipeline of them runs embarrassingly parallel.
+const (
+	// OpFilter keeps rows whose predicate expression is true (σ).
+	OpFilter OpKind = iota
+	// OpProject keeps the named columns, in order (π).
+	OpProject
+	// OpAddColumn appends a computed column (F, row-wise map). The
+	// expression may use window functions; history is partition-local.
+	OpAddColumn
+	// OpEvalRule appends a column computed by evaluating, per row, the
+	// expression *text found in another column*. This is the u₂
+	// interpretation step: after joining K_pre with U_comb, every row
+	// carries its own translation rule.
+	OpEvalRule
+	// OpBroadcastJoin inner-joins the stream with a small broadcast
+	// table on equal keys (⋈). The table rides along inside the
+	// descriptor, exactly like a Spark broadcast variable.
+	OpBroadcastJoin
+	// OpDedupConsecutive drops a row when all its value columns equal
+	// the previous row's (run-length deduplication of cyclically
+	// repeated signal instances, Sec. 5.1).
+	OpDedupConsecutive
+	// OpSortWithin sorts each partition by the given columns.
+	OpSortWithin
+	// OpPartialAgg computes per-partition partial aggregates (the
+	// map-side combine of a distributed group-by); the driver merges
+	// the partials. AggFirst/AggLast are order-dependent and therefore
+	// not distributable.
+	OpPartialAgg
+)
+
+// String returns the operator name.
+func (k OpKind) String() string {
+	switch k {
+	case OpFilter:
+		return "filter"
+	case OpProject:
+		return "project"
+	case OpAddColumn:
+		return "addcolumn"
+	case OpEvalRule:
+		return "evalrule"
+	case OpBroadcastJoin:
+		return "broadcastjoin"
+	case OpDedupConsecutive:
+		return "dedupconsecutive"
+	case OpSortWithin:
+		return "sortwithin"
+	case OpPartialAgg:
+		return "partialagg"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// JoinSpec carries a small broadcast table and the equi-join keys.
+type JoinSpec struct {
+	Schema    relation.Schema
+	Rows      []relation.Row
+	LeftKeys  []string
+	RightKeys []string
+}
+
+// OpDesc is one serializable operator. Only the fields relevant to Kind
+// are set; the flat shape keeps gob encoding trivial.
+type OpDesc struct {
+	Kind OpKind
+
+	// Expr is the predicate (OpFilter) or column expression
+	// (OpAddColumn).
+	Expr string
+	// Col is the output column name (OpAddColumn, OpEvalRule).
+	Col string
+	// ColKind is the advisory kind of the output column.
+	ColKind relation.Kind
+	// RuleCol names the column holding per-row expression text
+	// (OpEvalRule).
+	RuleCol string
+	// Cols are the projection columns (OpProject), the sort keys
+	// (OpSortWithin) or the compared value columns (OpDedupConsecutive).
+	Cols []string
+	// Join is the broadcast join spec (OpBroadcastJoin).
+	Join *JoinSpec
+	// GroupBy and Aggs parameterize OpPartialAgg.
+	GroupBy []string
+	Aggs    []AggSpec
+}
+
+// Filter builds a σ descriptor.
+func Filter(predicate string) OpDesc { return OpDesc{Kind: OpFilter, Expr: predicate} }
+
+// Project builds a π descriptor.
+func Project(cols ...string) OpDesc { return OpDesc{Kind: OpProject, Cols: cols} }
+
+// AddColumn builds a computed-column descriptor.
+func AddColumn(name string, kind relation.Kind, exprSrc string) OpDesc {
+	return OpDesc{Kind: OpAddColumn, Col: name, ColKind: kind, Expr: exprSrc}
+}
+
+// EvalRule builds a per-row dynamic rule evaluation descriptor.
+func EvalRule(outCol string, kind relation.Kind, ruleCol string) OpDesc {
+	return OpDesc{Kind: OpEvalRule, Col: outCol, ColKind: kind, RuleCol: ruleCol}
+}
+
+// BroadcastJoin builds an inner equi-join with a small table. Key
+// columns of the right side are not duplicated in the output schema.
+func BroadcastJoin(small *relation.Relation, leftKeys, rightKeys []string) OpDesc {
+	return OpDesc{Kind: OpBroadcastJoin, Join: &JoinSpec{
+		Schema:    small.Schema,
+		Rows:      small.Rows(),
+		LeftKeys:  leftKeys,
+		RightKeys: rightKeys,
+	}}
+}
+
+// DedupConsecutive builds a run-deduplication descriptor over the given
+// value columns.
+func DedupConsecutive(valueCols ...string) OpDesc {
+	return OpDesc{Kind: OpDedupConsecutive, Cols: valueCols}
+}
+
+// SortWithin builds a per-partition sort descriptor.
+func SortWithin(cols ...string) OpDesc { return OpDesc{Kind: OpSortWithin, Cols: cols} }
+
+// PartialAgg builds a map-side partial aggregation descriptor.
+func PartialAgg(groupBy []string, aggs []AggSpec) OpDesc {
+	return OpDesc{Kind: OpPartialAgg, GroupBy: groupBy, Aggs: aggs}
+}
+
+// OutputSchema computes the schema produced by applying ops to a schema,
+// validating column references and compiling every expression once.
+func OutputSchema(in relation.Schema, ops []OpDesc) (relation.Schema, error) {
+	s := in
+	for i, op := range ops {
+		var err error
+		s, err = opSchema(s, op)
+		if err != nil {
+			return relation.Schema{}, fmt.Errorf("engine: op %d (%s): %w", i, op.Kind, err)
+		}
+	}
+	return s, nil
+}
+
+func opSchema(in relation.Schema, op OpDesc) (relation.Schema, error) {
+	switch op.Kind {
+	case OpFilter:
+		if _, err := expr.Compile(op.Expr, in); err != nil {
+			return relation.Schema{}, err
+		}
+		return in, nil
+	case OpProject:
+		return in.Project(op.Cols...)
+	case OpAddColumn:
+		if in.Has(op.Col) {
+			return relation.Schema{}, fmt.Errorf("column %q already exists", op.Col)
+		}
+		if _, err := expr.Compile(op.Expr, in); err != nil {
+			return relation.Schema{}, err
+		}
+		return in.Append(relation.Column{Name: op.Col, Kind: op.ColKind}), nil
+	case OpEvalRule:
+		if !in.Has(op.RuleCol) {
+			return relation.Schema{}, fmt.Errorf("rule column %q missing", op.RuleCol)
+		}
+		if in.Has(op.Col) {
+			return relation.Schema{}, fmt.Errorf("column %q already exists", op.Col)
+		}
+		return in.Append(relation.Column{Name: op.Col, Kind: op.ColKind}), nil
+	case OpBroadcastJoin:
+		j := op.Join
+		if j == nil {
+			return relation.Schema{}, fmt.Errorf("nil join spec")
+		}
+		if len(j.LeftKeys) == 0 || len(j.LeftKeys) != len(j.RightKeys) {
+			return relation.Schema{}, fmt.Errorf("join keys mismatch: %v vs %v", j.LeftKeys, j.RightKeys)
+		}
+		for _, k := range j.LeftKeys {
+			if !in.Has(k) {
+				return relation.Schema{}, fmt.Errorf("left key %q missing", k)
+			}
+		}
+		rightKeySet := map[string]bool{}
+		for _, k := range j.RightKeys {
+			if !j.Schema.Has(k) {
+				return relation.Schema{}, fmt.Errorf("right key %q missing", k)
+			}
+			rightKeySet[k] = true
+		}
+		out := in
+		for _, c := range j.Schema.Cols {
+			if rightKeySet[c.Name] {
+				continue
+			}
+			if out.Has(c.Name) {
+				return relation.Schema{}, fmt.Errorf("join output column %q collides", c.Name)
+			}
+			out = out.Append(c)
+		}
+		return out, nil
+	case OpDedupConsecutive, OpSortWithin:
+		for _, c := range op.Cols {
+			if !in.Has(c) {
+				return relation.Schema{}, fmt.Errorf("column %q missing", c)
+			}
+		}
+		return in, nil
+	case OpPartialAgg:
+		return partialAggSchema(in, op.GroupBy, op.Aggs)
+	default:
+		return relation.Schema{}, fmt.Errorf("unknown op kind %v", op.Kind)
+	}
+}
+
+// ruleCache caches compiled per-row rules by (source, schema fingerprint)
+// so that OpEvalRule compiles each distinct rule text once per stage
+// rather than once per row.
+type ruleCache struct {
+	mu     sync.Mutex
+	schema relation.Schema
+	progs  map[string]*expr.Program
+	errs   map[string]error
+}
+
+func newRuleCache(s relation.Schema) *ruleCache {
+	return &ruleCache{schema: s, progs: map[string]*expr.Program{}, errs: map[string]error{}}
+}
+
+func (c *ruleCache) get(src string) (*expr.Program, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.progs[src]; ok {
+		return p, nil
+	}
+	if err, ok := c.errs[src]; ok {
+		return nil, err
+	}
+	p, err := expr.Compile(src, c.schema)
+	if err != nil {
+		c.errs[src] = err
+		return nil, err
+	}
+	c.progs[src] = p
+	return p, nil
+}

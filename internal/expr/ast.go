@@ -1,0 +1,156 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is an expression AST node.
+type Node interface {
+	fmt.Stringer
+	node()
+}
+
+// Lit is a literal value (number, string, true/false, null).
+type Lit struct {
+	Val valueLit
+}
+
+type valueLit struct {
+	isNull  bool
+	isBool  bool
+	isInt   bool
+	isFloat bool
+	isStr   bool
+	b       bool
+	i       int64
+	f       float64
+	s       string
+}
+
+// Ident is a column reference, resolved at compile time.
+type Ident struct {
+	Name string
+}
+
+// Unary is a prefix operator application (-x, !x).
+type Unary struct {
+	Op string
+	X  Node
+}
+
+// Binary is an infix operator application.
+type Binary struct {
+	Op   string
+	L, R Node
+}
+
+// Cond is the ternary conditional c ? a : b.
+type Cond struct {
+	C, A, B Node
+}
+
+// Call is a function invocation.
+type Call struct {
+	Fn   string
+	Args []Node
+}
+
+func (*Lit) node()    {}
+func (*Ident) node()  {}
+func (*Unary) node()  {}
+func (*Binary) node() {}
+func (*Cond) node()   {}
+func (*Call) node()   {}
+
+func (n *Lit) String() string {
+	v := n.Val
+	switch {
+	case v.isNull:
+		return "null"
+	case v.isBool:
+		return fmt.Sprintf("%t", v.b)
+	case v.isInt:
+		return fmt.Sprintf("%d", v.i)
+	case v.isFloat:
+		return fmt.Sprintf("%g", v.f)
+	default:
+		return fmt.Sprintf("%q", v.s)
+	}
+}
+
+func (n *Ident) String() string  { return n.Name }
+func (n *Unary) String() string  { return "(" + n.Op + n.X.String() + ")" }
+func (n *Binary) String() string { return "(" + n.L.String() + " " + n.Op + " " + n.R.String() + ")" }
+func (n *Cond) String() string {
+	return "(" + n.C.String() + " ? " + n.A.String() + " : " + n.B.String() + ")"
+}
+func (n *Call) String() string {
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = a.String()
+	}
+	return n.Fn + "(" + strings.Join(args, ", ") + ")"
+}
+
+// Idents returns the set of column names referenced by the expression,
+// in first-appearance order. Used by plan validation.
+func Idents(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case *Ident:
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x.Name)
+			}
+		case *Unary:
+			walk(x.X)
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Cond:
+			walk(x.C)
+			walk(x.A)
+			walk(x.B)
+		case *Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(n)
+	return out
+}
+
+// UsesWindow reports whether the expression uses temporal window
+// functions (lag/gap/delta), which require ordered per-signal input.
+func UsesWindow(n Node) bool {
+	found := false
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case *Unary:
+			walk(x.X)
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Cond:
+			walk(x.C)
+			walk(x.A)
+			walk(x.B)
+		case *Call:
+			switch x.Fn {
+			case "lag", "gap", "delta":
+				found = true
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(n)
+	return found
+}

@@ -1,0 +1,71 @@
+package expr
+
+import (
+	"testing"
+
+	"ivnt/internal/relation"
+)
+
+// Interpretation rules evaluate once per (message, signal) pair — at
+// paper scale, billions of times. These benches keep the evaluator's
+// cost visible.
+
+func benchRow() relation.Row {
+	return relation.Row{
+		relation.Float(2.5),
+		relation.Float(45),
+		relation.Str("wpos"),
+		relation.Bytes([]byte{0x5A, 0x01, 0xFF, 0x80}),
+		relation.Int(7),
+	}
+}
+
+func benchProgram(b *testing.B, src string) *Program {
+	b.Helper()
+	p, err := Compile(src, testSchema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkEvalInterpretationRule(b *testing.B) {
+	p := benchProgram(b, "0.5 * ube(l, 0, 2)")
+	env := SingleRowEnv{Row: benchRow()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Eval(env)
+	}
+}
+
+func BenchmarkEvalLookupRule(b *testing.B) {
+	p := benchProgram(b, "lookup(byteat(l, 1), '0=off;1=parklight on;2=headlight on')")
+	env := SingleRowEnv{Row: benchRow()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Eval(env)
+	}
+}
+
+func BenchmarkEvalConstraintWithWindow(b *testing.B) {
+	p := benchProgram(b, "isnull(lag(v)) || v != lag(v) || gap(t) > 0.15")
+	rows := make([]relation.Row, 64)
+	for i := range rows {
+		rows[i] = benchRow()
+	}
+	env := &RowEnv{Rows: rows}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.Idx = i % len(rows)
+		p.EvalBool(env)
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile("iff(ubits(l, 0, 8) == 1, ubits(l, 8, 16) * 0.1, null)", testSchema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses an expression string into an AST. Rule sources of the
+// form "v = <expr>" (the paper's Table 1 notation) are accepted: a
+// leading "<ident> =" is stripped.
+func Parse(src string) (Node, error) {
+	src = stripRuleLHS(src)
+	p := &parser{lex: lexer{src: src}}
+	p.advance()
+	n, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected %s at offset %d in %q", p.tok, p.tok.pos, src)
+	}
+	return n, nil
+}
+
+// MustParse is Parse for expressions known valid at compile time; it
+// panics on error. Intended for tests and built-in rule tables.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// stripRuleLHS removes a leading "name =" (single equals, one
+// identifier) so paper-style rule text parses directly.
+func stripRuleLHS(src string) string {
+	s := strings.TrimSpace(src)
+	i := 0
+	for i < len(s) && isIdentPart(s[i]) {
+		i++
+	}
+	if i == 0 || i >= len(s) {
+		return src
+	}
+	j := i
+	for j < len(s) && (s[j] == ' ' || s[j] == '\t') {
+		j++
+	}
+	// "=" but not "==".
+	if j < len(s) && s[j] == '=' && (j+1 >= len(s) || s[j+1] != '=') {
+		return s[j+1:]
+	}
+	return src
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() { p.tok = p.lex.next() }
+
+// Binding powers for a Pratt parser.
+func bindingPower(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "==", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/", "%":
+		return 5
+	default:
+		return 0
+	}
+}
+
+func (p *parser) parseExpr(minBP int) (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.kind == tokOp && p.tok.text == "?" && minBP == 0 {
+			p.advance()
+			a, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokOp || p.tok.text != ":" {
+				return nil, fmt.Errorf("expr: expected ':' in conditional, got %s", p.tok)
+			}
+			p.advance()
+			b, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			left = &Cond{C: left, A: a, B: b}
+			continue
+		}
+		if p.tok.kind != tokOp {
+			break
+		}
+		bp := bindingPower(p.tok.text)
+		if bp == 0 || bp < minBP {
+			break
+		}
+		op := p.tok.text
+		p.advance()
+		right, err := p.parseExpr(bp + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.tok.kind == tokOp && (p.tok.text == "-" || p.tok.text == "!") {
+		op := p.tok.text
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		text := p.tok.text
+		p.advance()
+		if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+			i, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("expr: bad hex literal %q: %v", text, err)
+			}
+			return &Lit{Val: valueLit{isInt: true, i: i}}, nil
+		}
+		if !strings.ContainsAny(text, ".eE") {
+			i, err := strconv.ParseInt(text, 10, 64)
+			if err == nil {
+				return &Lit{Val: valueLit{isInt: true, i: i}}, nil
+			}
+		}
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q: %v", text, err)
+		}
+		return &Lit{Val: valueLit{isFloat: true, f: f}}, nil
+
+	case tokString:
+		s := p.tok.text
+		p.advance()
+		return &Lit{Val: valueLit{isStr: true, s: s}}, nil
+
+	case tokIdent:
+		name := p.tok.text
+		p.advance()
+		switch name {
+		case "true":
+			return &Lit{Val: valueLit{isBool: true, b: true}}, nil
+		case "false":
+			return &Lit{Val: valueLit{isBool: true}}, nil
+		case "null":
+			return &Lit{Val: valueLit{isNull: true}}, nil
+		}
+		if p.tok.kind == tokOp && p.tok.text == "(" {
+			p.advance()
+			var args []Node
+			if !(p.tok.kind == tokOp && p.tok.text == ")") {
+				for {
+					a, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.tok.kind == tokOp && p.tok.text == "," {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if !(p.tok.kind == tokOp && p.tok.text == ")") {
+				return nil, fmt.Errorf("expr: expected ')' after arguments of %s, got %s", name, p.tok)
+			}
+			p.advance()
+			return &Call{Fn: name, Args: args}, nil
+		}
+		return &Ident{Name: name}, nil
+
+	case tokOp:
+		if p.tok.text == "(" {
+			p.advance()
+			n, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if !(p.tok.kind == tokOp && p.tok.text == ")") {
+				return nil, fmt.Errorf("expr: expected ')', got %s", p.tok)
+			}
+			p.advance()
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected %s at offset %d", p.tok, p.tok.pos)
+}

@@ -1,0 +1,178 @@
+// Package expr implements the small expression language in which the
+// framework's parameterization is written: interpretation rules u
+// (Table 1, "Int.rule: v = 0.5*l"), reduction constraint functions f
+// (Eq. 1) and extension rules E (Sec. 4.1) are all expressions over the
+// columns of a trace row.
+//
+// Keeping rules as source text — data, not Go code — is what makes the
+// pipeline distributable: a driver ships rule strings to remote
+// executors, which compile and apply them, exactly as the paper ships
+// its parameterization into Spark jobs.
+//
+// The language is a conventional infix expression grammar with column
+// references, arithmetic, comparisons, boolean connectives, a function
+// library (byte/bit payload accessors, math, string helpers) and window
+// access (lag / gap) for temporal constraints such as cycle-time
+// violations.
+package expr
+
+import "fmt"
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokOp // + - * / % ! < <= > >= == != && || ( ) , ? :
+	tokInvalid
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	case tokNumber, tokIdent, tokOp:
+		return fmt.Sprintf("%q", t.text)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("invalid token %q", t.text)
+	}
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans the next token.
+func (l *lexer) next() token {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.lexNumber()
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}
+	case c == '\'' || c == '"':
+		return l.lexString(c)
+	}
+	// Operators, longest match first.
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "==", "!=", "&&", "||":
+		l.pos += 2
+		return token{kind: tokOp, text: two, pos: start}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '!', '<', '>', '(', ')', ',', '?', ':':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}
+	case '=':
+		// Accept single '=' as equality for rule-author convenience
+		// ("v = 0.5*l" style rules strip the lhs elsewhere).
+		l.pos++
+		return token{kind: tokOp, text: "==", pos: start}
+	}
+	l.pos++
+	return token{kind: tokInvalid, text: string(c), pos: start}
+}
+
+func (l *lexer) lexNumber() token {
+	start := l.pos
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		l.pos += 2
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) ||
+			(l.src[l.pos] >= 'a' && l.src[l.pos] <= 'f') ||
+			(l.src[l.pos] >= 'A' && l.src[l.pos] <= 'F')) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+			nc := l.src[l.pos+1]
+			if isDigit(nc) || ((nc == '+' || nc == '-') && l.pos+2 < len(l.src) && isDigit(l.src[l.pos+2])) {
+				l.pos += 2
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+				break
+			}
+		}
+		break
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}
+}
+
+func (l *lexer) lexString(quote byte) token {
+	start := l.pos
+	l.pos++ // opening quote
+	var out []byte
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			nc := l.src[l.pos+1]
+			switch nc {
+			case 'n':
+				out = append(out, '\n')
+			case 't':
+				out = append(out, '\t')
+			case '\\', '\'', '"':
+				out = append(out, nc)
+			default:
+				out = append(out, nc)
+			}
+			l.pos += 2
+			continue
+		}
+		if c == quote {
+			l.pos++
+			return token{kind: tokString, text: string(out), pos: start}
+		}
+		out = append(out, c)
+		l.pos++
+	}
+	return token{kind: tokInvalid, text: l.src[start:], pos: start}
+}

@@ -1,0 +1,65 @@
+// Package extend implements extension rules (Sec. 4.1, Algorithm 1
+// line 12): deriving meta-data sequences W of instances ŵ = (v, w_id)
+// from reduced signal sequences — e.g. the gap between consecutive
+// wpos occurrences (Table 2), or computations over other columns.
+package extend
+
+import (
+	"context"
+	"fmt"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+	"ivnt/internal/trace"
+)
+
+// Apply evaluates one extension rule over a signal sequence and returns
+// the W sequence in K_s shape: (t, sid=w_id, v, bid). Rows whose
+// expression evaluates to null (e.g. gap(t) at the sequence head)
+// produce no meta instance.
+func Apply(ctx context.Context, exec engine.Executor, seq *relation.Relation, ext rules.Extension) (*relation.Relation, error) {
+	wid := ext.WID
+	if ext.SID == "*" {
+		// Wildcard extensions derive one meta signal per source signal.
+		sidIdx := seq.Schema.Index(trace.ColSID)
+		if sidIdx >= 0 && seq.NumRows() > 0 {
+			wid = ext.WID + "." + seq.Rows()[0][sidIdx].AsString()
+		}
+	}
+	ops := []engine.OpDesc{
+		engine.AddColumn("w", relation.KindNull, ext.Expr),
+		engine.Filter("!isnull(w)"),
+		engine.AddColumn("wid", relation.KindString, fmt.Sprintf("%q", wid)),
+		engine.Project(trace.ColT, "wid", "w", trace.ColBID),
+	}
+	out, _, err := exec.RunStage(ctx, seq, ops)
+	if err != nil {
+		return nil, fmt.Errorf("extend: %s: %w", ext.WID, err)
+	}
+	// Rename columns back to the canonical K_s shape.
+	out.Schema = rules.SequenceSchema()
+	return out, nil
+}
+
+// Run applies every extension of the domain config that derives from
+// the given signal, returning the concatenated W relation (nil when no
+// extension applies).
+func Run(ctx context.Context, exec engine.Executor, sid string, seq *relation.Relation, cfg *rules.DomainConfig) (*relation.Relation, error) {
+	var acc *relation.Relation
+	for _, ext := range cfg.ExtensionsFor(sid) {
+		w, err := Apply(ctx, exec, seq, ext)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = w
+			continue
+		}
+		acc, err = acc.Concat(w)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,101 @@
+package extend
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+)
+
+var ctx = context.Background()
+
+func seqRow(t float64, sid string, v float64, bid string) relation.Row {
+	return relation.Row{relation.Float(t), relation.Str(sid), relation.Float(v), relation.Str(bid)}
+}
+
+func wposSeq() *relation.Relation {
+	// Table 2's example: wpos at 2s, 2.5s, 2.9s → gaps 0.5, 0.4.
+	return relation.FromRows(rules.SequenceSchema(), []relation.Row{
+		seqRow(2.0, "wpos", 45, "FC"),
+		seqRow(2.5, "wpos", 60, "FC"),
+		seqRow(2.9, "wpos", 70, "FC"),
+	})
+}
+
+func TestApplyGapExtension(t *testing.T) {
+	ext := rules.Extension{WID: "wposGap", SID: "wpos", Expr: "gap(t)"}
+	w, err := Apply(ctx, engine.NewLocal(1), wposSeq(), ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := w.Rows()
+	// Head row has no gap → 2 meta instances.
+	if len(rows) != 2 {
+		t.Fatalf("W rows = %d, want 2: %v", len(rows), rows)
+	}
+	if rows[0][1].AsString() != "wposGap" {
+		t.Fatalf("w_id = %q", rows[0][1])
+	}
+	if math.Abs(rows[0][2].AsFloat()-0.5) > 1e-9 || math.Abs(rows[1][2].AsFloat()-0.4) > 1e-9 {
+		t.Fatalf("gaps = %v, %v", rows[0][2], rows[1][2])
+	}
+	if !w.Schema.Equal(rules.SequenceSchema()) {
+		t.Fatalf("W schema = %s", w.Schema)
+	}
+}
+
+func TestApplyWildcardExtensionNamesPerSource(t *testing.T) {
+	ext := rules.Extension{WID: "gap", SID: "*", Expr: "gap(t)"}
+	w, err := Apply(ctx, engine.NewLocal(1), wposSeq(), ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumRows() == 0 || w.Rows()[0][1].AsString() != "gap.wpos" {
+		t.Fatalf("wildcard w_id = %v", w.Rows())
+	}
+}
+
+func TestRunMultipleExtensions(t *testing.T) {
+	cfg := &rules.DomainConfig{
+		Name: "wiper",
+		SIDs: []string{"wpos"},
+		Extensions: []rules.Extension{
+			{WID: "wposGap", SID: "wpos", Expr: "gap(t)"},
+			{WID: "wposDouble", SID: "wpos", Expr: "v * 2"},
+		},
+	}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Run(ctx, engine.NewLocal(1), "wpos", wposSeq(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumRows() != 2+3 {
+		t.Fatalf("W rows = %d, want 5", w.NumRows())
+	}
+}
+
+func TestRunNoExtensionsIsNil(t *testing.T) {
+	cfg := &rules.DomainConfig{Name: "x", SIDs: []string{"wpos"}}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Run(ctx, engine.NewLocal(1), "wpos", wposSeq(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != nil {
+		t.Fatalf("expected nil W, got %d rows", w.NumRows())
+	}
+}
+
+func TestApplyBadExpressionFails(t *testing.T) {
+	ext := rules.Extension{WID: "w", SID: "wpos", Expr: "nosuchcol + 1"}
+	if _, err := Apply(ctx, engine.NewLocal(1), wposSeq(), ext); err == nil {
+		t.Fatal("bad expression must fail")
+	}
+}

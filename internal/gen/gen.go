@@ -1,0 +1,464 @@
+// Package gen synthesizes in-vehicle network traces whose statistics
+// match the paper's three evaluation data sets (Table 5): SYN (13
+// signal types), LIG (180, the light functions) and STA (78, the car
+// state). The real data sets are proprietary BMW fleet recordings; the
+// generator reproduces their cost-relevant characteristics — signal
+// type counts per processing branch, mean signal types per message,
+// cyclic repetition, gateway forwarding — under fixed seeds, so every
+// experiment is replicable (see DESIGN.md, substitutions).
+package gen
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ivnt/internal/protocol"
+	"ivnt/internal/rules"
+	"ivnt/internal/trace"
+)
+
+// DatasetSpec parameterizes one synthetic data set.
+type DatasetSpec struct {
+	Name string
+	// Alpha, Beta, Gamma are the signal-type counts per processing
+	// branch (Table 5's "# signal types - α/β/γ" rows).
+	Alpha, Beta, Gamma int
+	// SignalsPerMessage is the target mean signal types per message
+	// (Table 5's ∅ row).
+	SignalsPerMessage float64
+	// Seed fixes the value processes.
+	Seed int64
+	// GatewayFraction of signals is additionally forwarded on a second
+	// channel (recorded twice, exercising line 9's dedup). Default 0.1.
+	GatewayFraction float64
+	// OutlierRate injects value spikes per numeric signal instance;
+	// CycleDropRate skips cyclic sends (cycle-time violations).
+	OutlierRate   float64
+	CycleDropRate float64
+}
+
+// The paper's three data sets (Table 5). Example counts are passed to
+// Generate separately so benches can scale them.
+var (
+	SYN = DatasetSpec{Name: "SYN", Alpha: 6, Beta: 4, Gamma: 3,
+		SignalsPerMessage: 1.47, Seed: 101, GatewayFraction: 0.15,
+		OutlierRate: 0.0005, CycleDropRate: 0.0005}
+	LIG = DatasetSpec{Name: "LIG", Alpha: 27, Beta: 71, Gamma: 82,
+		SignalsPerMessage: 5.11, Seed: 202, GatewayFraction: 0.1,
+		OutlierRate: 0.0003, CycleDropRate: 0.0003}
+	STA = DatasetSpec{Name: "STA", Alpha: 6, Beta: 1, Gamma: 71,
+		SignalsPerMessage: 3.66, Seed: 303, GatewayFraction: 0.1,
+		OutlierRate: 0.0003, CycleDropRate: 0.0003}
+)
+
+// PaperExamples are the full example counts of Table 5, used by the
+// bench harness to report scale factors.
+var PaperExamples = map[string]int{"SYN": 13197983, "LIG": 12306327, "STA": 4807891}
+
+// ByName resolves a data set spec.
+func ByName(name string) (DatasetSpec, error) {
+	switch name {
+	case "SYN", "syn":
+		return SYN, nil
+	case "LIG", "lig":
+		return LIG, nil
+	case "STA", "sta":
+		return STA, nil
+	default:
+		return DatasetSpec{}, fmt.Errorf("gen: unknown data set %q (want SYN, LIG or STA)", name)
+	}
+}
+
+// NumSignals returns the total signal-type count.
+func (s DatasetSpec) NumSignals() int { return s.Alpha + s.Beta + s.Gamma }
+
+// signalKind is the generator-side branch a signal targets.
+type signalKind uint8
+
+const (
+	kindNumeric signalKind = iota // branch α: fast numeric
+	kindOrdinal                   // branch β: slow stepped
+	kindNominal                   // branch γ: unordered states
+	kindBinary                    // branch γ: two states
+)
+
+// signal is one generated signal type with its value process state.
+type signal struct {
+	sid    string
+	kind   signalKind
+	def    protocol.SignalDef
+	levels []string // ordinal/nominal/binary symbol set
+
+	// process state
+	value     float64
+	target    float64
+	direction float64
+}
+
+// message is one generated message layout.
+type message struct {
+	id        uint32
+	channel   string
+	cycle     float64
+	payload   int // bytes
+	signals   []*signal
+	gateway   string // non-empty: forwarded channel
+	gatewayID uint32
+}
+
+// Dataset is a constructed synthetic data set: message layouts, the
+// rules catalog describing them (the "documentation") and a default
+// domain configuration.
+type Dataset struct {
+	Spec     DatasetSpec
+	Catalog  *rules.Catalog
+	messages []*message
+	signals  []*signal
+	rng      *rand.Rand
+}
+
+// Build constructs the data set's layouts and catalog.
+func Build(spec DatasetSpec) *Dataset {
+	if spec.GatewayFraction == 0 {
+		spec.GatewayFraction = 0.1
+	}
+	d := &Dataset{Spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+	total := spec.NumSignals()
+
+	// Create signals: α fast numeric, β ordinal, γ split between
+	// nominal and binary (two thirds nominal, like the inspected
+	// fleets' validity/state signals).
+	for i := 0; i < spec.Alpha; i++ {
+		d.signals = append(d.signals, &signal{
+			sid:  fmt.Sprintf("%s.num%02d", spec.Name, i),
+			kind: kindNumeric,
+		})
+	}
+	ordScale := []string{"off", "low", "medium", "high", "max"}
+	for i := 0; i < spec.Beta; i++ {
+		d.signals = append(d.signals, &signal{
+			sid:    fmt.Sprintf("%s.ord%02d", spec.Name, i),
+			kind:   kindOrdinal,
+			levels: ordScale,
+		})
+	}
+	nomStates := []string{"driving", "parking", "charging", "idle", "towing"}
+	for i := 0; i < spec.Gamma; i++ {
+		s := &signal{sid: fmt.Sprintf("%s.nom%02d", spec.Name, i), kind: kindNominal, levels: nomStates}
+		if i%3 == 2 {
+			s.sid = fmt.Sprintf("%s.bin%02d", spec.Name, i)
+			s.kind = kindBinary
+			s.levels = []string{"OFF", "ON"}
+		}
+		d.signals = append(d.signals, s)
+	}
+
+	// Group signals into messages hitting the target mean
+	// signals-per-message. Message count = round(total / mean).
+	numMsgs := int(math.Round(float64(total) / spec.SignalsPerMessage))
+	if numMsgs < 1 {
+		numMsgs = 1
+	}
+	channels := []string{"FC", "DC", "K-LIN", "ETH1"}
+	for m := 0; m < numMsgs; m++ {
+		msg := &message{
+			id:      uint32(0x100 + m),
+			channel: channels[m%len(channels)],
+		}
+		d.messages = append(d.messages, msg)
+	}
+	// Round-robin signals over messages; fast signals first so cycle
+	// assignment below can make their host messages fast.
+	for i, s := range d.signals {
+		msg := d.messages[i%numMsgs]
+		msg.signals = append(msg.signals, s)
+	}
+	// Lay out payloads and assign cycles: a message is fast when it
+	// carries any numeric signal.
+	for _, msg := range d.messages {
+		bit := 0
+		fast := false
+		for _, s := range msg.signals {
+			switch s.kind {
+			case kindNumeric:
+				fast = true
+				s.def = protocol.SignalDef{Name: s.sid, StartBit: bit, BitLen: 16, Scale: 0.05, Offset: -800}
+				bit += 16
+			default:
+				s.def = protocol.SignalDef{Name: s.sid, StartBit: bit, BitLen: 8}
+				bit += 8
+			}
+		}
+		msg.payload = (bit + 7) / 8
+		if msg.payload == 0 {
+			msg.payload = 1
+		}
+		if fast {
+			msg.cycle = 0.02 + d.rng.Float64()*0.08 // 20–100 ms
+		} else {
+			msg.cycle = 0.2 + d.rng.Float64()*0.8 // 200 ms–1 s
+		}
+		// Gateway forwarding for a fraction of messages.
+		if d.rng.Float64() < spec.GatewayFraction {
+			msg.gateway = channels[(int(msg.id)+1)%len(channels)]
+			msg.gatewayID = msg.id + 0x1000
+		}
+	}
+	d.Catalog = d.buildCatalog()
+	return d
+}
+
+// buildCatalog renders the generated layouts as U_rel translation
+// tuples, including forwarded routes.
+func (d *Dataset) buildCatalog() *rules.Catalog {
+	cat := &rules.Catalog{}
+	add := func(s *signal, msg *message, channel string, mid uint32) {
+		first, last := s.def.RelevantBytes()
+		// Rules operate on lrel: shift the definition to the slice.
+		rel := s.def
+		rel.StartBit -= first * 8
+		t := rules.Translation{
+			SID:       s.sid,
+			Channel:   channel,
+			MsgID:     mid,
+			FirstByte: first,
+			LastByte:  last,
+			CycleTime: msg.cycle,
+		}
+		switch s.kind {
+		case kindNumeric:
+			t.Rule = rel.RuleExprCol("lrel")
+			t.Class = rules.ClassNumeric
+		case kindOrdinal:
+			t.Rule = fmt.Sprintf("lookup(%s, %q)", rel.RuleExprCol("lrel"), levelTable(s.levels))
+			t.Class = rules.ClassOrdinal
+			t.OrdinalScale = s.levels
+		case kindNominal:
+			t.Rule = fmt.Sprintf("lookup(%s, %q)", rel.RuleExprCol("lrel"), levelTable(s.levels))
+			t.Class = rules.ClassNominal
+		case kindBinary:
+			t.Rule = fmt.Sprintf("lookup(%s, %q)", rel.RuleExprCol("lrel"), levelTable(s.levels))
+			t.Class = rules.ClassBinary
+		}
+		cat.Translations = append(cat.Translations, t)
+	}
+	for _, msg := range d.messages {
+		for _, s := range msg.signals {
+			add(s, msg, msg.channel, msg.id)
+			if msg.gateway != "" {
+				add(s, msg, msg.gateway, msg.gatewayID)
+			}
+		}
+	}
+	return cat
+}
+
+func levelTable(levels []string) string {
+	vt := make(map[uint64]string, len(levels))
+	for i, l := range levels {
+		vt[uint64(i)] = l
+	}
+	return rules.ValueTableString(vt)
+}
+
+// DefaultConfig builds the domain configuration the paper's evaluation
+// uses: all signal types selected, identical-subsequent-instance
+// reduction, cycle-violation preservation.
+func (d *Dataset) DefaultConfig() *rules.DomainConfig {
+	cfg := &rules.DomainConfig{
+		Name:        d.Spec.Name,
+		SIDs:        d.Catalog.SIDs(),
+		Constraints: []rules.Constraint{rules.ChangeConstraint("*")},
+	}
+	if err := cfg.Normalize(); err != nil {
+		panic(err) // generated configs are valid by construction
+	}
+	return cfg
+}
+
+// SelectSIDs returns the first n signal ids (deterministic), for the
+// Table 6 experiments extracting 9 vs 89 signals.
+func (d *Dataset) SelectSIDs(n int) []string {
+	sids := d.Catalog.SIDs()
+	if n > len(sids) {
+		n = len(sids)
+	}
+	return sids[:n]
+}
+
+// schedEntry is one message's next send time in the generator's event
+// queue.
+type schedEntry struct {
+	at  float64
+	msg *message
+	seq int
+}
+
+type sched []schedEntry
+
+func (s sched) Len() int { return len(s) }
+func (s sched) Less(i, j int) bool {
+	if s[i].at != s[j].at {
+		return s[i].at < s[j].at
+	}
+	return s[i].seq < s[j].seq
+}
+func (s sched) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s *sched) Push(x any)   { *s = append(*s, x.(schedEntry)) }
+func (s *sched) Pop() any     { old := *s; n := len(old); e := old[n-1]; *s = old[:n-1]; return e }
+
+// Generate produces a trace of exactly numExamples message instances
+// (forwarded gateway copies included in the count), in time order.
+func (d *Dataset) Generate(numExamples int) *trace.Trace {
+	rng := rand.New(rand.NewSource(d.Spec.Seed + 7))
+	for _, s := range d.signals {
+		s.reset(rng)
+	}
+	q := make(sched, 0, len(d.messages))
+	for i, msg := range d.messages {
+		heap.Push(&q, schedEntry{at: rng.Float64() * msg.cycle, msg: msg, seq: i})
+	}
+	tr := &trace.Trace{Tuples: make([]trace.ByteTuple, 0, numExamples)}
+	seq := len(d.messages)
+	for len(tr.Tuples) < numExamples && q.Len() > 0 {
+		e := heap.Pop(&q).(schedEntry)
+		msg := e.msg
+		// Cycle drop: skip this beat, leaving a gap (violation).
+		if rng.Float64() >= d.Spec.CycleDropRate {
+			payload := make([]byte, msg.payload)
+			for _, s := range msg.signals {
+				s.step(rng, msg.cycle)
+				v := s.value
+				if s.kind == kindNumeric && rng.Float64() < d.Spec.OutlierRate {
+					v = s.value*10 + 500 // spike
+				}
+				// Encode clamps out-of-range values.
+				_ = s.def.EncodePhysical(payload, v)
+			}
+			tr.Append(trace.ByteTuple{
+				T: e.at, Channel: msg.channel, MsgID: msg.id, Payload: payload,
+				Info: trace.MsgInfo{Protocol: protoFor(msg.channel), DLC: uint8(msg.payload)},
+			})
+			if msg.gateway != "" && len(tr.Tuples) < numExamples {
+				fwd := make([]byte, len(payload))
+				copy(fwd, payload)
+				tr.Append(trace.ByteTuple{
+					T: e.at + 0.0005, Channel: msg.gateway, MsgID: msg.gatewayID, Payload: fwd,
+					Info: trace.MsgInfo{Protocol: protoFor(msg.gateway), DLC: uint8(msg.payload)},
+				})
+			}
+		}
+		heap.Push(&q, schedEntry{at: e.at + msg.cycle, msg: msg, seq: seq})
+		seq++
+	}
+	// Gateway copies are stamped shortly after their originals and can
+	// interleave with other messages' beats; restore global time order.
+	sort.SliceStable(tr.Tuples, func(i, j int) bool { return tr.Tuples[i].T < tr.Tuples[j].T })
+	return tr
+}
+
+func protoFor(channel string) trace.Protocol {
+	switch channel {
+	case "K-LIN":
+		return trace.ProtoLIN
+	case "ETH1":
+		return trace.ProtoSOMEIP
+	default:
+		return trace.ProtoCAN
+	}
+}
+
+// reset initializes a signal's value process.
+func (s *signal) reset(rng *rand.Rand) {
+	switch s.kind {
+	case kindNumeric:
+		s.value = rng.Float64() * 100
+		s.target = rng.Float64() * 100
+	default:
+		s.value = float64(rng.Intn(len(s.levels)))
+	}
+}
+
+// step advances the value process by one send cycle.
+func (s *signal) step(rng *rand.Rand, cycle float64) {
+	switch s.kind {
+	case kindNumeric:
+		// Ramp towards a target with noise; pick a new target when
+		// reached — produces the segments SWAB recovers.
+		if math.Abs(s.value-s.target) < 1 {
+			s.target = rng.Float64() * 100
+		}
+		dir := 1.0
+		if s.target < s.value {
+			dir = -1
+		}
+		s.value += dir*20*cycle + rng.NormFloat64()*0.2
+	case kindOrdinal:
+		// Mostly hold; occasionally step one level.
+		if rng.Float64() < 0.1 {
+			s.value += float64(rng.Intn(3) - 1)
+			s.value = clampf(s.value, 0, float64(len(s.levels)-1))
+		}
+	case kindNominal:
+		if rng.Float64() < 0.05 {
+			s.value = float64(rng.Intn(len(s.levels)))
+		}
+	case kindBinary:
+		if rng.Float64() < 0.03 {
+			s.value = 1 - s.value
+		}
+	}
+}
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// GenerateJourneys produces n independent journeys (separate traces
+// with distinct seeds), the fleet shape of Table 6.
+func GenerateJourneys(spec DatasetSpec, journeys, examplesPerJourney int) []*trace.Trace {
+	out := make([]*trace.Trace, journeys)
+	for j := 0; j < journeys; j++ {
+		s := spec
+		s.Seed = spec.Seed + int64(j)*1000
+		out[j] = Build(s).Generate(examplesPerJourney)
+	}
+	return out
+}
+
+// Stats summarizes a built data set against Table 5.
+type Stats struct {
+	Name               string
+	SignalTypes        int
+	Alpha, Beta, Gamma int
+	Examples           int
+	SignalsPerMessage  float64
+}
+
+// DatasetStats computes the Table 5 statistics row for a generated
+// trace.
+func (d *Dataset) DatasetStats(tr *trace.Trace) Stats {
+	totalSignals := 0
+	for _, msg := range d.messages {
+		totalSignals += len(msg.signals)
+	}
+	perMsg := float64(totalSignals) / float64(len(d.messages))
+	return Stats{
+		Name:              d.Spec.Name,
+		SignalTypes:       d.Spec.NumSignals(),
+		Alpha:             d.Spec.Alpha,
+		Beta:              d.Spec.Beta,
+		Gamma:             d.Spec.Gamma,
+		Examples:          tr.Len(),
+		SignalsPerMessage: perMsg,
+	}
+}

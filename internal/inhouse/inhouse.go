@@ -1,0 +1,152 @@
+// Package inhouse implements the comparison baseline of Sec. 5.1: an
+// OEM in-house analyzer of the Wireshark/CARMEN class. Its cost model
+// follows the paper's characterization exactly: the tool must *ingest*
+// a trace before anything can be extracted — one sequential loop over
+// all data points that interprets every documented signal on the way in
+// — so extraction time equals ingest time, scales linearly with trace
+// rows, and does not depend on how many signals the analyst wants.
+package inhouse
+
+import (
+	"fmt"
+
+	"ivnt/internal/expr"
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+	"ivnt/internal/trace"
+)
+
+// Tool is one analyzer instance, parameterized with the full signal
+// documentation (the tool has no notion of per-domain preselection).
+type Tool struct {
+	catalog *rules.Catalog
+
+	// byPair indexes translations by (channel, msgID) for the ingest
+	// loop.
+	byPair map[pairKey][]compiled
+
+	// store is the interpreted in-memory database filled by Ingest.
+	store    map[string][]trace.SignalInstance
+	ingested bool
+}
+
+type pairKey struct {
+	channel string
+	msgID   uint32
+}
+
+type compiled struct {
+	sid       string
+	firstByte int
+	lastByte  int
+	prog      *expr.Program
+}
+
+// interpSchema is the row shape the per-signal rules see during
+// sequential interpretation.
+func interpSchema() relation.Schema {
+	return relation.NewSchema(
+		relation.Column{Name: trace.ColT, Kind: relation.KindFloat},
+		relation.Column{Name: trace.ColBID, Kind: relation.KindString},
+		relation.Column{Name: trace.ColSID, Kind: relation.KindString},
+		relation.Column{Name: trace.ColLRel, Kind: relation.KindBytes},
+		relation.Column{Name: "l", Kind: relation.KindBytes},
+	)
+}
+
+// New compiles the catalog into a ready tool.
+func New(catalog *rules.Catalog) (*Tool, error) {
+	if err := catalog.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tool{
+		catalog: catalog,
+		byPair:  map[pairKey][]compiled{},
+		store:   map[string][]trace.SignalInstance{},
+	}
+	schema := interpSchema()
+	for i := range catalog.Translations {
+		u := &catalog.Translations[i]
+		prog, err := expr.Compile(u.Rule, schema)
+		if err != nil {
+			return nil, fmt.Errorf("inhouse: %s: %w", u.SID, err)
+		}
+		k := pairKey{channel: u.Channel, msgID: u.MsgID}
+		t.byPair[k] = append(t.byPair[k], compiled{
+			sid:       u.SID,
+			firstByte: u.FirstByte,
+			lastByte:  u.LastByte,
+			prog:      prog,
+		})
+	}
+	return t, nil
+}
+
+// Ingest performs the sequential load: every tuple is visited once and
+// every documented signal it carries is interpreted and stored —
+// "performing interpretation on ingest". Deliberately single-threaded;
+// that IS the baseline.
+func (t *Tool) Ingest(tr *trace.Trace) error {
+	row := make(relation.Row, 5)
+	env := expr.SingleRowEnv{}
+	for i := range tr.Tuples {
+		k := &tr.Tuples[i]
+		for _, c := range t.byPair[pairKey{channel: k.Channel, msgID: k.MsgID}] {
+			if c.lastByte >= len(k.Payload) {
+				continue // documented bytes missing from this instance
+			}
+			lrel := k.Payload[c.firstByte : c.lastByte+1]
+			row[0] = relation.Float(k.T)
+			row[1] = relation.Str(k.Channel)
+			row[2] = relation.Str(c.sid)
+			row[3] = relation.Bytes(lrel)
+			row[4] = relation.Bytes(k.Payload)
+			env.Row = row
+			v := c.prog.Eval(env)
+			t.store[c.sid] = append(t.store[c.sid], trace.SignalInstance{
+				T: k.T, SID: c.sid, V: v, Channel: k.Channel,
+			})
+		}
+	}
+	t.ingested = true
+	return nil
+}
+
+// Extract returns the stored instances for the requested signals. It
+// requires a prior Ingest — the tool cannot extract from raw traces,
+// which is precisely why its extraction time is the ingest time.
+func (t *Tool) Extract(sids ...string) (map[string][]trace.SignalInstance, error) {
+	if !t.ingested {
+		return nil, fmt.Errorf("inhouse: extract before ingest (the tool must load the journey first)")
+	}
+	out := make(map[string][]trace.SignalInstance, len(sids))
+	for _, sid := range sids {
+		inst, ok := t.store[sid]
+		if !ok {
+			if len(t.catalog.Lookup(sid)) == 0 {
+				return nil, fmt.Errorf("inhouse: signal %q not documented", sid)
+			}
+			inst = nil // documented but never occurred
+		}
+		out[sid] = inst
+	}
+	return out, nil
+}
+
+// StoredInstances reports the size of the interpreted database; the
+// paper's memory-efficiency argument (Sec. 3.2) is that this eager
+// representation can be ~8× the raw trace.
+func (t *Tool) StoredInstances() int {
+	n := 0
+	for _, inst := range t.store {
+		n += len(inst)
+	}
+	return n
+}
+
+// Reset drops the ingested database (a new journey requires a fresh
+// ingest, the per-journey "up to 2 hours" cost the paper cites).
+func (t *Tool) Reset() {
+	t.store = map[string][]trace.SignalInstance{}
+	t.ingested = false
+}

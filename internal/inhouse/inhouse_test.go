@@ -1,0 +1,154 @@
+package inhouse
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/gen"
+	"ivnt/internal/interp"
+	"ivnt/internal/rules"
+	"ivnt/internal/trace"
+)
+
+func dataset() (*gen.Dataset, *trace.Trace) {
+	d := gen.Build(gen.SYN)
+	return d, d.Generate(5000)
+}
+
+func TestIngestThenExtract(t *testing.T) {
+	d, tr := dataset()
+	tool, err := New(d.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tool.Extract(d.SelectSIDs(1)...); err == nil {
+		t.Fatal("extract before ingest must fail")
+	}
+	if err := tool.Ingest(tr); err != nil {
+		t.Fatal(err)
+	}
+	sids := d.SelectSIDs(5)
+	out, err := tool.Extract(sids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("extracted %d signals", len(out))
+	}
+	total := 0
+	for _, inst := range out {
+		total += len(inst)
+	}
+	if total == 0 {
+		t.Fatal("no instances extracted")
+	}
+	if tool.StoredInstances() < total {
+		t.Fatal("store smaller than extraction")
+	}
+}
+
+func TestExtractUnknownSignal(t *testing.T) {
+	d, tr := dataset()
+	tool, err := New(d.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Ingest(tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tool.Extract("no.such.signal"); err == nil {
+		t.Fatal("undocumented signal must fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d, tr := dataset()
+	tool, err := New(d.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Ingest(tr); err != nil {
+		t.Fatal(err)
+	}
+	tool.Reset()
+	if tool.StoredInstances() != 0 {
+		t.Fatal("reset kept instances")
+	}
+	if _, err := tool.Extract(d.SelectSIDs(1)...); err == nil {
+		t.Fatal("extract after reset must fail")
+	}
+}
+
+func TestNewRejectsBadCatalog(t *testing.T) {
+	bad := &rules.Catalog{Translations: []rules.Translation{
+		{SID: "x", Channel: "FC", Rule: "", LastByte: 1},
+	}}
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid catalog must fail")
+	}
+}
+
+// TestMatchesProposedPipeline is the cross-validation: for the same
+// trace and signals, the baseline's interpreted values must equal what
+// the distributed pipeline extracts (they implement the same
+// interpretation semantics, differing only in cost model).
+func TestMatchesProposedPipeline(t *testing.T) {
+	d, tr := dataset()
+	sids := d.SelectSIDs(4)
+
+	tool, err := New(d.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Ingest(tr); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := tool.Extract(sids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ucomb, err := d.Catalog.Select(sids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, _, err := interp.Extract(context.Background(), engine.NewLocal(4),
+		tr.ToRelation(8), ucomb, interp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposed, err := trace.SignalsFromRelation(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySID := map[string][]trace.SignalInstance{}
+	for _, s := range proposed {
+		bySID[s.SID] = append(bySID[s.SID], s)
+	}
+	for _, sid := range sids {
+		a, b := baseline[sid], bySID[sid]
+		sort.Slice(a, func(i, j int) bool {
+			if a[i].T != a[j].T {
+				return a[i].T < a[j].T
+			}
+			return a[i].Channel < a[j].Channel
+		})
+		sort.Slice(b, func(i, j int) bool {
+			if b[i].T != b[j].T {
+				return b[i].T < b[j].T
+			}
+			return b[i].Channel < b[j].Channel
+		})
+		if len(a) != len(b) {
+			t.Fatalf("%s: counts differ: baseline %d vs proposed %d", sid, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].T != b[i].T || !a[i].V.Equal(b[i].V) {
+				t.Fatalf("%s[%d]: baseline (%v, %v) vs proposed (%v, %v)",
+					sid, i, a[i].T, a[i].V, b[i].T, b[i].V)
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package interp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/protocol"
+	"ivnt/internal/protocol/someip"
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+	"ivnt/internal/trace"
+)
+
+var ctx = context.Background()
+
+// buildTrace produces the paper's Fig. 2 situation: wiper messages
+// (mid 3 on FC, wpos in bytes 0-1 with v=0.5*raw, wvel in bytes 2-3)
+// interleaved with irrelevant traffic (mid 9 on DC).
+func buildTrace(n int) *relation.Relation {
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			raw := uint16(90 + i) // wpos = 45 + i/2
+			vel := uint16(i % 3)
+			tr.Append(trace.ByteTuple{
+				T: float64(i) * 0.5, Channel: "FC", MsgID: 3,
+				Payload: []byte{byte(raw >> 8), byte(raw), byte(vel >> 8), byte(vel)},
+				Info:    trace.MsgInfo{Protocol: trace.ProtoCAN, DLC: 4},
+			})
+		} else {
+			tr.Append(trace.ByteTuple{
+				T: float64(i) * 0.5, Channel: "DC", MsgID: 9,
+				Payload: []byte{0xAA, 0xBB},
+				Info:    trace.MsgInfo{Protocol: trace.ProtoCAN, DLC: 2},
+			})
+		}
+	}
+	return tr.ToRelation(3)
+}
+
+func testCatalog() *rules.Catalog {
+	return &rules.Catalog{Translations: []rules.Translation{
+		{SID: "wpos", Channel: "FC", MsgID: 3, FirstByte: 0, LastByte: 1,
+			Rule: "0.5 * ube(lrel, 0, 2)", Class: rules.ClassNumeric},
+		{SID: "wvel", Channel: "FC", MsgID: 3, FirstByte: 2, LastByte: 3,
+			Rule: "ube(lrel, 0, 2)", Class: rules.ClassNumeric},
+		{SID: "other", Channel: "DC", MsgID: 9, FirstByte: 0, LastByte: 0,
+			Rule: "byteat(lrel, 0)", Class: rules.ClassNumeric},
+	}}
+}
+
+func TestExtractWiperSignals(t *testing.T) {
+	kb := buildTrace(20)
+	cat := testCatalog()
+	ucomb, err := cat.Select("wpos", "wvel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, st, err := Extract(ctx, engine.NewLocal(2), kb, ucomb, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 wiper messages × 2 signals each.
+	if ks.NumRows() != 20 {
+		t.Fatalf("K_s rows = %d, want 20", ks.NumRows())
+	}
+	if st.RowsIn != 20 {
+		t.Fatalf("stats RowsIn = %d", st.RowsIn)
+	}
+	sigs, err := trace.SignalsFromRelation(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sigs {
+		switch s.SID {
+		case "wpos":
+			want := 45 + s.T // raw = 90+i, i = 2t, v = 45 + t
+			if s.V.AsFloat() != want {
+				t.Fatalf("wpos at t=%v: %v, want %v", s.T, s.V, want)
+			}
+		case "wvel":
+			if s.V.AsInt() < 0 || s.V.AsInt() > 2 {
+				t.Fatalf("wvel out of range: %v", s.V)
+			}
+		default:
+			t.Fatalf("unexpected signal %q extracted", s.SID)
+		}
+		if s.Channel != "FC" {
+			t.Fatalf("channel = %q", s.Channel)
+		}
+	}
+}
+
+func TestExtractSchemaIsKs(t *testing.T) {
+	kb := buildTrace(4)
+	ucomb, _ := testCatalog().Select("wpos")
+	ks, _, err := Extract(ctx, engine.NewLocal(1), kb, ucomb, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"t", "sid", "v", "bid"}
+	for i, name := range want {
+		if ks.Schema.Cols[i].Name != name {
+			t.Fatalf("K_s schema = %s, want columns %v", ks.Schema, want)
+		}
+	}
+}
+
+func TestExtractWithoutPreselectionMatches(t *testing.T) {
+	// Ablation A1: interpret-everything-then-filter must produce the
+	// same K_s, just more expensively.
+	kb := buildTrace(30)
+	cat := testCatalog()
+	ucomb, _ := cat.Select("wpos", "wvel")
+
+	pre, _, err := Extract(ctx, engine.NewLocal(2), kb, ucomb, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPre, _, err := Extract(ctx, engine.NewLocal(2), kb, ucomb, Options{
+		Preselect:   false,
+		FullCatalog: cat.Translations,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pre.Rows(), noPre.Rows()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := Plan(nil, DefaultOptions()); err == nil {
+		t.Fatal("empty U_comb must fail")
+	}
+	ucomb, _ := testCatalog().Select("wpos")
+	if _, err := Plan(ucomb, Options{Preselect: false}); err == nil {
+		t.Fatal("no-preselect without catalog must fail")
+	}
+}
+
+func TestMultiProtocolExtraction(t *testing.T) {
+	// Table 1's point: one extraction combines CAN, LIN and SOME/IP.
+	tr := &trace.Trace{}
+	tr.Append(trace.ByteTuple{T: 1, Channel: "FC", MsgID: 3,
+		Payload: []byte{0x00, 0x5A, 0x00, 0x01},
+		Info:    trace.MsgInfo{Protocol: trace.ProtoCAN, DLC: 4}})
+	tr.Append(trace.ByteTuple{T: 2, Channel: "K-LIN", MsgID: 11,
+		Payload: []byte{0x05, 0x00},
+		Info:    trace.MsgInfo{Protocol: trace.ProtoLIN, DLC: 2}})
+	tr.Append(trace.ByteTuple{T: 3, Channel: "ETH1", MsgID: 212,
+		Payload: make([]byte, 24),
+		Info:    trace.MsgInfo{Protocol: trace.ProtoSOMEIP, DLC: 24}})
+
+	cat := &rules.Catalog{Translations: []rules.Translation{
+		{SID: "wpos", Channel: "FC", MsgID: 3, FirstByte: 0, LastByte: 1,
+			Rule: "0.5 * ube(lrel, 0, 2)"},
+		{SID: "wtype", Channel: "K-LIN", MsgID: 11, FirstByte: 0, LastByte: 0,
+			Rule: "byteat(lrel, 0) + 2"},
+		{SID: "wstat", Channel: "ETH1", MsgID: 212, FirstByte: 16, LastByte: 20,
+			Rule: "lookup(byteat(lrel, 0), '0=idle;1=wiping')"},
+	}}
+	ucomb, err := cat.Select("wpos", "wtype", "wstat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, _, err := Extract(ctx, engine.NewLocal(1), tr.ToRelation(1), ucomb, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := trace.SignalsFromRelation(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 3 {
+		t.Fatalf("signals = %d, want 3", len(sigs))
+	}
+	byID := map[string]relation.Value{}
+	for _, s := range sigs {
+		byID[s.SID] = s.V
+	}
+	if byID["wpos"].AsFloat() != 45 {
+		t.Fatalf("wpos = %v", byID["wpos"])
+	}
+	if byID["wtype"].AsFloat() != 7 {
+		t.Fatalf("wtype = %v", byID["wtype"])
+	}
+	if byID["wstat"].AsString() != "idle" {
+		t.Fatalf("wstat = %v", byID["wstat"])
+	}
+}
+
+func TestSidFilterExpr(t *testing.T) {
+	ucomb := []rules.Translation{{SID: "a"}, {SID: "b"}, {SID: "a"}}
+	got := sidFilterExpr(ucomb)
+	if got != `sid == "a" || sid == "b"` {
+		t.Fatalf("filter expr = %q", got)
+	}
+}
+
+func TestSomeIPPresenceConditionalExtraction(t *testing.T) {
+	// Sec. 3.2's hardest case: "rules where values of preceding bytes
+	// define the presence of a signal type in succeeding bytes". Encode
+	// SOME/IP notifications with and without an optional field and
+	// verify the generated presence-gated rule extracts only the
+	// present instances.
+	msg := someip.MessageDef{
+		ServiceID: 0, MethodID: 212, Name: "WiperService", Channel: "ETH1",
+		PayloadLen: 12,
+		Fields: []someip.Field{
+			{Def: protocol.SignalDef{Name: "wstat", StartBit: 8, BitLen: 8}},
+			{Def: protocol.SignalDef{Name: "wdetail", StartBit: 16, BitLen: 16, Scale: 0.1},
+				Optional: true, PresenceBit: 0},
+		},
+	}
+	if err := msg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	detailRule, err := msg.FieldRule("wdetail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statRule, err := msg.FieldRule("wstat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SOME/IP rules operate on the full recorded bytes; rel.B covers
+	// header + payload, so lrel == l and the rules can be rewritten
+	// onto lrel textually.
+	cat := &rules.Catalog{Translations: []rules.Translation{
+		{SID: "wstat", Channel: "ETH1", MsgID: msg.MessageID(),
+			FirstByte: 0, LastByte: someip.HeaderLen + 11,
+			Rule: strings.ReplaceAll(statRule, "(l,", "(lrel,")},
+		{SID: "wdetail", Channel: "ETH1", MsgID: msg.MessageID(),
+			FirstByte: 0, LastByte: someip.HeaderLen + 11,
+			Rule: strings.ReplaceAll(detailRule, "(l,", "(lrel,")},
+	}}
+
+	tr := &trace.Trace{}
+	with, err := msg.Encode(map[string]float64{"wstat": 1, "wdetail": 12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := msg.Encode(map[string]float64{"wstat": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Append(trace.ByteTuple{T: 1, Channel: "ETH1", MsgID: msg.MessageID(), Payload: with,
+		Info: trace.MsgInfo{Protocol: trace.ProtoSOMEIP, DLC: uint8(len(with))}})
+	tr.Append(trace.ByteTuple{T: 2, Channel: "ETH1", MsgID: msg.MessageID(), Payload: without,
+		Info: trace.MsgInfo{Protocol: trace.ProtoSOMEIP, DLC: uint8(len(without))}})
+
+	ucomb, err := cat.Select("wstat", "wdetail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, _, err := Extract(ctx, engine.NewLocal(1), tr.ToRelation(1), ucomb, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := trace.SignalsFromRelation(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detailVals []relation.Value
+	statCount := 0
+	for _, s := range sigs {
+		switch s.SID {
+		case "wdetail":
+			if !s.V.IsNull() {
+				detailVals = append(detailVals, s.V)
+			}
+		case "wstat":
+			statCount++
+		}
+	}
+	if statCount != 2 {
+		t.Fatalf("wstat instances = %d, want 2", statCount)
+	}
+	if len(detailVals) != 1 || detailVals[0].AsFloat() != 12.5 {
+		t.Fatalf("wdetail present instances = %v, want one 12.5", detailVals)
+	}
+}

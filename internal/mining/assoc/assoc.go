@@ -1,0 +1,225 @@
+// Package assoc implements Association Rule Mining over the state
+// representation (Sec. 4.4): each state row is an item-set of
+// signal=value items; Apriori finds frequent item-sets and derives
+// IF-THEN rules such as "IF T < -10 AND WiperActivated THEN
+// WiperErrorBlocked".
+package assoc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ivnt/internal/staterep"
+)
+
+// Item is one signal=value condition.
+type Item struct {
+	Signal string
+	Value  string
+}
+
+// String renders "signal=value".
+func (it Item) String() string { return it.Signal + "=" + it.Value }
+
+// Rule is one mined IF-THEN rule.
+type Rule struct {
+	// Antecedent items, sorted.
+	Antecedent []Item
+	// Consequent is the single-item conclusion.
+	Consequent Item
+	// Support is the fraction of states containing antecedent ∪
+	// consequent; Confidence is support(rule)/support(antecedent).
+	Support    float64
+	Confidence float64
+	// Count is the absolute co-occurrence count.
+	Count int
+}
+
+// String renders "IF a=x AND b=y THEN c=z (sup=…, conf=…)".
+func (r Rule) String() string {
+	parts := make([]string, len(r.Antecedent))
+	for i, it := range r.Antecedent {
+		parts[i] = it.String()
+	}
+	return fmt.Sprintf("IF %s THEN %s (sup=%.3f, conf=%.3f)",
+		strings.Join(parts, " AND "), r.Consequent, r.Support, r.Confidence)
+}
+
+// Options tune the miner.
+type Options struct {
+	// MinSupport in (0,1]; default 0.1.
+	MinSupport float64
+	// MinConfidence in (0,1]; default 0.8.
+	MinConfidence float64
+	// MaxItems bounds item-set size (antecedent + consequent);
+	// default 3.
+	MaxItems int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport <= 0 {
+		o.MinSupport = 0.1
+	}
+	if o.MinConfidence <= 0 {
+		o.MinConfidence = 0.8
+	}
+	if o.MaxItems < 2 {
+		o.MaxItems = 3
+	}
+	return o
+}
+
+// itemset is a sorted, canonical set of item keys.
+type itemset string
+
+func makeSet(items []string) itemset {
+	sort.Strings(items)
+	return itemset(strings.Join(items, "\x1f"))
+}
+
+func (s itemset) items() []string {
+	return strings.Split(string(s), "\x1f")
+}
+
+// Mine runs Apriori over the state table and returns rules sorted by
+// confidence then support, descending (deterministic).
+func Mine(tb *staterep.Table, opts Options) []Rule {
+	opts = opts.withDefaults()
+	n := tb.NumRows()
+	if n == 0 {
+		return nil
+	}
+	minCount := int(opts.MinSupport * float64(n))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// Transactions: one item per column, skipping unknowns.
+	txns := make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(tb.Signals))
+		for j, sig := range tb.Signals {
+			v := tb.Cells[i][j]
+			if v == staterep.Unknown {
+				continue
+			}
+			row = append(row, Item{Signal: sig, Value: v}.String())
+		}
+		sort.Strings(row)
+		txns[i] = row
+	}
+
+	// L1: frequent single items.
+	counts := map[itemset]int{}
+	for _, txn := range txns {
+		for _, it := range txn {
+			counts[itemset(it)]++
+		}
+	}
+	freq := map[itemset]int{}
+	var current []itemset
+	for s, c := range counts {
+		if c >= minCount {
+			freq[s] = c
+			current = append(current, s)
+		}
+	}
+	sort.Slice(current, func(i, j int) bool { return current[i] < current[j] })
+
+	// Levels 2..MaxItems: candidate generation by single-item
+	// extension, pruned by support.
+	for size := 2; size <= opts.MaxItems && len(current) > 0; size++ {
+		cand := map[itemset]int{}
+		for _, txn := range txns {
+			inTxn := map[string]bool{}
+			for _, it := range txn {
+				inTxn[it] = true
+			}
+			for _, prev := range current {
+				items := prev.items()
+				if len(items) != size-1 || !allIn(items, inTxn) {
+					continue
+				}
+				for _, it := range txn {
+					if it > items[len(items)-1] { // lexicographic extension avoids duplicates
+						cand[makeSet(append(append([]string{}, items...), it))]++
+					}
+				}
+			}
+		}
+		current = current[:0]
+		for s, c := range cand {
+			if c >= minCount {
+				freq[s] = c
+				current = append(current, s)
+			}
+		}
+		sort.Slice(current, func(i, j int) bool { return current[i] < current[j] })
+	}
+
+	// Rule generation: single-item consequents from every frequent set
+	// of size ≥ 2.
+	var rules []Rule
+	for s, c := range freq {
+		items := s.items()
+		if len(items) < 2 {
+			continue
+		}
+		for k := range items {
+			ante := make([]string, 0, len(items)-1)
+			ante = append(ante, items[:k]...)
+			ante = append(ante, items[k+1:]...)
+			anteCount := freq[makeSet(append([]string{}, ante...))]
+			if anteCount == 0 {
+				continue
+			}
+			conf := float64(c) / float64(anteCount)
+			if conf < opts.MinConfidence {
+				continue
+			}
+			rules = append(rules, Rule{
+				Antecedent: parseItems(ante),
+				Consequent: parseItem(items[k]),
+				Support:    float64(c) / float64(n),
+				Confidence: conf,
+				Count:      c,
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return rules[i].String() < rules[j].String()
+	})
+	return rules
+}
+
+func allIn(items []string, set map[string]bool) bool {
+	for _, it := range items {
+		if !set[it] {
+			return false
+		}
+	}
+	return true
+}
+
+func parseItem(s string) Item {
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		return Item{Signal: s[:i], Value: s[i+1:]}
+	}
+	return Item{Signal: s}
+}
+
+func parseItems(ss []string) []Item {
+	sort.Strings(ss)
+	out := make([]Item, len(ss))
+	for i, s := range ss {
+		out[i] = parseItem(s)
+	}
+	return out
+}

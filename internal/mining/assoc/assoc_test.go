@@ -1,0 +1,143 @@
+package assoc
+
+import (
+	"strings"
+	"testing"
+
+	"ivnt/internal/staterep"
+)
+
+// table builds a state table from literal rows.
+func table(signals []string, rows [][]string) *staterep.Table {
+	tb := &staterep.Table{Signals: signals}
+	for i, r := range rows {
+		tb.Times = append(tb.Times, float64(i))
+		tb.Cells = append(tb.Cells, r)
+	}
+	return tb
+}
+
+// wiperErrorScenario: wiper errors co-occur with freezing temperatures,
+// the paper's example rule "IF T<-10 AND WiperActivated THEN
+// WiperErrorBlocked".
+func wiperErrorScenario() *staterep.Table {
+	rows := [][]string{}
+	for i := 0; i < 40; i++ {
+		rows = append(rows, []string{"warm", "on", "ok"})
+	}
+	for i := 0; i < 40; i++ {
+		rows = append(rows, []string{"warm", "off", "ok"})
+	}
+	for i := 0; i < 20; i++ {
+		rows = append(rows, []string{"freezing", "on", "blocked"})
+	}
+	return table([]string{"temp", "wiper", "werror"}, rows)
+}
+
+func TestMineFindsCausalRule(t *testing.T) {
+	rules := Mine(wiperErrorScenario(), Options{MinSupport: 0.1, MinConfidence: 0.9, MaxItems: 3})
+	if len(rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	found := false
+	for _, r := range rules {
+		s := r.String()
+		if strings.Contains(s, "temp=freezing") && strings.Contains(s, "THEN werror=blocked") {
+			found = true
+			if r.Confidence != 1.0 {
+				t.Fatalf("confidence = %v, want 1.0 (%s)", r.Confidence, s)
+			}
+			if r.Support != 0.2 {
+				t.Fatalf("support = %v, want 0.2", r.Support)
+			}
+		}
+	}
+	if !found {
+		var all []string
+		for _, r := range rules {
+			all = append(all, r.String())
+		}
+		t.Fatalf("expected freezing→blocked rule; got:\n%s", strings.Join(all, "\n"))
+	}
+}
+
+func TestMineConfidenceFiltersWeakRules(t *testing.T) {
+	// wiper=on does NOT imply blocked (40 ok vs 20 blocked).
+	rules := Mine(wiperErrorScenario(), Options{MinSupport: 0.05, MinConfidence: 0.9, MaxItems: 2})
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0].String() == "wiper=on" &&
+			r.Consequent.String() == "werror=blocked" {
+			t.Fatalf("weak rule passed confidence filter: %s", r)
+		}
+	}
+}
+
+func TestMineDeterministicOrder(t *testing.T) {
+	a := Mine(wiperErrorScenario(), Options{})
+	b := Mine(wiperErrorScenario(), Options{})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("rule %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMineSkipsUnknownCells(t *testing.T) {
+	tb := table([]string{"a", "b"}, [][]string{
+		{staterep.Unknown, "x"},
+		{staterep.Unknown, "x"},
+		{"1", "x"},
+	})
+	rules := Mine(tb, Options{MinSupport: 0.5, MinConfidence: 0.5, MaxItems: 2})
+	for _, r := range rules {
+		if strings.Contains(r.String(), staterep.Unknown) {
+			t.Fatalf("rule mentions unknown cell: %s", r)
+		}
+	}
+}
+
+func TestMineEmptyAndDefaults(t *testing.T) {
+	if rules := Mine(&staterep.Table{}, Options{}); rules != nil {
+		t.Fatal("empty table must yield no rules")
+	}
+	o := Options{}.withDefaults()
+	if o.MinSupport != 0.1 || o.MinConfidence != 0.8 || o.MaxItems != 3 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestMineSupportCount(t *testing.T) {
+	tb := table([]string{"a", "b"}, [][]string{
+		{"1", "x"}, {"1", "x"}, {"1", "y"}, {"2", "y"},
+	})
+	rules := Mine(tb, Options{MinSupport: 0.5, MinConfidence: 0.6, MaxItems: 2})
+	// a=1 appears 3/4; (a=1, b=x) appears 2/4; conf(a=1→b=x)=2/3.
+	found := false
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0].String() == "a=1" && r.Consequent.String() == "b=x" {
+			found = true
+			if r.Count != 2 || r.Support != 0.5 {
+				t.Fatalf("rule stats = %+v", r)
+			}
+			if r.Confidence < 0.66 || r.Confidence > 0.67 {
+				t.Fatalf("confidence = %v", r.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected a=1 → b=x")
+	}
+}
+
+func TestItemParsing(t *testing.T) {
+	it := parseItem("sig=va=lue")
+	if it.Signal != "sig" || it.Value != "va=lue" {
+		t.Fatalf("parseItem = %+v", it)
+	}
+	if parseItem("noequals").Signal != "noequals" {
+		t.Fatal("item without value")
+	}
+}

@@ -1,0 +1,188 @@
+// Package motif mines frequent symbolic motifs from homogenized signal
+// sequences: recurring n-grams of (level, trend) symbols. The paper's
+// related work reduces sensor data via frequent motifs (Agarwal et al.,
+// IKDD CoDS 2015 [1]); here motifs run the other way as an application
+// — frequent patterns describe normal behaviour, and windows matching
+// no frequent motif are surfaced as potential errors, complementing the
+// transition-graph and anomaly applications of Sec. 4.4.
+package motif
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ivnt/internal/relation"
+	"ivnt/internal/trace"
+)
+
+// Motif is one recurring pattern of consecutive symbolized values.
+type Motif struct {
+	// Pattern is the value n-gram.
+	Pattern []string
+	// Count is how often it occurs (overlapping occurrences counted).
+	Count int
+	// Support is Count relative to the number of windows.
+	Support float64
+	// FirstAt is the timestamp of the first occurrence.
+	FirstAt float64
+}
+
+// String renders "a → b → c (12x, sup 0.34)".
+func (m Motif) String() string {
+	return fmt.Sprintf("%s (%dx, sup %.3f)", strings.Join(m.Pattern, " -> "), m.Count, m.Support)
+}
+
+// Options tune the miner.
+type Options struct {
+	// Length is the motif length in values; default 3, minimum 2.
+	Length int
+	// MinSupport in (0,1]: patterns below it are not reported;
+	// default 0.05.
+	MinSupport float64
+	// TopK bounds the result; 0 = all frequent motifs.
+	TopK int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Length < 2 {
+		o.Length = 3
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = 0.05
+	}
+	return o
+}
+
+// window is one value n-gram with its start time.
+type window struct {
+	key string
+	at  float64
+}
+
+// extract reads a K_s-shaped sequence into time-ordered windows.
+func extract(seq *relation.Relation, length int) ([]window, []string, error) {
+	tIdx := seq.Schema.Index(trace.ColT)
+	vIdx := seq.Schema.Index(trace.ColV)
+	if tIdx < 0 || vIdx < 0 {
+		return nil, nil, fmt.Errorf("motif: sequence lacks t/v columns (%s)", seq.Schema)
+	}
+	type pt struct {
+		t float64
+		v string
+	}
+	var pts []pt
+	for _, p := range seq.Partitions {
+		for _, r := range p {
+			if r[vIdx].IsNull() {
+				continue
+			}
+			pts = append(pts, pt{t: r[tIdx].AsFloat(), v: r[vIdx].AsString()})
+		}
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].t < pts[j].t })
+	if len(pts) < length {
+		return nil, nil, nil
+	}
+	values := make([]string, len(pts))
+	for i, p := range pts {
+		values[i] = p.v
+	}
+	windows := make([]window, 0, len(pts)-length+1)
+	for i := 0; i+length <= len(pts); i++ {
+		windows = append(windows, window{
+			key: strings.Join(values[i:i+length], "\x1f"),
+			at:  pts[i].t,
+		})
+	}
+	return windows, values, nil
+}
+
+// Mine returns the frequent motifs of a symbolized sequence, most
+// frequent first (ties broken lexicographically for determinism).
+func Mine(seq *relation.Relation, opts Options) ([]Motif, error) {
+	opts = opts.withDefaults()
+	windows, _, err := extract(seq, opts.Length)
+	if err != nil {
+		return nil, err
+	}
+	if len(windows) == 0 {
+		return nil, nil
+	}
+	counts := map[string]int{}
+	first := map[string]float64{}
+	for _, w := range windows {
+		if _, ok := counts[w.key]; !ok {
+			first[w.key] = w.at
+		}
+		counts[w.key]++
+	}
+	var out []Motif
+	for key, c := range counts {
+		sup := float64(c) / float64(len(windows))
+		if sup < opts.MinSupport {
+			continue
+		}
+		out = append(out, Motif{
+			Pattern: strings.Split(key, "\x1f"),
+			Count:   c,
+			Support: sup,
+			FirstAt: first[key],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return strings.Join(out[i].Pattern, "\x1f") < strings.Join(out[j].Pattern, "\x1f")
+	})
+	if opts.TopK > 0 && len(out) > opts.TopK {
+		out = out[:opts.TopK]
+	}
+	return out, nil
+}
+
+// Discord is a window matching no frequent motif — a candidate error
+// region (the discord notion of the SAX literature).
+type Discord struct {
+	At      float64
+	Pattern []string
+	// Count is how often this exact pattern occurred (1 = unique).
+	Count int
+}
+
+// String renders the discord.
+func (d Discord) String() string {
+	return fmt.Sprintf("t=%.3f %s (%dx)", d.At, strings.Join(d.Pattern, " -> "), d.Count)
+}
+
+// Discords returns the windows whose pattern occurs at most maxCount
+// times, rarest first — the flip side of Mine.
+func Discords(seq *relation.Relation, opts Options, maxCount int) ([]Discord, error) {
+	opts = opts.withDefaults()
+	windows, _, err := extract(seq, opts.Length)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for _, w := range windows {
+		counts[w.key]++
+	}
+	var out []Discord
+	for _, w := range windows {
+		if c := counts[w.key]; c <= maxCount {
+			out = append(out, Discord{
+				At:      w.at,
+				Pattern: strings.Split(w.key, "\x1f"),
+				Count:   c,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count < out[j].Count
+		}
+		return out[i].At < out[j].At
+	})
+	return out, nil
+}

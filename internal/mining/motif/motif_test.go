@@ -1,0 +1,154 @@
+package motif
+
+import (
+	"strings"
+	"testing"
+
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+)
+
+// seqOf builds a K_s-shaped sequence from symbol values at 1s spacing.
+func seqOf(vals ...string) *relation.Relation {
+	rel := relation.New(rules.SequenceSchema())
+	for i, v := range vals {
+		var cell relation.Value
+		if v == "" {
+			cell = relation.Null()
+		} else {
+			cell = relation.Str(v)
+		}
+		rel.Append(relation.Row{
+			relation.Float(float64(i)),
+			relation.Str("s"),
+			cell,
+			relation.Str("FC"),
+		})
+	}
+	return rel
+}
+
+// cyclic builds A B C repeated n times with one glitch X injected.
+func cyclic(n int, glitchAt int) *relation.Relation {
+	var vals []string
+	for i := 0; i < n*3; i++ {
+		v := []string{"A", "B", "C"}[i%3]
+		if i == glitchAt {
+			v = "X"
+		}
+		vals = append(vals, v)
+	}
+	return seqOf(vals...)
+}
+
+func TestMineFindsCycle(t *testing.T) {
+	motifs, err := Mine(cyclic(20, -1), Options{Length: 3, MinSupport: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(motifs) != 3 {
+		t.Fatalf("motifs = %d: %v", len(motifs), motifs)
+	}
+	// The three rotations of A B C each cover ~1/3 of windows.
+	for _, m := range motifs {
+		if m.Support < 0.3 {
+			t.Fatalf("support = %v for %v", m.Support, m)
+		}
+		joined := strings.Join(m.Pattern, "")
+		if joined != "ABC" && joined != "BCA" && joined != "CAB" {
+			t.Fatalf("unexpected motif %v", m)
+		}
+	}
+	if !strings.Contains(motifs[0].String(), "->") {
+		t.Fatalf("String = %q", motifs[0])
+	}
+}
+
+func TestDiscordsFindGlitch(t *testing.T) {
+	seq := cyclic(20, 30)
+	ds, err := Discords(seq, Options{Length: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The glitch X at index 30 produces 3 unique windows containing it.
+	if len(ds) != 3 {
+		t.Fatalf("discords = %d: %v", len(ds), ds)
+	}
+	found := false
+	for _, d := range ds {
+		for _, p := range d.Pattern {
+			if p == "X" {
+				found = true
+			}
+		}
+		if d.Count != 1 {
+			t.Fatalf("discord count = %d", d.Count)
+		}
+	}
+	if !found {
+		t.Fatalf("glitch not in discords: %v", ds)
+	}
+	// A clean cycle has no unique windows.
+	clean, err := Discords(cyclic(20, -1), Options{Length: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 0 {
+		t.Fatalf("clean cycle discords = %v", clean)
+	}
+}
+
+func TestMineDefaultsAndEdgeCases(t *testing.T) {
+	// Too short for a window.
+	m, err := Mine(seqOf("A"), Options{Length: 3})
+	if err != nil || m != nil {
+		t.Fatalf("short sequence: %v, %v", m, err)
+	}
+	// Nulls are skipped.
+	m, err = Mine(seqOf("A", "", "B", "A", "B", "A", "B"), Options{Length: 2, MinSupport: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mm := range m {
+		for _, p := range mm.Pattern {
+			if p == "" {
+				t.Fatalf("null leaked into motif: %v", mm)
+			}
+		}
+	}
+	// TopK truncation.
+	m, err = Mine(cyclic(10, -1), Options{Length: 2, MinSupport: 0.01, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("topK = %d", len(m))
+	}
+	// Bad schema.
+	bad := relation.New(relation.NewSchema(relation.Column{Name: "x", Kind: relation.KindInt}))
+	if _, err := Mine(bad, Options{}); err == nil {
+		t.Fatal("bad schema must fail")
+	}
+	if _, err := Discords(bad, Options{}, 1); err == nil {
+		t.Fatal("bad schema must fail")
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	a, err := Mine(cyclic(15, 7), Options{Length: 3, MinSupport: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(cyclic(15, 7), Options{Length: 3, MinSupport: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("motif %d differs", i)
+		}
+	}
+}

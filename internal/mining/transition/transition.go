@@ -1,0 +1,227 @@
+// Package transition builds transition graphs over the state
+// representation (Sec. 4.4): every state row links to its consequent
+// row; edge weights count how often each transition occurred. Rare
+// transitions indicate potential errors, and path analysis isolates the
+// event chains leading into them.
+package transition
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ivnt/internal/staterep"
+)
+
+// Graph is an aggregated state transition graph.
+type Graph struct {
+	// States are the distinct composite states, in first-appearance
+	// order; Labels renders them readably.
+	States []string
+	Labels []string
+	index  map[string]int
+	// counts[from][to] is the number of observed transitions.
+	counts map[int]map[int]int
+	// outTotal[from] sums outgoing transitions.
+	outTotal map[int]int
+	// firstSeen[state] is the first row index the state appeared at.
+	firstSeen map[int]int
+	// Transitions is the total edge-traversal count.
+	Transitions int
+}
+
+// Build aggregates the state table into a graph. Label columns
+// (optional) restrict the human-readable label to interesting signals;
+// the state identity always uses all columns.
+func Build(tb *staterep.Table, labelSignals ...string) (*Graph, error) {
+	g := &Graph{
+		index:     map[string]int{},
+		counts:    map[int]map[int]int{},
+		outTotal:  map[int]int{},
+		firstSeen: map[int]int{},
+	}
+	labelIdx := make([]int, 0, len(labelSignals))
+	for _, s := range labelSignals {
+		found := -1
+		for j, sig := range tb.Signals {
+			if sig == s {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("transition: no signal %q in state table", s)
+		}
+		labelIdx = append(labelIdx, found)
+	}
+	stateOf := func(i int) int {
+		key := tb.StateKey(i)
+		if id, ok := g.index[key]; ok {
+			return id
+		}
+		id := len(g.States)
+		g.index[key] = id
+		g.States = append(g.States, key)
+		g.Labels = append(g.Labels, label(tb, i, labelIdx))
+		g.firstSeen[id] = i
+		return id
+	}
+	prev := -1
+	for i := 0; i < tb.NumRows(); i++ {
+		cur := stateOf(i)
+		if prev >= 0 && prev != cur {
+			m := g.counts[prev]
+			if m == nil {
+				m = map[int]int{}
+				g.counts[prev] = m
+			}
+			m[cur]++
+			g.outTotal[prev]++
+			g.Transitions++
+		}
+		prev = cur
+	}
+	return g, nil
+}
+
+func label(tb *staterep.Table, row int, labelIdx []int) string {
+	if len(labelIdx) == 0 {
+		return strings.Join(tb.Cells[row], " | ")
+	}
+	parts := make([]string, len(labelIdx))
+	for k, j := range labelIdx {
+		parts[k] = tb.Signals[j] + "=" + tb.Cells[row][j]
+	}
+	return strings.Join(parts, " ")
+}
+
+// NumStates returns the number of distinct states.
+func (g *Graph) NumStates() int { return len(g.States) }
+
+// Count returns the observed count of the transition from→to (by state
+// index).
+func (g *Graph) Count(from, to int) int { return g.counts[from][to] }
+
+// Prob returns the empirical probability of taking from→to among all
+// outgoing transitions of from.
+func (g *Graph) Prob(from, to int) float64 {
+	if g.outTotal[from] == 0 {
+		return 0
+	}
+	return float64(g.counts[from][to]) / float64(g.outTotal[from])
+}
+
+// Transition is one edge with bookkeeping for reports.
+type Transition struct {
+	From, To  int
+	FromLabel string
+	ToLabel   string
+	Count     int
+	Prob      float64
+	FirstSeen int // row index the destination state first appeared at
+}
+
+// Rare returns transitions taken at most maxCount times AND with
+// probability below maxProb, sorted rarest first — the potential errors
+// of Sec. 4.4.
+func (g *Graph) Rare(maxCount int, maxProb float64) []Transition {
+	var out []Transition
+	for from, m := range g.counts {
+		for to, c := range m {
+			p := g.Prob(from, to)
+			if c <= maxCount && p <= maxProb {
+				out = append(out, Transition{
+					From: from, To: to,
+					FromLabel: g.Labels[from], ToLabel: g.Labels[to],
+					Count: c, Prob: p, FirstSeen: g.firstSeen[to],
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count < out[j].Count
+		}
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob < out[j].Prob
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// PathTo walks backwards from a state along the most frequent
+// predecessors, returning the chain of state indexes ending at target
+// (up to maxLen states) — the "chain of states prior to it" used to
+// isolate error causes.
+func (g *Graph) PathTo(target int, maxLen int) []int {
+	if target < 0 || target >= len(g.States) || maxLen < 1 {
+		return nil
+	}
+	path := []int{target}
+	visited := map[int]bool{target: true}
+	cur := target
+	for len(path) < maxLen {
+		bestFrom, bestCount := -1, 0
+		for from, m := range g.counts {
+			if visited[from] {
+				continue
+			}
+			if c := m[cur]; c > bestCount || (c == bestCount && c > 0 && from < bestFrom) {
+				bestFrom, bestCount = from, c
+			}
+		}
+		if bestFrom < 0 || bestCount == 0 {
+			break
+		}
+		path = append(path, bestFrom)
+		visited[bestFrom] = true
+		cur = bestFrom
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// WriteDOT renders the graph in Graphviz DOT format for visual
+// inspection; edges taken at most rareMax times are highlighted.
+func (g *Graph) WriteDOT(w io.Writer, rareMax int) error {
+	if _, err := fmt.Fprintln(w, "digraph states {"); err != nil {
+		return err
+	}
+	for i, lbl := range g.Labels {
+		if _, err := fmt.Fprintf(w, "  s%d [label=%q];\n", i, lbl); err != nil {
+			return err
+		}
+	}
+	froms := make([]int, 0, len(g.counts))
+	for from := range g.counts {
+		froms = append(froms, from)
+	}
+	sort.Ints(froms)
+	for _, from := range froms {
+		tos := make([]int, 0, len(g.counts[from]))
+		for to := range g.counts[from] {
+			tos = append(tos, to)
+		}
+		sort.Ints(tos)
+		for _, to := range tos {
+			c := g.counts[from][to]
+			attr := ""
+			if c <= rareMax {
+				attr = ", color=red, penwidth=2"
+			}
+			if _, err := fmt.Fprintf(w, "  s%d -> s%d [label=\"%d\"%s];\n", from, to, c, attr); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

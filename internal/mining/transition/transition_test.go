@@ -1,0 +1,176 @@
+package transition
+
+import (
+	"strings"
+	"testing"
+
+	"ivnt/internal/staterep"
+)
+
+func table(signals []string, rows [][]string) *staterep.Table {
+	tb := &staterep.Table{Signals: signals}
+	for i, r := range rows {
+		tb.Times = append(tb.Times, float64(i))
+		tb.Cells = append(tb.Cells, r)
+	}
+	return tb
+}
+
+// cycleWithGlitch: A→B→A→B ... with a single A→C→A excursion.
+func cycleWithGlitch() *staterep.Table {
+	rows := [][]string{}
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			rows = append(rows, []string{"A"})
+		} else {
+			rows = append(rows, []string{"B"})
+		}
+	}
+	rows = append(rows, []string{"C"})
+	rows = append(rows, []string{"A"})
+	rows = append(rows, []string{"B"})
+	return table([]string{"state"}, rows)
+}
+
+func TestBuildCountsTransitions(t *testing.T) {
+	g, err := Build(cycleWithGlitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 3 {
+		t.Fatalf("states = %d", g.NumStates())
+	}
+	// A=0, B=1, C=2 by first appearance.
+	if g.Count(0, 1) < 9 {
+		t.Fatalf("A→B count = %d", g.Count(0, 1))
+	}
+	if g.Count(1, 2) != 1 || g.Count(2, 0) != 1 {
+		t.Fatalf("glitch counts = %d, %d", g.Count(1, 2), g.Count(2, 0))
+	}
+	if g.Transitions != 22 {
+		t.Fatalf("total transitions = %d", g.Transitions)
+	}
+}
+
+func TestSelfLoopsIgnored(t *testing.T) {
+	tb := table([]string{"s"}, [][]string{{"A"}, {"A"}, {"A"}, {"B"}})
+	g, err := Build(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Transitions != 1 {
+		t.Fatalf("repeated identical states must not create edges: %d", g.Transitions)
+	}
+}
+
+func TestRareFindsGlitch(t *testing.T) {
+	g, err := Build(cycleWithGlitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B→C is rare (count 1, prob 0.1); C→A has count 1 but prob 1.0,
+	// so the probability threshold excludes it.
+	rare := g.Rare(1, 0.2)
+	if len(rare) != 1 {
+		t.Fatalf("rare = %+v", rare)
+	}
+	if both := g.Rare(1, 1.0); len(both) != 2 {
+		t.Fatalf("rare with maxProb 1 = %+v", both)
+	}
+	found := false
+	for _, tr := range rare {
+		if tr.FromLabel == "B" && tr.ToLabel == "C" {
+			found = true
+			if tr.Count != 1 {
+				t.Fatalf("B→C count = %d", tr.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("B→C missing from rare set: %+v", rare)
+	}
+	_ = found
+}
+
+func TestRareProbAndCountThresholds(t *testing.T) {
+	g, err := Build(cycleWithGlitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With maxProb 0.01 nothing qualifies (glitch edges have higher
+	// probability).
+	if rare := g.Rare(1, 0.01); len(rare) != 0 {
+		t.Fatalf("rare with tiny prob = %+v", rare)
+	}
+	if rare := g.Rare(0, 1); len(rare) != 0 {
+		t.Fatalf("rare with count 0 = %+v", rare)
+	}
+}
+
+func TestPathToWalksPredecessors(t *testing.T) {
+	g, err := Build(cycleWithGlitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path to C (index 2): chronological chain ... A → B → C.
+	path := g.PathTo(2, 3)
+	if len(path) != 3 {
+		t.Fatalf("path = %v", path)
+	}
+	if path[len(path)-1] != 2 || path[len(path)-2] != 1 || path[0] != 0 {
+		t.Fatalf("path = %v, want [0 1 2]", path)
+	}
+	if p := g.PathTo(-1, 3); p != nil {
+		t.Fatal("invalid target must yield nil")
+	}
+	if p := g.PathTo(2, 1); len(p) != 1 {
+		t.Fatalf("maxLen 1 = %v", p)
+	}
+}
+
+func TestBuildWithLabelSignals(t *testing.T) {
+	tb := table([]string{"speed", "light"}, [][]string{
+		{"high", "off"}, {"high", "on"}, {"low", "on"},
+	})
+	g, err := Build(tb, "light")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Labels[0] != "light=off" {
+		t.Fatalf("label = %q", g.Labels[0])
+	}
+	if _, err := Build(tb, "nope"); err == nil {
+		t.Fatal("unknown label signal must fail")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, err := Build(cycleWithGlitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"digraph states", "s0 -> s1", "color=red"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestProb(t *testing.T) {
+	g, err := Build(cycleWithGlitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From B: 9× to A, 1× to C.
+	if p := g.Prob(1, 2); p != 0.1 {
+		t.Fatalf("P(B→C) = %v", p)
+	}
+	if p := g.Prob(2, 1); p != 0 {
+		t.Fatalf("P(C→B) = %v", p)
+	}
+}

@@ -1,0 +1,39 @@
+package protocol
+
+import "testing"
+
+// Signal packing/unpacking runs per signal instance in the generator
+// and the baseline; keep its cost visible.
+
+func BenchmarkDecodePhysicalMotorola(b *testing.B) {
+	def := SignalDef{Name: "s", StartBit: 3, BitLen: 13, Signed: true, Scale: 0.25, Offset: -40}
+	payload := []byte{0x5A, 0x01, 0xFF}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := def.DecodePhysical(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePhysicalIntelUnaligned(b *testing.B) {
+	def := SignalDef{Name: "s", StartBit: 5, BitLen: 11, Order: Intel, Scale: 0.1}
+	payload := []byte{0x5A, 0x01, 0xFF}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := def.DecodePhysical(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodePhysical(b *testing.B) {
+	def := SignalDef{Name: "s", StartBit: 0, BitLen: 16, Scale: 0.05, Offset: -800}
+	payload := make([]byte, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := def.EncodePhysical(payload, float64(i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

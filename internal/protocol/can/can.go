@@ -1,0 +1,139 @@
+// Package can implements classical CAN 2.0 frames and message layouts:
+// identifier handling, DLC, and bit-packed signal multiplexing via the
+// shared protocol.SignalDef codec. The paper's running example (the
+// wiper message with m_id 3 on FA-CAN carrying wpos and wvel) is a CAN
+// message in this sense.
+package can
+
+import (
+	"fmt"
+
+	"ivnt/internal/protocol"
+)
+
+// MaxDataLen is the classical CAN payload limit.
+const MaxDataLen = 8
+
+// MaxStandardID is the highest 11-bit identifier.
+const MaxStandardID = 0x7FF
+
+// MaxExtendedID is the highest 29-bit identifier.
+const MaxExtendedID = 0x1FFFFFFF
+
+// Frame is one CAN frame on the wire.
+type Frame struct {
+	ID       uint32
+	Extended bool
+	Data     []byte
+}
+
+// Validate checks identifier range and payload length.
+func (f *Frame) Validate() error {
+	if len(f.Data) > MaxDataLen {
+		return fmt.Errorf("can: frame %#x: payload %d exceeds %d bytes", f.ID, len(f.Data), MaxDataLen)
+	}
+	max := uint32(MaxStandardID)
+	if f.Extended {
+		max = MaxExtendedID
+	}
+	if f.ID > max {
+		return fmt.Errorf("can: frame id %#x out of range (extended=%t)", f.ID, f.Extended)
+	}
+	return nil
+}
+
+// DLC returns the data length code.
+func (f *Frame) DLC() uint8 { return uint8(len(f.Data)) }
+
+// MessageDef is one documented CAN message type m = (S, m_id, b_id).
+type MessageDef struct {
+	// ID is m_id, the CAN identifier.
+	ID uint32
+	// Name is the message's documented name.
+	Name string
+	// Channel is b_id, the bus the message occurs on (e.g. "FC").
+	Channel string
+	// Length is the payload length in bytes (DLC for classical CAN).
+	Length int
+	// CycleTime is the nominal send period in seconds (0 = event
+	// driven); reduction rules check violations against it.
+	CycleTime float64
+	// Signals is S, the signal types every instance carries.
+	Signals []protocol.SignalDef
+}
+
+// Validate checks the layout: payload bounds, identifier range and
+// signal overlap.
+func (m *MessageDef) Validate() error {
+	if m.Length < 0 || m.Length > MaxDataLen {
+		return fmt.Errorf("can: message %s: length %d out of range", m.Name, m.Length)
+	}
+	if m.ID > MaxExtendedID {
+		return fmt.Errorf("can: message %s: id %#x out of range", m.Name, m.ID)
+	}
+	used := make([]bool, m.Length*8)
+	for i := range m.Signals {
+		s := &m.Signals[i]
+		if err := s.Validate(m.Length); err != nil {
+			return fmt.Errorf("can: message %s: %w", m.Name, err)
+		}
+		for b := s.StartBit; b < s.StartBit+s.BitLen; b++ {
+			if used[b] {
+				return fmt.Errorf("can: message %s: signal %s overlaps bit %d", m.Name, s.Name, b)
+			}
+			used[b] = true
+		}
+	}
+	return nil
+}
+
+// Signal returns the named signal definition.
+func (m *MessageDef) Signal(name string) (*protocol.SignalDef, bool) {
+	for i := range m.Signals {
+		if m.Signals[i].Name == name {
+			return &m.Signals[i], true
+		}
+	}
+	return nil, false
+}
+
+// Encode packs physical values (by signal name) into a fresh payload;
+// missing signals encode as zero.
+func (m *MessageDef) Encode(values map[string]float64) ([]byte, error) {
+	payload := make([]byte, m.Length)
+	for i := range m.Signals {
+		s := &m.Signals[i]
+		v, ok := values[s.Name]
+		if !ok {
+			continue
+		}
+		if err := s.EncodePhysical(payload, v); err != nil {
+			return nil, err
+		}
+	}
+	return payload, nil
+}
+
+// Decode unpacks all signals to physical values.
+func (m *MessageDef) Decode(payload []byte) (map[string]float64, error) {
+	out := make(map[string]float64, len(m.Signals))
+	for i := range m.Signals {
+		s := &m.Signals[i]
+		v, err := s.DecodePhysical(payload)
+		if err != nil {
+			return nil, err
+		}
+		out[s.Name] = v
+	}
+	return out, nil
+}
+
+// Frame wraps an encoded payload in a CAN frame.
+func (m *MessageDef) Frame(values map[string]float64) (Frame, error) {
+	payload, err := m.Encode(values)
+	if err != nil {
+		return Frame{}, err
+	}
+	f := Frame{ID: m.ID, Extended: m.ID > MaxStandardID, Data: payload}
+	return f, f.Validate()
+}

@@ -1,0 +1,132 @@
+package can
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ivnt/internal/protocol"
+)
+
+// wiperMsg is the paper's running example: m_id 3 on FA-CAN carrying
+// wpos (bytes 1-2, v = 0.5*raw) and wvel (bytes 3-4, v = raw).
+func wiperMsg() MessageDef {
+	return MessageDef{
+		ID: 3, Name: "WiperStatus", Channel: "FC", Length: 4, CycleTime: 0.5,
+		Signals: []protocol.SignalDef{
+			{Name: "wpos", StartBit: 0, BitLen: 16, Scale: 0.5},
+			{Name: "wvel", StartBit: 16, BitLen: 16},
+		},
+	}
+}
+
+func TestWiperEncodeDecode(t *testing.T) {
+	m := wiperMsg()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := m.Encode(map[string]float64{"wpos": 45, "wvel": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wpos raw = 45/0.5 = 90 = 0x5A, matching Fig. 2's payload x5A x01
+	// split across two bytes (big endian 16-bit field = 0x005A).
+	if payload[1] != 0x5A || payload[3] != 0x01 {
+		t.Fatalf("payload = %x", payload)
+	}
+	vals, err := m.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["wpos"] != 45 || vals["wvel"] != 1 {
+		t.Fatalf("decoded %v", vals)
+	}
+}
+
+func TestMessageValidateOverlap(t *testing.T) {
+	m := MessageDef{
+		ID: 1, Name: "bad", Length: 2,
+		Signals: []protocol.SignalDef{
+			{Name: "a", StartBit: 0, BitLen: 10},
+			{Name: "b", StartBit: 8, BitLen: 8},
+		},
+	}
+	if err := m.Validate(); err == nil {
+		t.Fatal("overlapping signals must fail validation")
+	}
+}
+
+func TestMessageValidateBounds(t *testing.T) {
+	cases := []MessageDef{
+		{ID: 1, Name: "toolong", Length: 9},
+		{ID: MaxExtendedID + 1, Name: "badid", Length: 8},
+		{ID: 1, Name: "sigout", Length: 1,
+			Signals: []protocol.SignalDef{{Name: "x", StartBit: 4, BitLen: 8}}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestFrameValidate(t *testing.T) {
+	f := Frame{ID: 0x800, Data: make([]byte, 4)}
+	if err := f.Validate(); err == nil {
+		t.Fatal("standard id 0x800 must fail")
+	}
+	f.Extended = true
+	if err := f.Validate(); err != nil {
+		t.Fatalf("extended id 0x800 must pass: %v", err)
+	}
+	f = Frame{ID: 1, Data: make([]byte, 9)}
+	if err := f.Validate(); err == nil {
+		t.Fatal("9-byte payload must fail")
+	}
+	if f.DLC() != 9 {
+		t.Fatalf("dlc = %d", f.DLC())
+	}
+}
+
+func TestMessageFrame(t *testing.T) {
+	m := wiperMsg()
+	f, err := m.Frame(map[string]float64{"wpos": 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 3 || f.Extended || len(f.Data) != 4 {
+		t.Fatalf("frame = %+v", f)
+	}
+	vals, err := m.Decode(f.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["wpos"] != 60 || vals["wvel"] != 0 {
+		t.Fatalf("decoded %v", vals)
+	}
+}
+
+func TestSignalLookup(t *testing.T) {
+	m := wiperMsg()
+	if _, ok := m.Signal("wpos"); !ok {
+		t.Fatal("wpos missing")
+	}
+	if _, ok := m.Signal("nope"); ok {
+		t.Fatal("phantom signal found")
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	m := wiperMsg()
+	f := func(posRaw uint16, vel uint16) bool {
+		pos := float64(posRaw) * 0.5
+		payload, err := m.Encode(map[string]float64{"wpos": pos, "wvel": float64(vel)})
+		if err != nil {
+			return false
+		}
+		vals, err := m.Decode(payload)
+		return err == nil && vals["wpos"] == pos && vals["wvel"] == float64(vel)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

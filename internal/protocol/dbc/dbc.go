@@ -1,0 +1,495 @@
+// Package dbc parses the industry-standard CAN database format (Vector
+// DBC, the usual carrier of the "documentation" the paper's
+// parameterization draws on) into message layouts and translation-rule
+// catalogs. Supported statements:
+//
+//	VERSION "…"
+//	BU_: node node …
+//	BO_ <id> <name>: <dlc> <sender>
+//	 SG_ <name> : <start>|<len>@<order><sign> (<factor>,<offset>) [<min>|<max>] "<unit>" <receivers>
+//	VAL_ <id> <signal> <n> "<label>" … ;
+//	BA_ "GenMsgCycleTimeMs" BO_ <id> <ms>;
+//	CM_ …;  (ignored)
+//
+// Order @1 is Intel (little-endian, DBC LSB-first start bit), @0 is
+// Motorola (start bit = MSB in DBC inverted numbering, converted to
+// this library's MSB-first linear numbering).
+package dbc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ivnt/internal/protocol"
+	"ivnt/internal/protocol/can"
+	"ivnt/internal/rules"
+)
+
+// MuxSignal is a multiplexed signal: present only when the message's
+// multiplexer switch carries MuxValue — CAN's flavour of "values of
+// preceding bytes define the presence of a signal type in succeeding
+// bytes" (Sec. 3.2).
+type MuxSignal struct {
+	Def      protocol.SignalDef
+	MuxValue uint64
+}
+
+// Database is a parsed DBC file.
+type Database struct {
+	Version  string
+	Nodes    []string
+	Messages []can.MessageDef
+	// ValueTables maps (message id, signal name) to raw→label tables
+	// (also folded into the SignalDefs).
+	ValueTables map[uint32]map[string]map[uint64]string
+	// MuxSwitch maps message id to the name of its multiplexer switch
+	// signal (an ordinary member of Messages[i].Signals).
+	MuxSwitch map[uint32]string
+	// Multiplexed maps message id to its mux-gated signals, which live
+	// outside MessageDef.Signals because they may legitimately overlap
+	// one another.
+	Multiplexed map[uint32][]MuxSignal
+}
+
+// Message returns the message with the given id.
+func (db *Database) Message(id uint32) (*can.MessageDef, bool) {
+	for i := range db.Messages {
+		if db.Messages[i].ID == id {
+			return &db.Messages[i], true
+		}
+	}
+	return nil, false
+}
+
+// ParseFile parses a DBC file from disk.
+func ParseFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return db, nil
+}
+
+// Parse parses DBC text.
+func Parse(r io.Reader) (*Database, error) {
+	db := &Database{
+		ValueTables: map[uint32]map[string]map[uint64]string{},
+		MuxSwitch:   map[uint32]string{},
+		Multiplexed: map[uint32][]MuxSignal{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var current *can.MessageDef
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "CM_") || strings.HasPrefix(line, "BA_DEF"):
+			continue
+		case strings.HasPrefix(line, "VERSION"):
+			db.Version = unquote(strings.TrimSpace(strings.TrimPrefix(line, "VERSION")))
+		case strings.HasPrefix(line, "BU_:"):
+			for _, n := range strings.Fields(strings.TrimPrefix(line, "BU_:")) {
+				db.Nodes = append(db.Nodes, n)
+			}
+		case strings.HasPrefix(line, "BO_ "):
+			msg, err := parseMessage(line)
+			if err != nil {
+				return nil, fmt.Errorf("dbc: line %d: %w", lineNo, err)
+			}
+			db.Messages = append(db.Messages, msg)
+			current = &db.Messages[len(db.Messages)-1]
+		case strings.HasPrefix(line, "SG_ "):
+			if current == nil {
+				return nil, fmt.Errorf("dbc: line %d: SG_ outside BO_ block", lineNo)
+			}
+			sig, marker, err := parseSignal(line)
+			if err != nil {
+				return nil, fmt.Errorf("dbc: line %d: %w", lineNo, err)
+			}
+			switch {
+			case marker == "M":
+				if prev, ok := db.MuxSwitch[current.ID]; ok {
+					return nil, fmt.Errorf("dbc: line %d: message %s has two multiplexer switches (%s, %s)",
+						lineNo, current.Name, prev, sig.Name)
+				}
+				db.MuxSwitch[current.ID] = sig.Name
+				current.Signals = append(current.Signals, sig)
+			case marker != "":
+				val, err := strconv.ParseUint(marker[1:], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dbc: line %d: bad multiplexer marker %q", lineNo, marker)
+				}
+				db.Multiplexed[current.ID] = append(db.Multiplexed[current.ID],
+					MuxSignal{Def: sig, MuxValue: val})
+			default:
+				current.Signals = append(current.Signals, sig)
+			}
+		case strings.HasPrefix(line, "VAL_ "):
+			if err := db.parseVal(line); err != nil {
+				return nil, fmt.Errorf("dbc: line %d: %w", lineNo, err)
+			}
+		case strings.HasPrefix(line, "BA_ "):
+			if err := db.parseAttr(line); err != nil {
+				return nil, fmt.Errorf("dbc: line %d: %w", lineNo, err)
+			}
+		default:
+			// Unknown statements are tolerated (real DBCs carry many).
+			continue
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Fold value tables into the signal definitions and validate.
+	for i := range db.Messages {
+		m := &db.Messages[i]
+		for j := range m.Signals {
+			if vt := db.ValueTables[m.ID][m.Signals[j].Name]; len(vt) > 0 {
+				m.Signals[j].ValueTable = vt
+			}
+		}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		// Multiplexed signals need a switch and must fit the payload;
+		// they may overlap each other (different mux values share
+		// bytes), so only geometry is checked.
+		if muxed := db.Multiplexed[m.ID]; len(muxed) > 0 {
+			if _, ok := db.MuxSwitch[m.ID]; !ok {
+				return nil, fmt.Errorf("dbc: message %s has multiplexed signals but no switch", m.Name)
+			}
+			for k := range muxed {
+				if vt := db.ValueTables[m.ID][muxed[k].Def.Name]; len(vt) > 0 {
+					muxed[k].Def.ValueTable = vt
+				}
+				if err := muxed[k].Def.Validate(m.Length); err != nil {
+					return nil, fmt.Errorf("dbc: message %s: %w", m.Name, err)
+				}
+			}
+		}
+	}
+	return db, nil
+}
+
+// parseMessage parses "BO_ 291 WiperStatus: 4 BCM".
+func parseMessage(line string) (can.MessageDef, error) {
+	rest := strings.TrimPrefix(line, "BO_ ")
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		return can.MessageDef{}, fmt.Errorf("malformed BO_: %q", line)
+	}
+	id, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return can.MessageDef{}, fmt.Errorf("bad message id %q", fields[0])
+	}
+	if !strings.HasSuffix(fields[1], ":") {
+		return can.MessageDef{}, fmt.Errorf("malformed BO_ (missing ':'): %q", line)
+	}
+	name := strings.TrimSuffix(fields[1], ":")
+	dlc, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return can.MessageDef{}, fmt.Errorf("bad DLC %q", fields[2])
+	}
+	// DBC stores extended ids with bit 31 set.
+	rawID := uint32(id)
+	ext := rawID&0x80000000 != 0
+	msg := can.MessageDef{ID: rawID &^ 0x80000000, Name: name, Length: dlc}
+	if !ext && msg.ID > can.MaxStandardID {
+		// Some tools omit the flag; accept as extended.
+		ext = true
+	}
+	_ = ext
+	return msg, nil
+}
+
+// parseSignal parses
+// ` SG_ wpos : 0|16@0+ (0.5,0) [0|100] "deg" ECU2,ECU3`
+// returning the definition plus the multiplexer marker ("" for plain
+// signals, "M" for the switch, "mN" for a signal gated on value N).
+func parseSignal(line string) (protocol.SignalDef, string, error) {
+	rest := strings.TrimPrefix(strings.TrimSpace(line), "SG_ ")
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return protocol.SignalDef{}, "", fmt.Errorf("malformed SG_: %q", line)
+	}
+	nameField := strings.Fields(rest[:colon])
+	if len(nameField) == 0 {
+		return protocol.SignalDef{}, "", fmt.Errorf("SG_ without name: %q", line)
+	}
+	name := nameField[0]
+	marker := ""
+	if len(nameField) > 1 {
+		marker = nameField[1]
+		if marker != "M" && !(len(marker) > 1 && marker[0] == 'm') {
+			return protocol.SignalDef{}, "", fmt.Errorf("bad multiplexer marker %q in %q", marker, line)
+		}
+	}
+	spec := strings.TrimSpace(rest[colon+1:])
+
+	// <start>|<len>@<order><sign>
+	at := strings.IndexByte(spec, '@')
+	pipe := strings.IndexByte(spec, '|')
+	if at < 0 || pipe < 0 || pipe > at {
+		return protocol.SignalDef{}, "", fmt.Errorf("malformed position spec in %q", line)
+	}
+	start, err := strconv.Atoi(strings.TrimSpace(spec[:pipe]))
+	if err != nil {
+		return protocol.SignalDef{}, "", fmt.Errorf("bad start bit in %q", line)
+	}
+	length, err := strconv.Atoi(strings.TrimSpace(spec[pipe+1 : at]))
+	if err != nil {
+		return protocol.SignalDef{}, "", fmt.Errorf("bad bit length in %q", line)
+	}
+	if at+2 >= len(spec) {
+		return protocol.SignalDef{}, "", fmt.Errorf("missing order/sign in %q", line)
+	}
+	orderCh := spec[at+1]
+	var order protocol.ByteOrder
+	switch orderCh {
+	case '1':
+		order = protocol.Intel
+	case '0':
+		order = protocol.Motorola
+	default:
+		return protocol.SignalDef{}, "", fmt.Errorf("bad byte order %q in %q", orderCh, line)
+	}
+	if at+2 > len(spec) {
+		return protocol.SignalDef{}, "", fmt.Errorf("missing sign in %q", line)
+	}
+	signed := spec[at+2] == '-'
+
+	def := protocol.SignalDef{
+		Name:   name,
+		BitLen: length,
+		Order:  order,
+		Signed: signed,
+		Scale:  1,
+	}
+	if order == protocol.Intel {
+		def.StartBit = start // DBC LSB-first, matching SignalDef
+	} else {
+		// DBC Motorola start bit uses inverted bit numbering within
+		// each byte (bit 7 is the byte's MSB) and names the field's
+		// MSB. Convert to this library's linear MSB-first index.
+		def.StartBit = (start/8)*8 + (7 - start%8)
+	}
+
+	// (factor,offset)
+	if lp := strings.IndexByte(spec, '('); lp >= 0 {
+		rp := strings.IndexByte(spec[lp:], ')')
+		if rp < 0 {
+			return protocol.SignalDef{}, "", fmt.Errorf("unterminated (factor,offset) in %q", line)
+		}
+		parts := strings.Split(spec[lp+1:lp+rp], ",")
+		if len(parts) != 2 {
+			return protocol.SignalDef{}, "", fmt.Errorf("malformed (factor,offset) in %q", line)
+		}
+		if def.Scale, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+			return protocol.SignalDef{}, "", fmt.Errorf("bad factor in %q", line)
+		}
+		if def.Offset, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+			return protocol.SignalDef{}, "", fmt.Errorf("bad offset in %q", line)
+		}
+	}
+	return def, marker, nil
+}
+
+// parseVal parses `VAL_ 291 light 0 "off" 1 "parklight on" ;`.
+func (db *Database) parseVal(line string) error {
+	rest := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "VAL_ ")), ";")
+	fields := splitQuoted(rest)
+	if len(fields) < 2 {
+		return fmt.Errorf("malformed VAL_: %q", line)
+	}
+	id, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad VAL_ message id %q", fields[0])
+	}
+	sig := fields[1]
+	if (len(fields)-2)%2 != 0 {
+		return fmt.Errorf("odd VAL_ pair count: %q", line)
+	}
+	vt := map[uint64]string{}
+	for i := 2; i < len(fields); i += 2 {
+		raw, err := strconv.ParseUint(fields[i], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad VAL_ raw value %q", fields[i])
+		}
+		vt[raw] = fields[i+1]
+	}
+	mid := uint32(id) &^ 0x80000000
+	if db.ValueTables[mid] == nil {
+		db.ValueTables[mid] = map[string]map[uint64]string{}
+	}
+	db.ValueTables[mid][sig] = vt
+	return nil
+}
+
+// parseAttr handles cycle-time attributes:
+// `BA_ "GenMsgCycleTimeMs" BO_ 291 100;` (milliseconds).
+func (db *Database) parseAttr(line string) error {
+	rest := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "BA_ ")), ";")
+	fields := splitQuoted(rest)
+	if len(fields) < 1 {
+		return nil
+	}
+	attr := fields[0]
+	if attr != "GenMsgCycleTime" && attr != "GenMsgCycleTimeMs" {
+		return nil // other attributes ignored
+	}
+	if len(fields) != 4 || fields[1] != "BO_" {
+		return fmt.Errorf("malformed cycle-time attribute: %q", line)
+	}
+	id, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad BA_ message id %q", fields[2])
+	}
+	ms, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return fmt.Errorf("bad cycle time %q", fields[3])
+	}
+	if m, ok := db.Message(uint32(id) &^ 0x80000000); ok {
+		m.CycleTime = ms / 1000
+	}
+	return nil
+}
+
+// splitQuoted splits on whitespace, keeping double-quoted substrings
+// (without the quotes) as single fields.
+func splitQuoted(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '"' {
+			j := strings.IndexByte(s[i+1:], '"')
+			if j < 0 {
+				out = append(out, s[i+1:])
+				return out
+			}
+			out = append(out, s[i+1:i+1+j])
+			i += j + 2
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		out = append(out, s[i:j])
+		i = j
+	}
+	return out
+}
+
+func unquote(s string) string {
+	return strings.Trim(s, `"`)
+}
+
+// ToCatalog renders the database as a U_rel translation-tuple catalog
+// for the given channel (b_id): the bridge from industry documentation
+// to the framework's parameterization. Value-table signals translate
+// through lookup(); their ordinal scale (if any) must be declared by
+// the caller afterwards.
+func (db *Database) ToCatalog(channel string) (*rules.Catalog, error) {
+	cat := &rules.Catalog{}
+	for i := range db.Messages {
+		m := &db.Messages[i]
+		for j := range m.Signals {
+			sig := &m.Signals[j]
+			first, last := sig.RelevantBytes()
+			rel := *sig
+			if sig.Order == protocol.Intel {
+				rel.StartBit -= first * 8
+			} else {
+				rel.StartBit -= first * 8
+			}
+			t := rules.Translation{
+				SID:       sig.Name,
+				Channel:   channel,
+				MsgID:     m.ID,
+				FirstByte: first,
+				LastByte:  last,
+				CycleTime: m.CycleTime,
+			}
+			if len(sig.ValueTable) > 0 {
+				t.Rule = fmt.Sprintf("lookup(%s, %q)",
+					rel.RuleExprCol("lrel"), rules.ValueTableString(sig.ValueTable))
+				if len(sig.ValueTable) == 2 {
+					t.Class = rules.ClassBinary
+				} else {
+					t.Class = rules.ClassNominal
+				}
+			} else {
+				t.Rule = rel.RuleExprCol("lrel")
+				t.Class = rules.ClassNumeric
+			}
+			cat.Translations = append(cat.Translations, t)
+		}
+	}
+	// Multiplexed signals: relevant bytes span the whole payload (the
+	// switch gates the field), and the rule is presence-conditional on
+	// the switch's raw value.
+	for i := range db.Messages {
+		m := &db.Messages[i]
+		muxed := db.Multiplexed[m.ID]
+		if len(muxed) == 0 {
+			continue
+		}
+		swName := db.MuxSwitch[m.ID]
+		sw, ok := m.Signal(swName)
+		if !ok {
+			return nil, fmt.Errorf("dbc: message %s: multiplexer switch %q missing", m.Name, swName)
+		}
+		// The mux comparison uses the switch's raw value.
+		swRaw := *sw
+		swRaw.Scale = 1
+		swRaw.Offset = 0
+		swExpr := swRaw.RuleExprCol("lrel")
+		for j := range muxed {
+			ms := &muxed[j]
+			field := ms.Def.RuleExprCol("lrel")
+			if len(ms.Def.ValueTable) > 0 {
+				raw := ms.Def
+				raw.Scale = 1
+				raw.Offset = 0
+				field = fmt.Sprintf("lookup(%s, %q)",
+					raw.RuleExprCol("lrel"), rules.ValueTableString(ms.Def.ValueTable))
+			}
+			t := rules.Translation{
+				SID:       ms.Def.Name,
+				Channel:   channel,
+				MsgID:     m.ID,
+				FirstByte: 0,
+				LastByte:  m.Length - 1,
+				CycleTime: m.CycleTime,
+				Rule:      fmt.Sprintf("iff(%s == %d, %s, null)", swExpr, ms.MuxValue, field),
+			}
+			if len(ms.Def.ValueTable) > 0 {
+				t.Class = rules.ClassNominal
+			} else {
+				t.Class = rules.ClassNumeric
+			}
+			cat.Translations = append(cat.Translations, t)
+		}
+	}
+	if err := cat.Validate(); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}

@@ -1,0 +1,350 @@
+package dbc
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/interp"
+	"ivnt/internal/protocol"
+	"ivnt/internal/trace"
+)
+
+const sampleDBC = `VERSION "wiper test db"
+
+BU_: BCM GW IC
+
+BO_ 3 WiperStatus: 4 BCM
+ SG_ wpos : 7|16@0+ (0.5,0) [0|100] "deg" GW,IC
+ SG_ wvel : 23|16@0+ (1,0) [0|10] "rad/min" GW
+
+BO_ 291 Lights: 2 BCM
+ SG_ headlight : 7|2@1+ (1,0) [0|2] "" IC
+ SG_ brightness : 0|7@1+ (1,0) [0|100] "%" IC
+
+BO_ 5 Temps: 2 BCM
+ SG_ outside : 7|8@0- (0.5,-40) [-40|87] "degC" IC
+
+CM_ SG_ 3 wpos "wiper position";
+VAL_ 291 headlight 0 "off" 1 "parklight on" 2 "headlight on" ;
+BA_ "GenMsgCycleTimeMs" BO_ 3 100;
+BA_ "GenMsgCycleTimeMs" BO_ 291 500;
+`
+
+func parseSample(t *testing.T) *Database {
+	t.Helper()
+	db, err := Parse(strings.NewReader(sampleDBC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestParseStructure(t *testing.T) {
+	db := parseSample(t)
+	if db.Version != "wiper test db" {
+		t.Fatalf("version = %q", db.Version)
+	}
+	if len(db.Nodes) != 3 || db.Nodes[0] != "BCM" {
+		t.Fatalf("nodes = %v", db.Nodes)
+	}
+	if len(db.Messages) != 3 {
+		t.Fatalf("messages = %d", len(db.Messages))
+	}
+	wiper, ok := db.Message(3)
+	if !ok || wiper.Name != "WiperStatus" || wiper.Length != 4 || len(wiper.Signals) != 2 {
+		t.Fatalf("wiper = %+v", wiper)
+	}
+	if wiper.CycleTime != 0.1 {
+		t.Fatalf("cycle time = %v", wiper.CycleTime)
+	}
+	lights, _ := db.Message(291)
+	if lights.CycleTime != 0.5 {
+		t.Fatalf("lights cycle = %v", lights.CycleTime)
+	}
+}
+
+func TestParseSignalGeometry(t *testing.T) {
+	db := parseSample(t)
+	wiper, _ := db.Message(3)
+	wpos, ok := wiper.Signal("wpos")
+	if !ok {
+		t.Fatal("wpos missing")
+	}
+	// DBC Motorola start bit 7 (MSB of byte 0) converts to linear
+	// MSB-first index 0.
+	if wpos.StartBit != 0 || wpos.BitLen != 16 || wpos.Order != protocol.Motorola || wpos.Signed {
+		t.Fatalf("wpos = %+v", wpos)
+	}
+	if wpos.Scale != 0.5 || wpos.Offset != 0 {
+		t.Fatalf("wpos scaling = %v %v", wpos.Scale, wpos.Offset)
+	}
+	lights, _ := db.Message(291)
+	head, _ := lights.Signal("headlight")
+	if head.StartBit != 7 || head.BitLen != 2 || head.Order != protocol.Intel {
+		t.Fatalf("headlight = %+v", head)
+	}
+	if head.ValueTable[1] != "parklight on" {
+		t.Fatalf("value table = %v", head.ValueTable)
+	}
+	temps, _ := db.Message(5)
+	outside, _ := temps.Signal("outside")
+	if !outside.Signed || outside.Offset != -40 {
+		t.Fatalf("outside = %+v", outside)
+	}
+}
+
+// TestDBCMotorolaStartBitConvention checks the classic DBC example: a
+// 16-bit Motorola signal at DBC start bit 7 occupies bytes 0-1 MSB
+// first.
+func TestDBCMotorolaStartBitConvention(t *testing.T) {
+	src := `BO_ 1 M: 8 X
+ SG_ s : 7|16@0+ (1,0) [0|0] "" X
+`
+	db, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := db.Message(1)
+	sig, _ := m.Signal("s")
+	if sig.StartBit != 0 {
+		t.Fatalf("start bit = %d, want 0 (linear MSB-first)", sig.StartBit)
+	}
+	raw, err := sig.DecodeRaw([]byte{0x12, 0x34, 0, 0, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 0x1234 {
+		t.Fatalf("raw = %#x", raw)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"BO_ x Name: 8 E\n",
+		"BO_ 1 Name 8\n",
+		"SG_ orphan : 0|8@0+ (1,0) [0|0] \"\" X\n",
+		"BO_ 1 M: 8 X\n SG_ s : 0|8@2+ (1,0) [0|0] \"\" X\n",
+		"BO_ 1 M: 8 X\n SG_ s : a|8@0+ (1,0) [0|0] \"\" X\n",
+		"BO_ 1 M: 8 X\n SG_ s : 0|b@0+ (1,0) [0|0] \"\" X\n",
+		"BO_ 1 M: 8 X\n SG_ s 0|8@0+\n",
+		"BO_ 1 M: 8 X\n SG_ s : 0|8@0+ (1 [0|0] \"\" X\n",
+		"VAL_ zz sig 0 \"x\" ;\n",
+		"VAL_ 1 sig 0 ;\n",
+		"VAL_ 1 sig zz \"x\" ;\n",
+		"BA_ \"GenMsgCycleTimeMs\" BO_ zz 100;\n",
+		"BA_ \"GenMsgCycleTimeMs\" BO_ 1;\n",
+		// Signal exceeding the payload fails message validation.
+		"BO_ 1 M: 1 X\n SG_ s : 0|16@0+ (1,0) [0|0] \"\" X\n",
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, src)
+		}
+	}
+}
+
+func TestUnknownStatementsTolerated(t *testing.T) {
+	src := "NS_ :\n BS_:\nSOMETHING random\nBO_ 1 M: 1 X\n SG_ s : 7|8@0+ (1,0) [0|0] \"\" X\n"
+	db, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Messages) != 1 {
+		t.Fatalf("messages = %d", len(db.Messages))
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.dbc")
+	if err := writeFile(path, sampleDBC); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Messages) != 3 {
+		t.Fatalf("messages = %d", len(db.Messages))
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing.dbc")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+// TestToCatalogEndToEnd is the integration check: encode frames with
+// the DBC layouts, extract through the pipeline using the DBC-derived
+// catalog, and verify values.
+func TestToCatalogEndToEnd(t *testing.T) {
+	db := parseSample(t)
+	cat, err := db.ToCatalog("FC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Translations) != 5 {
+		t.Fatalf("tuples = %d", len(cat.Translations))
+	}
+
+	wiper, _ := db.Message(3)
+	lights, _ := db.Message(291)
+	tr := &trace.Trace{}
+	wf, err := wiper.Frame(map[string]float64{"wpos": 45, "wvel": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Append(trace.ByteTuple{T: 1, Channel: "FC", MsgID: 3, Payload: wf.Data,
+		Info: trace.MsgInfo{Protocol: trace.ProtoCAN, DLC: wf.DLC()}})
+	lf, err := lights.Frame(map[string]float64{"headlight": 1, "brightness": 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Append(trace.ByteTuple{T: 2, Channel: "FC", MsgID: 291, Payload: lf.Data,
+		Info: trace.MsgInfo{Protocol: trace.ProtoCAN, DLC: lf.DLC()}})
+
+	ucomb, err := cat.Select("wpos", "headlight", "brightness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, _, err := interp.Extract(context.Background(), engine.NewLocal(1),
+		tr.ToRelation(1), ucomb, interp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := trace.SignalsFromRelation(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, s := range sigs {
+		got[s.SID] = s.V.AsString()
+	}
+	if got["wpos"] != "45" {
+		t.Fatalf("wpos = %q", got["wpos"])
+	}
+	if got["headlight"] != "parklight on" {
+		t.Fatalf("headlight = %q", got["headlight"])
+	}
+	if got["brightness"] != "80" {
+		t.Fatalf("brightness = %q", got["brightness"])
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+const muxDBC = `BO_ 42 Status: 3 BCM
+ SG_ page M : 7|8@0+ (1,0) [0|1] "" IC
+ SG_ speed m0 : 15|16@0+ (0.1,0) [0|300] "km/h" IC
+ SG_ rpm m1 : 15|16@0+ (1,0) [0|9000] "rpm" IC
+`
+
+func TestMultiplexedParsing(t *testing.T) {
+	db, err := Parse(strings.NewReader(muxDBC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := db.Message(42)
+	if !ok || len(m.Signals) != 1 || m.Signals[0].Name != "page" {
+		t.Fatalf("message = %+v", m)
+	}
+	if db.MuxSwitch[42] != "page" {
+		t.Fatalf("switch = %q", db.MuxSwitch[42])
+	}
+	muxed := db.Multiplexed[42]
+	if len(muxed) != 2 || muxed[0].Def.Name != "speed" || muxed[0].MuxValue != 0 ||
+		muxed[1].Def.Name != "rpm" || muxed[1].MuxValue != 1 {
+		t.Fatalf("multiplexed = %+v", muxed)
+	}
+}
+
+func TestMultiplexedParseErrors(t *testing.T) {
+	bad := []string{
+		// Two switches.
+		"BO_ 1 M: 2 X\n SG_ a M : 7|8@0+ (1,0) [0|0] \"\" X\n SG_ b M : 15|8@0+ (1,0) [0|0] \"\" X\n",
+		// Muxed without switch.
+		"BO_ 1 M: 2 X\n SG_ a m0 : 7|8@0+ (1,0) [0|0] \"\" X\n",
+		// Bad marker.
+		"BO_ 1 M: 2 X\n SG_ a Z : 7|8@0+ (1,0) [0|0] \"\" X\n",
+		// Bad mux value.
+		"BO_ 1 M: 2 X\n SG_ s M : 7|8@0+ (1,0) [0|0] \"\" X\n SG_ a mx : 15|8@0+ (1,0) [0|0] \"\" X\n",
+		// Muxed signal exceeding payload.
+		"BO_ 1 M: 1 X\n SG_ s M : 7|8@0+ (1,0) [0|0] \"\" X\n SG_ a m0 : 15|8@0+ (1,0) [0|0] \"\" X\n",
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, src)
+		}
+	}
+}
+
+// TestMultiplexedCatalogExtraction drives mux-gated rules through the
+// extraction pipeline: each frame carries either speed (page 0) or rpm
+// (page 1); the rules must extract exactly the present one.
+func TestMultiplexedCatalogExtraction(t *testing.T) {
+	db, err := Parse(strings.NewReader(muxDBC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := db.ToCatalog("FC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Translations) != 3 {
+		t.Fatalf("tuples = %d", len(cat.Translations))
+	}
+
+	tr := &trace.Trace{}
+	// Frame with page=0 carrying speed raw 1000 (100.0 km/h).
+	tr.Append(trace.ByteTuple{T: 1, Channel: "FC", MsgID: 42,
+		Payload: []byte{0x00, 0x03, 0xE8},
+		Info:    trace.MsgInfo{Protocol: trace.ProtoCAN, DLC: 3}})
+	// Frame with page=1 carrying rpm raw 3000.
+	tr.Append(trace.ByteTuple{T: 2, Channel: "FC", MsgID: 42,
+		Payload: []byte{0x01, 0x0B, 0xB8},
+		Info:    trace.MsgInfo{Protocol: trace.ProtoCAN, DLC: 3}})
+
+	ucomb, err := cat.Select("speed", "rpm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, _, err := interp.Extract(context.Background(), engine.NewLocal(1),
+		tr.ToRelation(1), ucomb, interp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := trace.SignalsFromRelation(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := map[string]float64{}
+	for _, s := range sigs {
+		if s.V.IsNull() {
+			continue
+		}
+		present[s.SID] = s.V.AsFloat()
+	}
+	if len(present) != 2 {
+		t.Fatalf("present signals = %v", present)
+	}
+	if present["speed"] != 100 {
+		t.Fatalf("speed = %v", present["speed"])
+	}
+	if present["rpm"] != 3000 {
+		t.Fatalf("rpm = %v", present["rpm"])
+	}
+	// And per-frame exclusivity: two null cells out of four instances.
+	nulls := 0
+	for _, s := range sigs {
+		if s.V.IsNull() {
+			nulls++
+		}
+	}
+	if nulls != 2 {
+		t.Fatalf("null instances = %d, want 2 (absent mux pages)", nulls)
+	}
+}

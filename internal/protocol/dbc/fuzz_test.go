@@ -1,0 +1,28 @@
+package dbc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the DBC parser against malformed database files:
+// parse-or-error, never panic; successful parses yield validated
+// layouts convertible to catalogs.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleDBC)
+	f.Add(muxDBC)
+	f.Add("BO_ 1 M: 8 X\n SG_ s : 7|64@0- (0.001,-32) [0|0] \"u\" X\n")
+	f.Add("VAL_ 1 s 0 \"a b c\" 1 \"d;e\" ;")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if _, err := db.ToCatalog("FC"); err != nil {
+			// Valid DBC structure can still produce rule collisions
+			// (duplicate signal names); that is an error, not a panic.
+			return
+		}
+	})
+}

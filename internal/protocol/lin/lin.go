@@ -1,0 +1,165 @@
+// Package lin implements LIN 2.x frames: protected identifiers with
+// parity, classic and enhanced checksums, and message layouts reusing
+// the shared protocol.SignalDef codec. The paper's Table 1 extracts the
+// wiper type wtype from K-LIN message id 11 — that path runs through
+// this package.
+package lin
+
+import (
+	"fmt"
+
+	"ivnt/internal/protocol"
+)
+
+// MaxDataLen is the LIN payload limit.
+const MaxDataLen = 8
+
+// MaxFrameID is the highest 6-bit LIN frame identifier.
+const MaxFrameID = 0x3F
+
+// ProtectedID computes the PID: the 6-bit id plus two parity bits
+// (P0 = id0^id1^id2^id4, P1 = !(id1^id3^id4^id5)).
+func ProtectedID(id uint8) (uint8, error) {
+	if id > MaxFrameID {
+		return 0, fmt.Errorf("lin: frame id %#x out of range", id)
+	}
+	bit := func(n uint8) uint8 { return id >> n & 1 }
+	p0 := bit(0) ^ bit(1) ^ bit(2) ^ bit(4)
+	p1 := ^(bit(1) ^ bit(3) ^ bit(4) ^ bit(5)) & 1
+	return id | p0<<6 | p1<<7, nil
+}
+
+// ChecksumClassic computes the LIN 1.x checksum (inverted modulo-256
+// sum with carry) over the data only.
+func ChecksumClassic(data []byte) uint8 {
+	return checksum(0, data)
+}
+
+// ChecksumEnhanced computes the LIN 2.x checksum, which also covers the
+// protected identifier.
+func ChecksumEnhanced(pid uint8, data []byte) uint8 {
+	return checksum(uint16(pid), data)
+}
+
+func checksum(seed uint16, data []byte) uint8 {
+	sum := seed
+	for _, b := range data {
+		sum += uint16(b)
+		if sum >= 256 {
+			sum -= 255
+		}
+	}
+	return uint8(^sum & 0xFF)
+}
+
+// Frame is one LIN frame (response part).
+type Frame struct {
+	ID       uint8
+	Data     []byte
+	Checksum uint8
+	// Enhanced selects the LIN 2.x checksum covering the PID.
+	Enhanced bool
+}
+
+// Validate checks id range, payload length and checksum.
+func (f *Frame) Validate() error {
+	if f.ID > MaxFrameID {
+		return fmt.Errorf("lin: frame id %#x out of range", f.ID)
+	}
+	if len(f.Data) == 0 || len(f.Data) > MaxDataLen {
+		return fmt.Errorf("lin: frame %#x: payload length %d out of range", f.ID, len(f.Data))
+	}
+	want, err := f.expectedChecksum()
+	if err != nil {
+		return err
+	}
+	if f.Checksum != want {
+		return fmt.Errorf("lin: frame %#x: checksum %#x, want %#x", f.ID, f.Checksum, want)
+	}
+	return nil
+}
+
+func (f *Frame) expectedChecksum() (uint8, error) {
+	if !f.Enhanced {
+		return ChecksumClassic(f.Data), nil
+	}
+	pid, err := ProtectedID(f.ID)
+	if err != nil {
+		return 0, err
+	}
+	return ChecksumEnhanced(pid, f.Data), nil
+}
+
+// Seal fills in the checksum.
+func (f *Frame) Seal() error {
+	c, err := f.expectedChecksum()
+	if err != nil {
+		return err
+	}
+	f.Checksum = c
+	return nil
+}
+
+// MessageDef is one documented LIN frame layout.
+type MessageDef struct {
+	ID        uint8
+	Name      string
+	Channel   string
+	Length    int
+	CycleTime float64
+	Enhanced  bool
+	Signals   []protocol.SignalDef
+}
+
+// Validate checks layout consistency.
+func (m *MessageDef) Validate() error {
+	if m.ID > MaxFrameID {
+		return fmt.Errorf("lin: message %s: id %#x out of range", m.Name, m.ID)
+	}
+	if m.Length < 1 || m.Length > MaxDataLen {
+		return fmt.Errorf("lin: message %s: length %d out of range", m.Name, m.Length)
+	}
+	for i := range m.Signals {
+		if err := m.Signals[i].Validate(m.Length); err != nil {
+			return fmt.Errorf("lin: message %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// Encode packs physical values into a sealed frame.
+func (m *MessageDef) Encode(values map[string]float64) (Frame, error) {
+	payload := make([]byte, m.Length)
+	for i := range m.Signals {
+		s := &m.Signals[i]
+		v, ok := values[s.Name]
+		if !ok {
+			continue
+		}
+		if err := s.EncodePhysical(payload, v); err != nil {
+			return Frame{}, err
+		}
+	}
+	f := Frame{ID: m.ID, Data: payload, Enhanced: m.Enhanced}
+	if err := f.Seal(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// Decode validates the frame and unpacks all signals.
+func (m *MessageDef) Decode(f Frame) (map[string]float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(m.Signals))
+	for i := range m.Signals {
+		s := &m.Signals[i]
+		v, err := s.DecodePhysical(f.Data)
+		if err != nil {
+			return nil, err
+		}
+		out[s.Name] = v
+	}
+	return out, nil
+}

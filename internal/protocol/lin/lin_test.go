@@ -1,0 +1,169 @@
+package lin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ivnt/internal/protocol"
+)
+
+func TestProtectedIDKnownValues(t *testing.T) {
+	// Reference PIDs from the LIN 2.1 specification table.
+	cases := map[uint8]uint8{
+		0x00: 0x80,
+		0x01: 0xC1,
+		0x02: 0x42,
+		0x03: 0x03,
+		0x3C: 0x3C,
+		0x3D: 0x7D,
+	}
+	for id, want := range cases {
+		got, err := ProtectedID(id)
+		if err != nil {
+			t.Fatalf("id %#x: %v", id, err)
+		}
+		if got != want {
+			t.Errorf("ProtectedID(%#x) = %#x, want %#x", id, got, want)
+		}
+	}
+	if _, err := ProtectedID(0x40); err == nil {
+		t.Fatal("id > 0x3F must fail")
+	}
+}
+
+func TestChecksumClassicKnownValue(t *testing.T) {
+	// Sum with carry of {0x4A, 0x55, 0x93, 0xE5} = 0x1B7 -> carry fold
+	// 0xB8+1... verify via independent computation.
+	data := []byte{0x4A, 0x55, 0x93, 0xE5}
+	sum := 0
+	for _, b := range data {
+		sum += int(b)
+		if sum >= 256 {
+			sum -= 255
+		}
+	}
+	want := uint8(^uint8(sum))
+	if got := ChecksumClassic(data); got != want {
+		t.Fatalf("classic checksum = %#x, want %#x", got, want)
+	}
+}
+
+func TestFrameSealValidate(t *testing.T) {
+	f := Frame{ID: 0x11, Data: []byte{1, 2, 3}}
+	if err := f.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f.Data[0] ^= 0xFF
+	if err := f.Validate(); err == nil {
+		t.Fatal("corrupted frame must fail checksum validation")
+	}
+}
+
+func TestFrameEnhancedChecksumDiffers(t *testing.T) {
+	a := Frame{ID: 0x11, Data: []byte{1, 2, 3}}
+	b := Frame{ID: 0x11, Data: []byte{1, 2, 3}, Enhanced: true}
+	if err := a.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum == b.Checksum {
+		t.Fatal("classic and enhanced checksums should differ for nonzero PID")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameValidateBounds(t *testing.T) {
+	bad := []Frame{
+		{ID: 0x40, Data: []byte{1}},
+		{ID: 1, Data: nil},
+		{ID: 1, Data: make([]byte, 9)},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func wtypeMsg() MessageDef {
+	// Table 1: wiper type wtype from K-LIN message id 11, byte 1,
+	// rule v = l + 2.
+	return MessageDef{
+		ID: 11, Name: "WiperConfig", Channel: "K-LIN", Length: 2, CycleTime: 1.0,
+		Signals: []protocol.SignalDef{
+			{Name: "wtype", StartBit: 0, BitLen: 8, Offset: 2},
+		},
+	}
+}
+
+func TestMessageEncodeDecode(t *testing.T) {
+	m := wtypeMsg()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Encode(map[string]float64{"wtype": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data[0] != 3 { // raw = v - offset = 3
+		t.Fatalf("raw byte = %d, want 3", f.Data[0])
+	}
+	vals, err := m.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["wtype"] != 5 {
+		t.Fatalf("decoded %v", vals)
+	}
+}
+
+func TestMessageDecodeRejectsBadChecksum(t *testing.T) {
+	m := wtypeMsg()
+	f, err := m.Encode(map[string]float64{"wtype": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Checksum ^= 0xFF
+	if _, err := m.Decode(f); err == nil {
+		t.Fatal("bad checksum must fail decode")
+	}
+}
+
+func TestMessageValidateBounds(t *testing.T) {
+	bad := []MessageDef{
+		{ID: 0x40, Name: "x", Length: 2},
+		{ID: 1, Name: "x", Length: 0},
+		{ID: 1, Name: "x", Length: 9},
+		{ID: 1, Name: "x", Length: 1,
+			Signals: []protocol.SignalDef{{Name: "s", StartBit: 4, BitLen: 8}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSealValidateRoundTripProperty(t *testing.T) {
+	f := func(id uint8, data []byte, enhanced bool) bool {
+		id %= 0x40
+		if len(data) == 0 || len(data) > 8 {
+			return true
+		}
+		fr := Frame{ID: id, Data: data, Enhanced: enhanced}
+		if err := fr.Seal(); err != nil {
+			return false
+		}
+		return fr.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

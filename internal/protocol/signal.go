@@ -1,0 +1,223 @@
+// Package protocol implements the bus-protocol substrate: bit-level
+// signal packing/unpacking shared by CAN and LIN (subpackages can, lin)
+// and the SOME/IP header codec (subpackage someip).
+//
+// Signal definitions play the role of the "documentation" the paper's
+// parameterization draws on: each definition can render itself as an
+// interpretation rule u_info in the expression language (RuleExpr), so
+// catalogs of documented signals translate mechanically into the U_rel
+// translation-tuple tables of Sec. 3.1.
+package protocol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ByteOrder selects signal byte ordering within a frame payload.
+type ByteOrder uint8
+
+// Byte orders. Motorola (big-endian) is the automotive default;
+// Intel (little-endian) fields must be byte-aligned.
+const (
+	Motorola ByteOrder = iota // big-endian
+	Intel                     // little-endian, byte-aligned only
+)
+
+// String returns the conventional name.
+func (o ByteOrder) String() string {
+	if o == Intel {
+		return "intel"
+	}
+	return "motorola"
+}
+
+// SignalDef describes one signal's position and translation inside a
+// frame payload, the per-signal slice of what a DBC/FIBEX file would
+// document.
+type SignalDef struct {
+	// Name is s_id.
+	Name string
+	// StartBit is the field's bit position within the payload. For
+	// Motorola order it is the MSB-first index (bit 0 = most
+	// significant bit of byte 0); for Intel order it is the DBC
+	// LSB-first index of the field's least significant bit (bit 0 =
+	// least significant bit of byte 0), so DBC signal definitions map
+	// 1:1.
+	StartBit int
+	// BitLen is the field width in bits (1..64).
+	BitLen int
+	// Order is the byte order.
+	Order ByteOrder
+	// Signed selects two's-complement interpretation of the raw field.
+	Signed bool
+	// Scale and Offset map raw to physical: v = raw*Scale + Offset.
+	// Scale 0 is treated as 1.
+	Scale  float64
+	Offset float64
+	// ValueTable, when non-empty, maps raw values to symbolic states
+	// (e.g. 0→"off", 1→"parklight on"); such signals are categorical.
+	ValueTable map[uint64]string
+}
+
+// Validate checks geometric consistency against a payload of payloadLen
+// bytes.
+func (s *SignalDef) Validate(payloadLen int) error {
+	if s.Name == "" {
+		return fmt.Errorf("protocol: signal without name")
+	}
+	if s.BitLen < 1 || s.BitLen > 64 {
+		return fmt.Errorf("protocol: signal %s: bit length %d out of range", s.Name, s.BitLen)
+	}
+	if s.StartBit < 0 || s.StartBit+s.BitLen > payloadLen*8 {
+		return fmt.Errorf("protocol: signal %s: bits [%d,%d) exceed payload of %d bytes",
+			s.Name, s.StartBit, s.StartBit+s.BitLen, payloadLen)
+	}
+	return nil
+}
+
+func (s *SignalDef) scale() float64 {
+	if s.Scale == 0 {
+		return 1
+	}
+	return s.Scale
+}
+
+// DecodeRaw extracts the raw unsigned field from payload.
+func (s *SignalDef) DecodeRaw(payload []byte) (uint64, error) {
+	if err := s.Validate(len(payload)); err != nil {
+		return 0, err
+	}
+	var out uint64
+	if s.Order == Intel {
+		for i := 0; i < s.BitLen; i++ {
+			bit := s.StartBit + i
+			out |= uint64(payload[bit/8]>>(bit%8)&1) << i
+		}
+		return out, nil
+	}
+	for i := 0; i < s.BitLen; i++ {
+		bit := s.StartBit + i
+		out = out<<1 | uint64(payload[bit/8]>>(7-bit%8)&1)
+	}
+	return out, nil
+}
+
+// DecodePhysical extracts the physical (scaled, signed) value.
+func (s *SignalDef) DecodePhysical(payload []byte) (float64, error) {
+	raw, err := s.DecodeRaw(payload)
+	if err != nil {
+		return 0, err
+	}
+	v := int64(raw)
+	if s.Signed && s.BitLen < 64 && raw&(1<<(s.BitLen-1)) != 0 {
+		v = int64(raw) - (1 << s.BitLen)
+	}
+	return float64(v)*s.scale() + s.Offset, nil
+}
+
+// DecodeSymbolic looks the raw value up in the value table; missing
+// entries render as "raw(N)".
+func (s *SignalDef) DecodeSymbolic(payload []byte) (string, error) {
+	raw, err := s.DecodeRaw(payload)
+	if err != nil {
+		return "", err
+	}
+	if name, ok := s.ValueTable[raw]; ok {
+		return name, nil
+	}
+	return fmt.Sprintf("raw(%d)", raw), nil
+}
+
+// EncodeRaw writes the raw field into payload in place.
+func (s *SignalDef) EncodeRaw(payload []byte, raw uint64) error {
+	if err := s.Validate(len(payload)); err != nil {
+		return err
+	}
+	if s.BitLen < 64 && raw >= 1<<s.BitLen {
+		return fmt.Errorf("protocol: signal %s: raw %d exceeds %d bits", s.Name, raw, s.BitLen)
+	}
+	if s.Order == Intel {
+		for i := 0; i < s.BitLen; i++ {
+			bit := s.StartBit + i
+			mask := byte(1) << (bit % 8)
+			if raw>>i&1 != 0 {
+				payload[bit/8] |= mask
+			} else {
+				payload[bit/8] &^= mask
+			}
+		}
+		return nil
+	}
+	for i := 0; i < s.BitLen; i++ {
+		bit := s.StartBit + i
+		mask := byte(1) << (7 - bit%8)
+		if raw>>(s.BitLen-1-i)&1 != 0 {
+			payload[bit/8] |= mask
+		} else {
+			payload[bit/8] &^= mask
+		}
+	}
+	return nil
+}
+
+// EncodePhysical quantizes a physical value into the raw field and
+// writes it.
+func (s *SignalDef) EncodePhysical(payload []byte, v float64) error {
+	raw := int64((v - s.Offset) / s.scale())
+	if s.Signed {
+		lo, hi := -(int64(1) << (s.BitLen - 1)), int64(1)<<(s.BitLen-1)-1
+		if raw < lo {
+			raw = lo
+		}
+		if raw > hi {
+			raw = hi
+		}
+		return s.EncodeRaw(payload, uint64(raw)&(1<<s.BitLen-1))
+	}
+	if raw < 0 {
+		raw = 0
+	}
+	if s.BitLen < 64 && raw >= 1<<s.BitLen {
+		raw = 1<<s.BitLen - 1
+	}
+	return s.EncodeRaw(payload, uint64(raw))
+}
+
+// RuleExpr renders the signal's translation as an expression over the
+// payload column l — the Int.rule of a U_rel translation tuple
+// (Table 1). Value-table signals translate their raw extraction only;
+// symbolic mapping happens in the rules catalog, which owns the table.
+func (s *SignalDef) RuleExpr() string { return s.RuleExprCol("l") }
+
+// RuleExprCol renders the translation over an arbitrary payload column
+// (e.g. "lrel" for rules applied after u₁ byte extraction).
+func (s *SignalDef) RuleExprCol(col string) string {
+	var raw string
+	switch {
+	case s.Order == Intel && s.Signed:
+		raw = fmt.Sprintf("slbits(%s, %d, %d)", col, s.StartBit, s.BitLen)
+	case s.Order == Intel:
+		raw = fmt.Sprintf("ulbits(%s, %d, %d)", col, s.StartBit, s.BitLen)
+	case s.Signed:
+		raw = fmt.Sprintf("sbits(%s, %d, %d)", col, s.StartBit, s.BitLen)
+	default:
+		raw = fmt.Sprintf("ubits(%s, %d, %d)", col, s.StartBit, s.BitLen)
+	}
+	var b strings.Builder
+	b.WriteString(raw)
+	if sc := s.scale(); sc != 1 {
+		fmt.Fprintf(&b, " * %g", sc)
+	}
+	if s.Offset != 0 {
+		fmt.Fprintf(&b, " + %g", s.Offset)
+	}
+	return b.String()
+}
+
+// RelevantBytes returns the inclusive byte range [first, last] the
+// signal occupies — the "rel.B" part of u_info in Table 1. The range
+// is identical for both bit numberings.
+func (s *SignalDef) RelevantBytes() (first, last int) {
+	return s.StartBit / 8, (s.StartBit + s.BitLen - 1) / 8
+}

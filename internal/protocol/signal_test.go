@@ -1,0 +1,310 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ivnt/internal/expr"
+	"ivnt/internal/relation"
+)
+
+func TestDecodeRawMotorola(t *testing.T) {
+	payload := []byte{0x5A, 0x01, 0xFF, 0x80}
+	cases := []struct {
+		def  SignalDef
+		want uint64
+	}{
+		{SignalDef{Name: "a", StartBit: 0, BitLen: 8}, 0x5A},
+		{SignalDef{Name: "b", StartBit: 0, BitLen: 16}, 0x5A01},
+		{SignalDef{Name: "c", StartBit: 4, BitLen: 8}, 0xA0},
+		{SignalDef{Name: "d", StartBit: 16, BitLen: 4}, 0xF},
+		{SignalDef{Name: "e", StartBit: 24, BitLen: 1}, 1},
+		{SignalDef{Name: "f", StartBit: 25, BitLen: 7}, 0},
+	}
+	for _, c := range cases {
+		got, err := c.def.DecodeRaw(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", c.def.Name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: raw = %#x, want %#x", c.def.Name, got, c.want)
+		}
+	}
+}
+
+func TestDecodeRawIntel(t *testing.T) {
+	payload := []byte{0x01, 0x02, 0x03}
+	def := SignalDef{Name: "x", StartBit: 0, BitLen: 16, Order: Intel}
+	got, err := def.DecodeRaw(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x0201 {
+		t.Fatalf("intel raw = %#x, want 0x0201", got)
+	}
+}
+
+func TestDecodePhysicalScaleOffsetSigned(t *testing.T) {
+	payload := []byte{0xFF} // raw 255 unsigned, -1 signed
+	uns := SignalDef{Name: "u", StartBit: 0, BitLen: 8, Scale: 0.5, Offset: -10}
+	v, err := uns.DecodePhysical(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 255*0.5-10 {
+		t.Fatalf("unsigned physical = %v", v)
+	}
+	sig := SignalDef{Name: "s", StartBit: 0, BitLen: 8, Signed: true, Scale: 2}
+	v, err = sig.DecodePhysical(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != -2 {
+		t.Fatalf("signed physical = %v, want -2", v)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	defs := []SignalDef{
+		{Name: "a", StartBit: 0, BitLen: 12, Scale: 0.25, Offset: -100},
+		{Name: "b", StartBit: 12, BitLen: 4},
+		{Name: "c", StartBit: 16, BitLen: 8, Signed: true},
+		{Name: "d", StartBit: 24, BitLen: 16, Order: Intel},
+	}
+	payload := make([]byte, 5)
+	want := map[string]float64{"a": -25.5, "b": 9, "c": -42, "d": 513}
+	for i := range defs {
+		if err := defs[i].EncodePhysical(payload, want[defs[i].Name]); err != nil {
+			t.Fatalf("encode %s: %v", defs[i].Name, err)
+		}
+	}
+	for i := range defs {
+		got, err := defs[i].DecodePhysical(payload)
+		if err != nil {
+			t.Fatalf("decode %s: %v", defs[i].Name, err)
+		}
+		if got != want[defs[i].Name] {
+			t.Errorf("%s: round trip %v, want %v", defs[i].Name, got, want[defs[i].Name])
+		}
+	}
+}
+
+func TestEncodePhysicalClamps(t *testing.T) {
+	payload := make([]byte, 1)
+	def := SignalDef{Name: "x", StartBit: 0, BitLen: 8}
+	if err := def.EncodePhysical(payload, 300); err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != 0xFF {
+		t.Fatalf("overflow must clamp to 255, got %d", payload[0])
+	}
+	if err := def.EncodePhysical(payload, -5); err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != 0 {
+		t.Fatalf("underflow must clamp to 0, got %d", payload[0])
+	}
+	sdef := SignalDef{Name: "s", StartBit: 0, BitLen: 8, Signed: true}
+	if err := sdef.EncodePhysical(payload, 500); err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != 0x7F {
+		t.Fatalf("signed overflow must clamp to 127, got %d", payload[0])
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	cases := []SignalDef{
+		{Name: "", StartBit: 0, BitLen: 8},
+		{Name: "x", StartBit: 0, BitLen: 0},
+		{Name: "x", StartBit: 0, BitLen: 65},
+		{Name: "x", StartBit: -1, BitLen: 8},
+		{Name: "x", StartBit: 60, BitLen: 8}, // exceeds 8-byte payload
+	}
+	for i, def := range cases {
+		if err := def.Validate(8); err == nil {
+			t.Errorf("case %d (%+v): expected validation error", i, def)
+		}
+	}
+}
+
+func TestEncodeRawRejectsOverflow(t *testing.T) {
+	payload := make([]byte, 1)
+	def := SignalDef{Name: "x", StartBit: 0, BitLen: 4}
+	if err := def.EncodeRaw(payload, 16); err == nil {
+		t.Fatal("raw overflow must error")
+	}
+}
+
+func TestDecodeSymbolic(t *testing.T) {
+	def := SignalDef{Name: "light", StartBit: 0, BitLen: 2,
+		ValueTable: map[uint64]string{0: "off", 1: "parklight on", 2: "headlight on"}}
+	payload := []byte{0x40} // raw 1
+	got, err := def.DecodeSymbolic(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "parklight on" {
+		t.Fatalf("symbolic = %q", got)
+	}
+	payload[0] = 0xC0 // raw 3, not in table
+	got, err = def.DecodeSymbolic(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "raw(3)" {
+		t.Fatalf("missing entry = %q", got)
+	}
+}
+
+// TestRuleExprMatchesDecode is the load-bearing consistency check: the
+// expression a SignalDef renders for the interpretation pipeline must
+// compute exactly what the codec computes.
+func TestRuleExprMatchesDecode(t *testing.T) {
+	schema := relation.NewSchema(relation.Column{Name: "l", Kind: relation.KindBytes})
+	defs := []SignalDef{
+		{Name: "plain", StartBit: 3, BitLen: 11},
+		{Name: "scaled", StartBit: 0, BitLen: 16, Scale: 0.5, Offset: -40},
+		{Name: "signed", StartBit: 16, BitLen: 8, Signed: true, Scale: 0.1},
+		{Name: "intel", StartBit: 24, BitLen: 16, Order: Intel, Scale: 2},
+	}
+	payloads := [][]byte{
+		{0x5A, 0x01, 0xFF, 0x80, 0x7E},
+		{0x00, 0x00, 0x00, 0x00, 0x00},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		{0x12, 0x34, 0x56, 0x78, 0x9A},
+	}
+	for _, def := range defs {
+		prog, err := expr.Compile(def.RuleExpr(), schema)
+		if err != nil {
+			t.Fatalf("%s: rule %q does not compile: %v", def.Name, def.RuleExpr(), err)
+		}
+		for _, payload := range payloads {
+			want, err := def.DecodePhysical(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := prog.Eval(expr.SingleRowEnv{Row: relation.Row{relation.Bytes(payload)}})
+			if got.AsFloat() != want {
+				t.Errorf("%s on %x: rule %q = %v, codec = %v",
+					def.Name, payload, def.RuleExpr(), got.AsFloat(), want)
+			}
+		}
+	}
+}
+
+func TestRuleExprMatchesDecodeProperty(t *testing.T) {
+	schema := relation.NewSchema(relation.Column{Name: "l", Kind: relation.KindBytes})
+	def := SignalDef{Name: "p", StartBit: 5, BitLen: 13, Signed: true, Scale: 0.25, Offset: 3}
+	prog, err := expr.Compile(def.RuleExpr(), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(b0, b1, b2 byte) bool {
+		payload := []byte{b0, b1, b2}
+		want, err := def.DecodePhysical(payload)
+		if err != nil {
+			return false
+		}
+		got := prog.Eval(expr.SingleRowEnv{Row: relation.Row{relation.Bytes(payload)}})
+		return got.AsFloat() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeRawRoundTripProperty(t *testing.T) {
+	def := SignalDef{Name: "p", StartBit: 7, BitLen: 10}
+	f := func(raw uint16) bool {
+		r := uint64(raw) & (1<<10 - 1)
+		payload := make([]byte, 4)
+		if err := def.EncodeRaw(payload, r); err != nil {
+			return false
+		}
+		got, err := def.DecodeRaw(payload)
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelevantBytes(t *testing.T) {
+	def := SignalDef{Name: "x", StartBit: 12, BitLen: 10}
+	first, last := def.RelevantBytes()
+	if first != 1 || last != 2 {
+		t.Fatalf("relevant bytes = [%d,%d], want [1,2]", first, last)
+	}
+}
+
+func TestByteOrderString(t *testing.T) {
+	if Motorola.String() != "motorola" || Intel.String() != "intel" {
+		t.Fatal("byte order names wrong")
+	}
+}
+
+func TestIntelUnalignedAndSigned(t *testing.T) {
+	// DBC LSB-first numbering: a 12-bit Intel field at bit 4 spans the
+	// high nibble of byte 0 and all of byte 1.
+	payload := []byte{0xAB, 0xCD, 0xEF}
+	def := SignalDef{Name: "x", StartBit: 4, BitLen: 12, Order: Intel}
+	raw, err := def.DecodeRaw(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bits 4..15 LSB-first: byte0 high nibble 0xA, then byte1 0xCD
+	// shifted: raw = 0xA | 0xCD<<4 = 0xCDA.
+	if raw != 0xCDA {
+		t.Fatalf("unaligned intel raw = %#x, want 0xCDA", raw)
+	}
+	sdef := SignalDef{Name: "s", StartBit: 4, BitLen: 12, Order: Intel, Signed: true}
+	v, err := sdef.DecodePhysical(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != float64(int64(0xCDA)-(1<<12)) {
+		t.Fatalf("signed unaligned intel = %v", v)
+	}
+}
+
+func TestIntelEncodeDecodeUnalignedRoundTripProperty(t *testing.T) {
+	def := SignalDef{Name: "p", StartBit: 3, BitLen: 13, Order: Intel}
+	f := func(raw uint16) bool {
+		r := uint64(raw) & (1<<13 - 1)
+		payload := make([]byte, 4)
+		if err := def.EncodeRaw(payload, r); err != nil {
+			return false
+		}
+		got, err := def.DecodeRaw(payload)
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntelRuleExprMatchesDecodeProperty(t *testing.T) {
+	schema := relation.NewSchema(relation.Column{Name: "l", Kind: relation.KindBytes})
+	for _, def := range []SignalDef{
+		{Name: "u", StartBit: 5, BitLen: 11, Order: Intel, Scale: 0.25},
+		{Name: "s", StartBit: 2, BitLen: 9, Order: Intel, Signed: true, Offset: -3},
+	} {
+		prog, err := expr.Compile(def.RuleExpr(), schema)
+		if err != nil {
+			t.Fatalf("%s: %v", def.Name, err)
+		}
+		f := func(b0, b1 byte) bool {
+			payload := []byte{b0, b1}
+			want, err := def.DecodePhysical(payload)
+			if err != nil {
+				return false
+			}
+			got := prog.Eval(expr.SingleRowEnv{Row: relation.Row{relation.Bytes(payload)}})
+			return got.AsFloat() == want
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", def.Name, err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package someip implements the SOME/IP on-wire header and
+// notification payload layouts. SOME/IP payloads are dynamic: the
+// paper's Sec. 3.2 highlights rules "where values of preceding bytes
+// define the presence of a signal type in succeeding bytes" — modeled
+// here by optional fields gated on a presence-mask byte.
+package someip
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ivnt/internal/protocol"
+)
+
+// HeaderLen is the fixed SOME/IP header size in bytes.
+const HeaderLen = 16
+
+// Message types (subset).
+const (
+	TypeRequest      = 0x00
+	TypeNotification = 0x02
+	TypeResponse     = 0x80
+	TypeError        = 0x81
+)
+
+// Header is the SOME/IP message header.
+type Header struct {
+	ServiceID        uint16
+	MethodID         uint16
+	Length           uint32 // bytes following the length field (8 + payload)
+	ClientID         uint16
+	SessionID        uint16
+	ProtocolVersion  uint8
+	InterfaceVersion uint8
+	MessageType      uint8
+	ReturnCode       uint8
+}
+
+// MessageID packs service and method into the 32-bit message id used as
+// m_id in traces.
+func (h *Header) MessageID() uint32 { return uint32(h.ServiceID)<<16 | uint32(h.MethodID) }
+
+// Marshal renders the 16-byte header followed by the payload.
+func Marshal(h Header, payload []byte) []byte {
+	h.Length = uint32(8 + len(payload))
+	out := make([]byte, HeaderLen+len(payload))
+	binary.BigEndian.PutUint16(out[0:], h.ServiceID)
+	binary.BigEndian.PutUint16(out[2:], h.MethodID)
+	binary.BigEndian.PutUint32(out[4:], h.Length)
+	binary.BigEndian.PutUint16(out[8:], h.ClientID)
+	binary.BigEndian.PutUint16(out[10:], h.SessionID)
+	out[12] = h.ProtocolVersion
+	out[13] = h.InterfaceVersion
+	out[14] = h.MessageType
+	out[15] = h.ReturnCode
+	copy(out[HeaderLen:], payload)
+	return out
+}
+
+// Unmarshal parses a marshalled message into header and payload.
+func Unmarshal(data []byte) (Header, []byte, error) {
+	if len(data) < HeaderLen {
+		return Header{}, nil, fmt.Errorf("someip: message of %d bytes shorter than header", len(data))
+	}
+	h := Header{
+		ServiceID:        binary.BigEndian.Uint16(data[0:]),
+		MethodID:         binary.BigEndian.Uint16(data[2:]),
+		Length:           binary.BigEndian.Uint32(data[4:]),
+		ClientID:         binary.BigEndian.Uint16(data[8:]),
+		SessionID:        binary.BigEndian.Uint16(data[10:]),
+		ProtocolVersion:  data[12],
+		InterfaceVersion: data[13],
+		MessageType:      data[14],
+		ReturnCode:       data[15],
+	}
+	if int(h.Length) != 8+len(data)-HeaderLen {
+		return Header{}, nil, fmt.Errorf("someip: length field %d inconsistent with %d payload bytes",
+			h.Length, len(data)-HeaderLen)
+	}
+	return h, data[HeaderLen:], nil
+}
+
+// Field is one payload field of a notification layout. Optional fields
+// exist only when their presence bit (in the payload's first byte, the
+// presence mask) is set; all offsets are relative to the payload start
+// and fixed, with absent optional fields zero-filled, keeping the
+// layout static while still exercising presence-conditional rules.
+type Field struct {
+	Def protocol.SignalDef
+	// Optional marks presence-gated fields.
+	Optional bool
+	// PresenceBit is the bit index (0 = MSB) in payload byte 0 checked
+	// when Optional.
+	PresenceBit int
+}
+
+// MessageDef is one documented SOME/IP notification layout.
+type MessageDef struct {
+	ServiceID  uint16
+	MethodID   uint16
+	Name       string
+	Channel    string
+	PayloadLen int // fixed payload size incl. presence mask byte
+	CycleTime  float64
+	Fields     []Field
+}
+
+// MessageID returns the combined 32-bit id.
+func (m *MessageDef) MessageID() uint32 { return uint32(m.ServiceID)<<16 | uint32(m.MethodID) }
+
+// Validate checks field geometry.
+func (m *MessageDef) Validate() error {
+	if m.PayloadLen < 1 {
+		return fmt.Errorf("someip: message %s: payload length %d", m.Name, m.PayloadLen)
+	}
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if err := f.Def.Validate(m.PayloadLen); err != nil {
+			return fmt.Errorf("someip: message %s: %w", m.Name, err)
+		}
+		if f.Optional && (f.PresenceBit < 0 || f.PresenceBit > 7) {
+			return fmt.Errorf("someip: message %s: field %s: presence bit %d out of range",
+				m.Name, f.Def.Name, f.PresenceBit)
+		}
+		if f.Def.StartBit < 8 {
+			return fmt.Errorf("someip: message %s: field %s overlaps presence mask byte",
+				m.Name, f.Def.Name)
+		}
+	}
+	return nil
+}
+
+// Encode packs present values (by name) into a full marshalled message.
+// Values absent from the map leave optional fields unset in the
+// presence mask.
+func (m *MessageDef) Encode(values map[string]float64) ([]byte, error) {
+	payload := make([]byte, m.PayloadLen)
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		v, ok := values[f.Def.Name]
+		if !ok {
+			continue
+		}
+		if f.Optional {
+			payload[0] |= 1 << (7 - f.PresenceBit)
+		}
+		if err := f.Def.EncodePhysical(payload, v); err != nil {
+			return nil, err
+		}
+	}
+	h := Header{
+		ServiceID:       m.ServiceID,
+		MethodID:        m.MethodID,
+		ProtocolVersion: 1,
+		MessageType:     TypeNotification,
+	}
+	return Marshal(h, payload), nil
+}
+
+// Decode unmarshals and unpacks the fields that are present.
+func (m *MessageDef) Decode(data []byte) (map[string]float64, error) {
+	h, payload, err := Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	if h.ServiceID != m.ServiceID || h.MethodID != m.MethodID {
+		return nil, fmt.Errorf("someip: message %s: id mismatch %04x.%04x", m.Name, h.ServiceID, h.MethodID)
+	}
+	out := make(map[string]float64, len(m.Fields))
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Optional && payload[0]&(1<<(7-f.PresenceBit)) == 0 {
+			continue
+		}
+		v, err := f.Def.DecodePhysical(payload)
+		if err != nil {
+			return nil, err
+		}
+		out[f.Def.Name] = v
+	}
+	return out, nil
+}
+
+// PresenceRule renders the presence condition of a field as an
+// expression over the payload column l (the payload starts after the
+// 16-byte header in the recorded bytes): present ⇔ mask bit set. For
+// non-optional fields it returns "true".
+func (m *MessageDef) PresenceRule(name string) (string, error) {
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Def.Name != name {
+			continue
+		}
+		if !f.Optional {
+			return "true", nil
+		}
+		return fmt.Sprintf("ubits(l, %d, 1) == 1", HeaderLen*8+f.PresenceBit), nil
+	}
+	return "", fmt.Errorf("someip: message %s: no field %q", m.Name, name)
+}
+
+// FieldRule renders the field extraction rule over the recorded bytes
+// (header + payload), shifting the documented payload offsets by the
+// header size and gating optional fields on their presence bit.
+func (m *MessageDef) FieldRule(name string) (string, error) {
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Def.Name != name {
+			continue
+		}
+		shifted := f.Def
+		shifted.StartBit += HeaderLen * 8
+		rule := shifted.RuleExpr()
+		if f.Optional {
+			pres, err := m.PresenceRule(name)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("iff(%s, %s, null)", pres, rule), nil
+		}
+		return rule, nil
+	}
+	return "", fmt.Errorf("someip: message %s: no field %q", m.Name, name)
+}

@@ -1,0 +1,192 @@
+package someip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ivnt/internal/expr"
+	"ivnt/internal/protocol"
+	"ivnt/internal/relation"
+)
+
+func TestHeaderMarshalUnmarshal(t *testing.T) {
+	h := Header{
+		ServiceID: 0x00D2, MethodID: 0x0001, ClientID: 7, SessionID: 9,
+		ProtocolVersion: 1, InterfaceVersion: 2, MessageType: TypeNotification,
+	}
+	payload := []byte{0xAA, 0xBB, 0xCC}
+	data := Marshal(h, payload)
+	if len(data) != HeaderLen+3 {
+		t.Fatalf("marshalled length = %d", len(data))
+	}
+	got, gotPayload, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ServiceID != h.ServiceID || got.MethodID != h.MethodID ||
+		got.ClientID != 7 || got.SessionID != 9 ||
+		got.MessageType != TypeNotification || got.Length != 11 {
+		t.Fatalf("header = %+v", got)
+	}
+	if string(gotPayload) != string(payload) {
+		t.Fatalf("payload = %x", gotPayload)
+	}
+	if got.MessageID() != 0x00D20001 {
+		t.Fatalf("message id = %#x", got.MessageID())
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	if _, _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("short message must fail")
+	}
+	h := Header{ServiceID: 1, MethodID: 2}
+	data := Marshal(h, []byte{1, 2})
+	data[7] = 99 // corrupt length
+	if _, _, err := Unmarshal(data); err == nil {
+		t.Fatal("inconsistent length must fail")
+	}
+}
+
+// wstatMsg models Table 1's wstat from SOME/IP service 212: status in
+// payload bytes 10..22 region, with an optional detail field gated on a
+// presence bit.
+func wstatMsg() MessageDef {
+	return MessageDef{
+		ServiceID: 0, MethodID: 212, Name: "WiperService", Channel: "ETH1",
+		PayloadLen: 12, CycleTime: 0.2,
+		Fields: []Field{
+			{Def: protocol.SignalDef{Name: "wstat", StartBit: 8, BitLen: 8}},
+			{Def: protocol.SignalDef{Name: "wdetail", StartBit: 16, BitLen: 16, Scale: 0.1},
+				Optional: true, PresenceBit: 0},
+		},
+	}
+}
+
+func TestMessageEncodeDecodeWithPresence(t *testing.T) {
+	m := wstatMsg()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both fields present.
+	data, err := m.Encode(map[string]float64{"wstat": 3, "wdetail": 12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := m.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["wstat"] != 3 || vals["wdetail"] != 12.5 {
+		t.Fatalf("decoded %v", vals)
+	}
+
+	// Optional field absent: presence bit clear, field not reported.
+	data, err = m.Encode(map[string]float64{"wstat": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err = m.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vals["wdetail"]; ok {
+		t.Fatalf("absent optional field reported: %v", vals)
+	}
+	if vals["wstat"] != 4 {
+		t.Fatalf("decoded %v", vals)
+	}
+}
+
+func TestValidateRejectsBadLayouts(t *testing.T) {
+	bad := []MessageDef{
+		{Name: "x", PayloadLen: 0},
+		{Name: "x", PayloadLen: 2, Fields: []Field{
+			{Def: protocol.SignalDef{Name: "a", StartBit: 8, BitLen: 8}, Optional: true, PresenceBit: 9}}},
+		{Name: "x", PayloadLen: 2, Fields: []Field{
+			{Def: protocol.SignalDef{Name: "a", StartBit: 0, BitLen: 8}}}}, // overlaps mask
+		{Name: "x", PayloadLen: 2, Fields: []Field{
+			{Def: protocol.SignalDef{Name: "a", StartBit: 8, BitLen: 16}}}}, // exceeds payload
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestFieldRuleMatchesDecode checks that the generated presence-gated
+// interpretation rules compute what the codec computes, over the full
+// recorded bytes (header + payload).
+func TestFieldRuleMatchesDecode(t *testing.T) {
+	m := wstatMsg()
+	schema := relation.NewSchema(relation.Column{Name: "l", Kind: relation.KindBytes})
+
+	for _, name := range []string{"wstat", "wdetail"} {
+		ruleSrc, err := m.FieldRule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := expr.Compile(ruleSrc, schema)
+		if err != nil {
+			t.Fatalf("rule %q: %v", ruleSrc, err)
+		}
+		for _, vals := range []map[string]float64{
+			{"wstat": 3, "wdetail": 12.5},
+			{"wstat": 7},
+		} {
+			data, err := m.Encode(vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := m.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := prog.Eval(expr.SingleRowEnv{Row: relation.Row{relation.Bytes(data)}})
+			want, present := decoded[name]
+			if !present {
+				if !got.IsNull() {
+					t.Errorf("%s absent but rule %q = %v", name, ruleSrc, got)
+				}
+				continue
+			}
+			if got.AsFloat() != want {
+				t.Errorf("%s: rule %q = %v, codec = %v", name, ruleSrc, got.AsFloat(), want)
+			}
+		}
+	}
+	if _, err := m.FieldRule("nope"); err == nil {
+		t.Fatal("unknown field must error")
+	}
+	if _, err := m.PresenceRule("nope"); err == nil {
+		t.Fatal("unknown field must error")
+	}
+	if r, err := m.PresenceRule("wstat"); err != nil || r != "true" {
+		t.Fatalf("mandatory presence rule = %q, %v", r, err)
+	}
+}
+
+func TestMarshalUnmarshalRoundTripProperty(t *testing.T) {
+	f := func(svc, mth, cli, ses uint16, payload []byte) bool {
+		h := Header{ServiceID: svc, MethodID: mth, ClientID: cli, SessionID: ses, ProtocolVersion: 1}
+		data := Marshal(h, payload)
+		got, p2, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if got.ServiceID != svc || got.MethodID != mth || len(p2) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if p2[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package reduce implements the reduction technique of Sec. 4.1
+// (Algorithm 1 lines 8–11): splitting K_s per signal type, exploiting
+// gateway forwarding by processing one representative channel per
+// signal, and applying the constraint set C to keep only task-relevant
+// elements.
+package reduce
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+	"ivnt/internal/trace"
+)
+
+// Split performs signal splitting (line 8): K_s → one time-ordered
+// sequence per signal type s*∈Σ*, sorted by signal id for determinism.
+func Split(ctx context.Context, exec engine.Executor, ks *relation.Relation) ([]engine.KeyedRelation, error) {
+	groups, err := engine.NewDataset(exec, ks).SplitBy(ctx, trace.ColSID)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		return groups[i].Key.AsString() < groups[j].Key.AsString()
+	})
+	for i, g := range groups {
+		sorted, err := g.Rel.SortBy(true, trace.ColT)
+		if err != nil {
+			return nil, err
+		}
+		groups[i].Rel = sorted
+	}
+	return groups, nil
+}
+
+// GatewayResult is the output of the equality check e (line 9): the
+// representative sequence (one channel) plus the corresponding channels
+// whose instances mirror it.
+type GatewayResult struct {
+	// Representative holds the signal's rows on the representative
+	// channel only.
+	Representative *relation.Relation
+	// RepChannel is the chosen channel (lexicographically smallest, so
+	// runs are replicable).
+	RepChannel string
+	// Corresponding lists the other channels carrying the signal.
+	Corresponding []string
+	// Mismatched lists channels whose value sequence does NOT mirror
+	// the representative; those must be processed separately (and are
+	// themselves potential gateway faults worth surfacing).
+	Mismatched []string
+}
+
+// DedupChannels implements e: given one signal's sequence across
+// channels, pick a representative channel and verify the other
+// channels' value sequences are equal, so downstream processing runs
+// once per signal instead of once per route.
+func DedupChannels(seq *relation.Relation) (*GatewayResult, error) {
+	bidIdx := seq.Schema.Index(trace.ColBID)
+	vIdx := seq.Schema.Index(trace.ColV)
+	if bidIdx < 0 || vIdx < 0 {
+		return nil, fmt.Errorf("reduce: sequence lacks %s/%s columns (%s)", trace.ColBID, trace.ColV, seq.Schema)
+	}
+	byChannel := map[string][]relation.Row{}
+	var channels []string
+	for _, p := range seq.Partitions {
+		for _, r := range p {
+			b := r[bidIdx].AsString()
+			if _, ok := byChannel[b]; !ok {
+				channels = append(channels, b)
+			}
+			byChannel[b] = append(byChannel[b], r)
+		}
+	}
+	if len(channels) == 0 {
+		return &GatewayResult{Representative: relation.FromRows(seq.Schema, nil)}, nil
+	}
+	sort.Strings(channels)
+	rep := channels[0]
+	res := &GatewayResult{
+		Representative: relation.FromRows(seq.Schema, byChannel[rep]),
+		RepChannel:     rep,
+	}
+	for _, ch := range channels[1:] {
+		if valueSequencesEqual(byChannel[rep], byChannel[ch], vIdx) {
+			res.Corresponding = append(res.Corresponding, ch)
+		} else {
+			res.Mismatched = append(res.Mismatched, ch)
+		}
+	}
+	return res, nil
+}
+
+// valueSequencesEqual compares the value streams of two routes of the
+// same signal. Timestamps differ by gateway latency, so only values in
+// order are compared.
+func valueSequencesEqual(a, b []relation.Row, vIdx int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i][vIdx].Equal(b[i][vIdx]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyConstraints performs constraint reduction (lines 10–11) on one
+// signal's representative sequence: rows where any applicable marking
+// function fires (under its guard) are kept; with no applicable
+// constraints the sequence passes unreduced.
+func ApplyConstraints(ctx context.Context, exec engine.Executor, seq *relation.Relation, cs []rules.Constraint) (*relation.Relation, engine.Stats, error) {
+	if len(cs) == 0 {
+		return seq, engine.Stats{RowsIn: seq.NumRows(), RowsOut: seq.NumRows()}, nil
+	}
+	keep := ""
+	for i := range cs {
+		if keep != "" {
+			keep += " || "
+		}
+		keep += "(" + cs[i].KeepExpr() + ")"
+	}
+	ops := []engine.OpDesc{engine.Filter(keep)}
+	return exec.RunStage(ctx, seq, ops)
+}
+
+// Reduced bundles one signal's fully reduced sequence with its gateway
+// bookkeeping.
+type Reduced struct {
+	SID     string
+	Rel     *relation.Relation
+	Gateway *GatewayResult
+	Stats   engine.Stats
+}
+
+// Run executes lines 8–11 for every signal in K_s under a domain
+// config: split, per-channel dedup, constraint reduction. Results come
+// back sorted by signal id.
+func Run(ctx context.Context, exec engine.Executor, ks *relation.Relation, cfg *rules.DomainConfig) ([]Reduced, error) {
+	groups, err := Split(ctx, exec, ks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Reduced, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range groups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sid := groups[i].Key.AsString()
+			gw, err := DedupChannels(groups[i].Rel)
+			if err != nil {
+				errs[i] = fmt.Errorf("reduce: %s: %w", sid, err)
+				return
+			}
+			red, st, err := ApplyConstraints(ctx, exec, gw.Representative, cfg.ConstraintsFor(sid))
+			if err != nil {
+				errs[i] = fmt.Errorf("reduce: %s: %w", sid, err)
+				return
+			}
+			out[i] = Reduced{SID: sid, Rel: red, Gateway: gw, Stats: st}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package reduce
+
+import (
+	"context"
+	"testing"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+)
+
+var ctx = context.Background()
+
+func seqRow(t float64, sid string, v relation.Value, bid string) relation.Row {
+	return relation.Row{relation.Float(t), relation.Str(sid), v, relation.Str(bid)}
+}
+
+// ksRelation builds a K_s with two signals; wpos is forwarded through a
+// gateway onto channel BC with identical values but shifted timestamps.
+func ksRelation() *relation.Relation {
+	rows := []relation.Row{
+		seqRow(1.0, "wpos", relation.Float(45), "FC"),
+		seqRow(1.01, "wpos", relation.Float(45), "BC"),
+		seqRow(1.5, "wpos", relation.Float(45), "FC"),
+		seqRow(1.51, "wpos", relation.Float(45), "BC"),
+		seqRow(2.0, "wpos", relation.Float(60), "FC"),
+		seqRow(2.01, "wpos", relation.Float(60), "BC"),
+		seqRow(1.2, "belt", relation.Str("ON"), "FC"),
+		seqRow(1.7, "belt", relation.Str("ON"), "FC"),
+		seqRow(2.2, "belt", relation.Str("OFF"), "FC"),
+	}
+	return relation.FromRows(rules.SequenceSchema(), rows).Repartition(3)
+}
+
+func TestSplitOrdersAndGroups(t *testing.T) {
+	groups, err := Split(ctx, engine.NewLocal(2), ksRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].Key.AsString() != "belt" || groups[1].Key.AsString() != "wpos" {
+		t.Fatalf("group order = %v, %v", groups[0].Key, groups[1].Key)
+	}
+	// Time-ordered within each group.
+	for _, g := range groups {
+		rows := g.Rel.Rows()
+		for i := 1; i < len(rows); i++ {
+			if rows[i][0].AsFloat() < rows[i-1][0].AsFloat() {
+				t.Fatalf("group %v not time-ordered", g.Key)
+			}
+		}
+	}
+}
+
+func TestDedupChannelsRepresentative(t *testing.T) {
+	groups, err := Split(ctx, engine.NewLocal(1), ksRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wpos := groups[1].Rel
+	gw, err := DedupChannels(wpos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gw.RepChannel != "BC" { // lexicographically smallest
+		t.Fatalf("rep channel = %q", gw.RepChannel)
+	}
+	if len(gw.Corresponding) != 1 || gw.Corresponding[0] != "FC" {
+		t.Fatalf("corresponding = %v", gw.Corresponding)
+	}
+	if len(gw.Mismatched) != 0 {
+		t.Fatalf("mismatched = %v", gw.Mismatched)
+	}
+	if gw.Representative.NumRows() != 3 {
+		t.Fatalf("representative rows = %d, want 3", gw.Representative.NumRows())
+	}
+}
+
+func TestDedupChannelsDetectsMismatch(t *testing.T) {
+	rows := []relation.Row{
+		seqRow(1, "s", relation.Float(1), "A"),
+		seqRow(1.1, "s", relation.Float(2), "B"), // differs from A's value
+		seqRow(2, "s", relation.Float(3), "A"),
+		seqRow(2.1, "s", relation.Float(3), "B"),
+	}
+	seq := relation.FromRows(rules.SequenceSchema(), rows)
+	gw, err := DedupChannels(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gw.Mismatched) != 1 || gw.Mismatched[0] != "B" {
+		t.Fatalf("mismatched = %v", gw.Mismatched)
+	}
+	// Length mismatch also counts.
+	rows2 := append(rows, seqRow(3, "s", relation.Float(4), "A"))
+	gw2, err := DedupChannels(relation.FromRows(rules.SequenceSchema(), rows2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gw2.Mismatched) != 1 {
+		t.Fatalf("mismatched = %v", gw2.Mismatched)
+	}
+}
+
+func TestDedupChannelsEmptyAndBadSchema(t *testing.T) {
+	gw, err := DedupChannels(relation.FromRows(rules.SequenceSchema(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gw.Representative.NumRows() != 0 {
+		t.Fatal("empty sequence must stay empty")
+	}
+	bad := relation.New(relation.NewSchema(relation.Column{Name: "x", Kind: relation.KindInt}))
+	if _, err := DedupChannels(bad); err == nil {
+		t.Fatal("bad schema must fail")
+	}
+}
+
+func TestApplyConstraintsChangeReduction(t *testing.T) {
+	rows := []relation.Row{
+		seqRow(1, "s", relation.Float(5), "A"),
+		seqRow(2, "s", relation.Float(5), "A"),
+		seqRow(3, "s", relation.Float(5), "A"),
+		seqRow(4, "s", relation.Float(7), "A"),
+		seqRow(5, "s", relation.Float(7), "A"),
+	}
+	seq := relation.FromRows(rules.SequenceSchema(), rows)
+	red, st, err := ApplyConstraints(ctx, engine.NewLocal(1), seq,
+		[]rules.Constraint{rules.ChangeConstraint("s")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumRows() != 2 {
+		t.Fatalf("reduced rows = %d, want 2 (value changes only)", red.NumRows())
+	}
+	if st.RowsIn != 5 || st.RowsOut != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestApplyConstraintsPreservesViolations(t *testing.T) {
+	// Change reduction would drop the repeated value at t=3.0, but the
+	// cycle-violation constraint must keep it: "important state changes
+	// such as violations of cycle times need to be preserved".
+	rows := []relation.Row{
+		seqRow(0.0, "s", relation.Float(1), "A"),
+		seqRow(0.5, "s", relation.Float(1), "A"),
+		seqRow(3.0, "s", relation.Float(1), "A"), // gap 2.5 >> cycle 0.5
+		seqRow(3.5, "s", relation.Float(1), "A"),
+	}
+	seq := relation.FromRows(rules.SequenceSchema(), rows)
+	red, _, err := ApplyConstraints(ctx, engine.NewLocal(1), seq, []rules.Constraint{
+		rules.ChangeConstraint("s"),
+		rules.CycleViolationConstraint("s", 0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := red.Rows()
+	if len(got) != 2 {
+		t.Fatalf("reduced rows = %d, want 2: %v", len(got), got)
+	}
+	if got[0][0].AsFloat() != 0.0 || got[1][0].AsFloat() != 3.0 {
+		t.Fatalf("kept rows at %v and %v, want 0.0 and 3.0", got[0][0], got[1][0])
+	}
+}
+
+func TestApplyConstraintsNoneKeepsAll(t *testing.T) {
+	seq := relation.FromRows(rules.SequenceSchema(), []relation.Row{
+		seqRow(1, "s", relation.Float(1), "A"),
+		seqRow(2, "s", relation.Float(1), "A"),
+	})
+	red, _, err := ApplyConstraints(ctx, engine.NewLocal(1), seq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", red.NumRows())
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	cfg := &rules.DomainConfig{
+		Name:        "wiper",
+		SIDs:        []string{"wpos", "belt"},
+		Constraints: []rules.Constraint{rules.ChangeConstraint("*")},
+	}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(ctx, engine.NewLocal(2), ksRelation(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("reduced signals = %d", len(out))
+	}
+	if out[0].SID != "belt" || out[1].SID != "wpos" {
+		t.Fatalf("order = %s, %s", out[0].SID, out[1].SID)
+	}
+	// wpos: values 45,45,60 on representative channel → changes at 45
+	// and 60 → 2 rows. belt: ON,ON,OFF → 2 rows.
+	if out[1].Rel.NumRows() != 2 {
+		t.Fatalf("wpos reduced = %d rows", out[1].Rel.NumRows())
+	}
+	if out[0].Rel.NumRows() != 2 {
+		t.Fatalf("belt reduced = %d rows", out[0].Rel.NumRows())
+	}
+	if out[1].Gateway.RepChannel != "BC" || len(out[1].Gateway.Corresponding) != 1 {
+		t.Fatalf("gateway = %+v", out[1].Gateway)
+	}
+}

@@ -1,0 +1,155 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is a materialized, horizontally partitioned table. Partitions
+// are the unit of parallelism in the engine: narrow operators run on each
+// partition independently, mirroring how the paper distributes row-wise
+// interpretation across cluster nodes.
+type Relation struct {
+	Schema     Schema
+	Partitions [][]Row
+}
+
+// New creates an empty relation with the given schema and one empty
+// partition.
+func New(s Schema) *Relation {
+	return &Relation{Schema: s, Partitions: [][]Row{nil}}
+}
+
+// FromRows builds a single-partition relation from rows.
+func FromRows(s Schema, rows []Row) *Relation {
+	return &Relation{Schema: s, Partitions: [][]Row{rows}}
+}
+
+// NumRows returns the total row count across partitions.
+func (r *Relation) NumRows() int {
+	n := 0
+	for _, p := range r.Partitions {
+		n += len(p)
+	}
+	return n
+}
+
+// NumPartitions returns the partition count.
+func (r *Relation) NumPartitions() int { return len(r.Partitions) }
+
+// Rows flattens all partitions into one slice, in partition order.
+func (r *Relation) Rows() []Row {
+	out := make([]Row, 0, r.NumRows())
+	for _, p := range r.Partitions {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Append adds a row to the last partition.
+func (r *Relation) Append(row Row) {
+	if len(r.Partitions) == 0 {
+		r.Partitions = [][]Row{nil}
+	}
+	last := len(r.Partitions) - 1
+	r.Partitions[last] = append(r.Partitions[last], row)
+}
+
+// Repartition redistributes all rows round-robin into n partitions of
+// near-equal size, preserving global order within the concatenation.
+func (r *Relation) Repartition(n int) *Relation {
+	if n < 1 {
+		n = 1
+	}
+	rows := r.Rows()
+	parts := make([][]Row, n)
+	per := (len(rows) + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < n; i++ {
+		lo := i * per
+		if lo > len(rows) {
+			lo = len(rows)
+		}
+		hi := lo + per
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		parts[i] = rows[lo:hi]
+	}
+	return &Relation{Schema: r.Schema, Partitions: parts}
+}
+
+// PartitionByKey redistributes rows into n partitions by hashing the
+// given key columns, so that equal keys land in the same partition. This
+// is the shuffle used before per-signal processing.
+func (r *Relation) PartitionByKey(n int, keyCols ...string) (*Relation, error) {
+	if n < 1 {
+		n = 1
+	}
+	idx := make([]int, len(keyCols))
+	for i, c := range keyCols {
+		j := r.Schema.Index(c)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: partition key %q not in schema %s", c, r.Schema)
+		}
+		idx[i] = j
+	}
+	parts := make([][]Row, n)
+	for _, p := range r.Partitions {
+		for _, row := range p {
+			b := row.Hash(idx...) % uint64(n)
+			parts[b] = append(parts[b], row)
+		}
+	}
+	return &Relation{Schema: r.Schema, Partitions: parts}, nil
+}
+
+// SortBy sorts every partition (and, when global is true, the whole
+// relation as a single partition) by the given columns ascending. Sorting
+// restores determinism after hash shuffles, which the paper requires for
+// replicable fault diagnosis.
+func (r *Relation) SortBy(global bool, cols ...string) (*Relation, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := r.Schema.Index(c)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: sort key %q not in schema %s", c, r.Schema)
+		}
+		idx[i] = j
+	}
+	less := func(a, b Row) bool {
+		for _, j := range idx {
+			if c := a[j].Compare(b[j]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}
+	if global {
+		rows := r.Rows()
+		sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+		return FromRows(r.Schema, rows), nil
+	}
+	out := &Relation{Schema: r.Schema, Partitions: make([][]Row, len(r.Partitions))}
+	for pi, p := range r.Partitions {
+		cp := make([]Row, len(p))
+		copy(cp, p)
+		sort.SliceStable(cp, func(i, j int) bool { return less(cp[i], cp[j]) })
+		out.Partitions[pi] = cp
+	}
+	return out, nil
+}
+
+// Concat appends the partitions of o (same schema required) to r,
+// returning a new relation.
+func (r *Relation) Concat(o *Relation) (*Relation, error) {
+	if !r.Schema.Equal(o.Schema) {
+		return nil, fmt.Errorf("relation: concat schema mismatch: %s vs %s", r.Schema, o.Schema)
+	}
+	parts := make([][]Row, 0, len(r.Partitions)+len(o.Partitions))
+	parts = append(parts, r.Partitions...)
+	parts = append(parts, o.Partitions...)
+	return &Relation{Schema: r.Schema, Partitions: parts}, nil
+}

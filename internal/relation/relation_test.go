@@ -1,0 +1,209 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() Schema {
+	return NewSchema(
+		Column{Name: "t", Kind: KindInt},
+		Column{Name: "sid", Kind: KindString},
+		Column{Name: "v", Kind: KindFloat},
+	)
+}
+
+func testRows(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{Int(int64(i)), Str([]string{"a", "b", "c"}[i%3]), Float(float64(i) / 2)}
+	}
+	return rows
+}
+
+func TestSchemaIndexAndProject(t *testing.T) {
+	s := testSchema()
+	if s.Index("sid") != 1 || s.Index("nope") != -1 {
+		t.Fatalf("Index results wrong: %d %d", s.Index("sid"), s.Index("nope"))
+	}
+	p, err := s.Project("v", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Cols[0].Name != "v" || p.Cols[1].Name != "t" {
+		t.Fatalf("Project wrong: %s", p)
+	}
+	if _, err := s.Project("missing"); err == nil {
+		t.Fatal("Project with missing column must fail")
+	}
+}
+
+func TestSchemaAppendDoesNotMutate(t *testing.T) {
+	s := testSchema()
+	s2 := s.Append(Column{Name: "extra", Kind: KindBool})
+	if s.Len() != 3 || s2.Len() != 4 {
+		t.Fatalf("Append mutated original: %d %d", s.Len(), s2.Len())
+	}
+	if !s2.Has("extra") || s.Has("extra") {
+		t.Fatal("Has results wrong after Append")
+	}
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex on missing column must panic")
+		}
+	}()
+	testSchema().MustIndex("missing")
+}
+
+func TestRelationRepartitionPreservesRowsAndOrder(t *testing.T) {
+	rel := FromRows(testSchema(), testRows(10))
+	for _, n := range []int{1, 2, 3, 7, 10, 25} {
+		rp := rel.Repartition(n)
+		if rp.NumRows() != 10 {
+			t.Fatalf("n=%d: lost rows: %d", n, rp.NumRows())
+		}
+		flat := rp.Rows()
+		for i, row := range flat {
+			if row[0].AsInt() != int64(i) {
+				t.Fatalf("n=%d: order broken at %d: %v", n, i, row)
+			}
+		}
+	}
+}
+
+func TestRelationPartitionByKeyGroupsKeys(t *testing.T) {
+	rel := FromRows(testSchema(), testRows(30))
+	pk, err := rel.PartitionByKey(4, "sid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.NumRows() != 30 {
+		t.Fatalf("lost rows: %d", pk.NumRows())
+	}
+	// Every key must live in exactly one partition.
+	where := map[string]int{}
+	for pi, p := range pk.Partitions {
+		for _, row := range p {
+			k := row[1].S
+			if prev, ok := where[k]; ok && prev != pi {
+				t.Fatalf("key %q split across partitions %d and %d", k, prev, pi)
+			}
+			where[k] = pi
+		}
+	}
+}
+
+func TestRelationPartitionByKeyMissingColumn(t *testing.T) {
+	rel := FromRows(testSchema(), testRows(3))
+	if _, err := rel.PartitionByKey(2, "nope"); err == nil {
+		t.Fatal("expected error for missing key column")
+	}
+}
+
+func TestRelationSortByGlobal(t *testing.T) {
+	rows := []Row{
+		{Int(3), Str("b"), Float(0)},
+		{Int(1), Str("a"), Float(0)},
+		{Int(2), Str("a"), Float(0)},
+		{Int(1), Str("b"), Float(0)},
+	}
+	rel := &Relation{Schema: testSchema(), Partitions: [][]Row{rows[:2], rows[2:]}}
+	sorted, err := rel.SortBy(true, "t", "sid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sorted.Rows()
+	want := [][2]string{{"1", "a"}, {"1", "b"}, {"2", "a"}, {"3", "b"}}
+	for i, w := range want {
+		if got[i][0].AsString() != w[0] || got[i][1].AsString() != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestRelationSortByPerPartition(t *testing.T) {
+	rel := &Relation{Schema: testSchema(), Partitions: [][]Row{
+		{{Int(5), Str("x"), Float(0)}, {Int(1), Str("x"), Float(0)}},
+		{{Int(4), Str("y"), Float(0)}, {Int(2), Str("y"), Float(0)}},
+	}}
+	sorted, err := rel.SortBy(false, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.NumPartitions() != 2 {
+		t.Fatalf("partition count changed: %d", sorted.NumPartitions())
+	}
+	if sorted.Partitions[0][0][0].AsInt() != 1 || sorted.Partitions[1][0][0].AsInt() != 2 {
+		t.Fatalf("per-partition sort wrong: %v", sorted.Partitions)
+	}
+	// Original must be untouched.
+	if rel.Partitions[0][0][0].AsInt() != 5 {
+		t.Fatal("SortBy mutated input relation")
+	}
+}
+
+func TestRelationConcatSchemaMismatch(t *testing.T) {
+	a := FromRows(testSchema(), testRows(2))
+	b := FromRows(NewSchema(Column{Name: "x", Kind: KindInt}), nil)
+	if _, err := a.Concat(b); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+	c, err := a.Concat(FromRows(testSchema(), testRows(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRows() != 5 {
+		t.Fatalf("concat rows = %d, want 5", c.NumRows())
+	}
+}
+
+func TestRelationAppendCreatesPartition(t *testing.T) {
+	r := &Relation{Schema: testSchema()}
+	r.Append(Row{Int(1), Str("a"), Float(0)})
+	if r.NumRows() != 1 || r.NumPartitions() != 1 {
+		t.Fatalf("append bootstrap failed: %d rows, %d parts", r.NumRows(), r.NumPartitions())
+	}
+}
+
+func TestRepartitionCountPropertyQuick(t *testing.T) {
+	f := func(n uint8, parts uint8) bool {
+		rel := FromRows(testSchema(), testRows(int(n)%200))
+		rp := rel.Repartition(int(parts)%16 + 1)
+		return rp.NumRows() == rel.NumRows()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowCloneIndependent(t *testing.T) {
+	r := Row{Int(1), Str("a")}
+	c := r.Clone()
+	c[0] = Int(99)
+	if r[0].AsInt() != 1 {
+		t.Fatal("Clone shares cell storage")
+	}
+	if !r.Equal(Row{Int(1), Str("a")}) {
+		t.Fatal("Equal failed on identical rows")
+	}
+	if r.Equal(c) {
+		t.Fatal("Equal true on different rows")
+	}
+	if r.Equal(Row{Int(1)}) {
+		t.Fatal("Equal true on different lengths")
+	}
+}
+
+func TestRowHashSubset(t *testing.T) {
+	a := Row{Int(1), Str("x"), Float(5)}
+	b := Row{Int(1), Str("x"), Float(9)}
+	if a.Hash(0, 1) != b.Hash(0, 1) {
+		t.Fatal("subset hash should ignore other columns")
+	}
+	if a.Hash() == b.Hash() {
+		t.Fatal("full hash should differ")
+	}
+}

@@ -1,0 +1,156 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns. Schemas are immutable by
+// convention: operators derive new schemas rather than mutating.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) Schema { return Schema{Cols: cols} }
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Cols) }
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndex returns the position of the named column and panics when the
+// column does not exist; used where the plan compiler has already
+// validated names.
+func (s Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relation: schema has no column %q (have %s)", name, s))
+	}
+	return i
+}
+
+// Has reports whether the named column exists.
+func (s Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	names := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Append returns a new schema with extra columns appended.
+func (s Schema) Append(cols ...Column) Schema {
+	out := make([]Column, 0, len(s.Cols)+len(cols))
+	out = append(out, s.Cols...)
+	out = append(out, cols...)
+	return Schema{Cols: out}
+}
+
+// Project returns a new schema restricted to the named columns, in the
+// given order.
+func (s Schema) Project(names ...string) (Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		i := s.Index(n)
+		if i < 0 {
+			return Schema{}, fmt.Errorf("relation: project: no column %q in %s", n, s)
+		}
+		cols = append(cols, s.Cols[i])
+	}
+	return Schema{Cols: cols}, nil
+}
+
+// Equal reports whether two schemas have identical columns.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Cols) != len(o.Cols) {
+		return false
+	}
+	for i := range s.Cols {
+		if s.Cols[i] != o.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name:kind, ...)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is one tuple of a relation; cells align with the schema columns.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (cell slice copied; byte
+// payloads shared, as operators never mutate payloads in place).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports cell-wise equality with another row.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash combines the hashes of the given cell indexes; with no indexes it
+// hashes the whole row.
+func (r Row) Hash(idx ...int) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	if len(idx) == 0 {
+		for i := range r {
+			h = (h ^ r[i].Hash()) * prime
+		}
+		return h
+	}
+	for _, i := range idx {
+		h = (h ^ r[i].Hash()) * prime
+	}
+	return h
+}
+
+// String renders the row for debugging.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.AsString()
+	}
+	return "[" + strings.Join(parts, " | ") + "]"
+}

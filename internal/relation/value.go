@@ -1,0 +1,317 @@
+// Package relation provides the tabular data model used by the trace
+// processing engine: typed values, schemas, rows and partitioned relations.
+//
+// The paper expresses Algorithm 1 in relational algebra over tables of
+// trace elements; this package is the substrate those operators run on.
+// Values are a compact tagged union rather than interface{} so that rows
+// stay allocation-friendly at the row counts the paper targets.
+package relation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// Supported value kinds. KindNull is the zero value so that a zero Value
+// is a well-formed null.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar cell. Exactly one of the payload
+// fields is meaningful, selected by K. Fields are exported so values
+// cross gob encoding to remote executors unchanged.
+type Value struct {
+	K Kind
+	I int64   // KindBool (0/1) and KindInt
+	F float64 // KindFloat
+	S string  // KindString
+	B []byte  // KindBytes
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Bool wraps a bool.
+func Bool(b bool) Value {
+	if b {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// Int wraps an int64.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Float wraps a float64.
+func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// String wraps a string. The method set of Value already has String()
+// for fmt.Stringer, so the constructor is named Str.
+func Str(s string) Value { return Value{K: KindString, S: s} }
+
+// Bytes wraps a byte slice without copying.
+func Bytes(b []byte) Value { return Value{K: KindBytes, B: b} }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// AsBool returns the boolean payload; null and zero numerics are false.
+func (v Value) AsBool() bool {
+	switch v.K {
+	case KindBool, KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	default:
+		return false
+	}
+}
+
+// AsInt converts the value to int64 (truncating floats, parsing strings
+// best-effort; null is 0).
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindBool, KindInt:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	case KindString:
+		i, err := strconv.ParseInt(v.S, 0, 64)
+		if err != nil {
+			return 0
+		}
+		return i
+	default:
+		return 0
+	}
+}
+
+// AsFloat converts the value to float64 (null is 0; non-numeric strings
+// are NaN).
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindBool, KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	case KindString:
+		f, err := strconv.ParseFloat(v.S, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsString renders the value as a string; bytes are rendered as hex.
+func (v Value) AsString() string {
+	switch v.K {
+	case KindNull:
+		return ""
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBytes:
+		return fmt.Sprintf("%x", v.B)
+	default:
+		return ""
+	}
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string { return v.AsString() }
+
+// IsNumeric reports whether the value holds an int or float, or a string
+// that parses as a number.
+func (v Value) IsNumeric() bool {
+	switch v.K {
+	case KindInt, KindFloat:
+		return true
+	case KindString:
+		_, err := strconv.ParseFloat(v.S, 64)
+		return err == nil
+	default:
+		return false
+	}
+}
+
+// Equal reports deep equality between two values. Int/float compare
+// numerically (Int(2) equals Float(2)).
+func (v Value) Equal(o Value) bool {
+	if v.K == KindNull || o.K == KindNull {
+		return v.K == o.K
+	}
+	if v.isNum() && o.isNum() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.K != o.K {
+		return false
+	}
+	switch v.K {
+	case KindBool:
+		return (v.I != 0) == (o.I != 0)
+	case KindString:
+		return v.S == o.S
+	case KindBytes:
+		if len(v.B) != len(o.B) {
+			return false
+		}
+		for i := range v.B {
+			if v.B[i] != o.B[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (v Value) isNum() bool { return v.K == KindInt || v.K == KindFloat }
+
+// Compare orders two values: null < bool < numeric < string < bytes, and
+// within a class by natural order. It returns -1, 0 or +1.
+func (v Value) Compare(o Value) int {
+	cv, co := v.class(), o.class()
+	if cv != co {
+		if cv < co {
+			return -1
+		}
+		return 1
+	}
+	switch cv {
+	case 0: // both null
+		return 0
+	case 1: // bool
+		return cmpInt(v.I&1, o.I&1)
+	case 2: // numeric
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	case 3: // string
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		default:
+			return 0
+		}
+	default: // bytes
+		n := len(v.B)
+		if len(o.B) < n {
+			n = len(o.B)
+		}
+		for i := 0; i < n; i++ {
+			if v.B[i] != o.B[i] {
+				return cmpInt(int64(v.B[i]), int64(o.B[i]))
+			}
+		}
+		return cmpInt(int64(len(v.B)), int64(len(o.B)))
+	}
+}
+
+func (v Value) class() int {
+	switch v.K {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	case KindString:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Hash returns a 64-bit hash consistent with Equal (numeric values that
+// compare equal hash equally).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch v.K {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindBool:
+		buf[0] = 1
+		buf[1] = byte(v.I & 1)
+		h.Write(buf[:2])
+	case KindInt, KindFloat:
+		buf[0] = 2
+		bits := math.Float64bits(v.AsFloat())
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:9])
+	case KindString:
+		buf[0] = 3
+		h.Write(buf[:1])
+		h.Write([]byte(v.S))
+	case KindBytes:
+		buf[0] = 4
+		h.Write(buf[:1])
+		h.Write(v.B)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,282 @@
+package rules
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ivnt/internal/expr"
+	"ivnt/internal/relation"
+	"ivnt/internal/trace"
+)
+
+// Constraint is one c = (s_id, d, F) of the reduction constraint set C
+// (Sec. 4.1). When the guard d holds for a row of the signal's
+// sequence, the functions F are evaluated; the row's mark e is true
+// when any f is true (Eq. 1), and marked rows are KEPT — constraints
+// express task relevance (value changes, cycle-time violations), so
+// reduction is "filter to the marked elements".
+type Constraint struct {
+	// SID selects the sequence this constraint applies to; "*" applies
+	// to every signal.
+	SID string
+	// When is the guard d; empty means "true".
+	When string
+	// Funcs are the marking functions F, expressions over the
+	// per-signal sequence rows (t, sid, v, bid) with window access.
+	Funcs []string
+}
+
+// Validate compiles the guard and all functions against the per-signal
+// sequence schema.
+func (c *Constraint) Validate() error {
+	if c.SID == "" {
+		return fmt.Errorf("rules: constraint without s_id (use \"*\" for all)")
+	}
+	if len(c.Funcs) == 0 {
+		return fmt.Errorf("rules: constraint for %s has no functions", c.SID)
+	}
+	schema := SequenceSchema()
+	if c.When != "" {
+		if _, err := expr.Compile(c.When, schema); err != nil {
+			return fmt.Errorf("rules: constraint %s guard: %w", c.SID, err)
+		}
+	}
+	for _, f := range c.Funcs {
+		if _, err := expr.Compile(f, schema); err != nil {
+			return fmt.Errorf("rules: constraint %s: %w", c.SID, err)
+		}
+	}
+	return nil
+}
+
+// KeepExpr renders the constraint as a single keep-mark expression
+// (guard ∧ (f₁ ∨ f₂ ∨ …)).
+func (c *Constraint) KeepExpr() string {
+	funcs := "(" + c.Funcs[0] + ")"
+	for _, f := range c.Funcs[1:] {
+		funcs += " || (" + f + ")"
+	}
+	if c.When == "" || c.When == "true" {
+		return funcs
+	}
+	return "(" + c.When + ") && (" + funcs + ")"
+}
+
+// ChangeConstraint marks rows whose value differs from the previous
+// occurrence — the paper's evaluation reduction ("identical subsequent
+// signal instances are removed", Sec. 5.1). Sequence heads are kept.
+func ChangeConstraint(sid string) Constraint {
+	return Constraint{
+		SID:   sid,
+		Funcs: []string{"isnull(lag(v)) || v != lag(v)"},
+	}
+}
+
+// CycleViolationConstraint marks rows whose gap to the previous
+// occurrence exceeds the cycle time — the violations that must survive
+// reduction.
+func CycleViolationConstraint(sid string, cycleTime float64) Constraint {
+	return Constraint{
+		SID:   sid,
+		Funcs: []string{fmt.Sprintf("gap(t) > %g", cycleTime*1.5)},
+	}
+}
+
+// Extension is one extension rule of E (Sec. 4.1): it derives a
+// meta-data sequence W of instances ŵ = (v, w_id) from a reduced signal
+// sequence, e.g. the temporal gap wposGap of Table 2.
+type Extension struct {
+	// WID is w_id, the identifier of the produced meta signal.
+	WID string
+	// SID is the source sequence; "*" derives from every signal (WID
+	// is then suffixed with the source id).
+	SID string
+	// Expr computes v per row of the source sequence.
+	Expr string
+}
+
+// Validate compiles the expression.
+func (e *Extension) Validate() error {
+	if e.WID == "" || e.SID == "" {
+		return fmt.Errorf("rules: extension needs w_id and s_id")
+	}
+	if _, err := expr.Compile(e.Expr, SequenceSchema()); err != nil {
+		return fmt.Errorf("rules: extension %s: %w", e.WID, err)
+	}
+	return nil
+}
+
+// SequenceSchema is the schema of a per-signal sequence (a split K_s):
+// the rows constraints, extensions and branch processing operate on.
+func SequenceSchema() relation.Schema {
+	return relation.NewSchema(
+		relation.Column{Name: trace.ColT, Kind: relation.KindFloat},
+		relation.Column{Name: trace.ColSID, Kind: relation.KindString},
+		relation.Column{Name: trace.ColV, Kind: relation.KindNull},
+		relation.Column{Name: trace.ColBID, Kind: relation.KindString},
+	)
+}
+
+// AlphaParams tune branch α (numeric processing, Sec. 4.2).
+type AlphaParams struct {
+	// OutlierWindow is the Hampel filter window (total width, odd);
+	// default 11.
+	OutlierWindow int
+	// OutlierK is the MAD multiplier; default 3.
+	OutlierK float64
+	// SmoothWindow is the moving-average width; default 3.
+	SmoothWindow int
+	// SWABBuffer is the SWAB working buffer size in points; default 50.
+	SWABBuffer int
+	// SWABMaxError is the segment merge cost ceiling (SSE of linear
+	// fit); default 0.5 on z-normalized data.
+	SWABMaxError float64
+	// SAXAlphabet is the symbol alphabet size (2..10); default 5.
+	SAXAlphabet int
+}
+
+// withDefaults fills zero fields.
+func (p AlphaParams) withDefaults() AlphaParams {
+	if p.OutlierWindow == 0 {
+		p.OutlierWindow = 11
+	}
+	if p.OutlierK == 0 {
+		p.OutlierK = 3
+	}
+	if p.SmoothWindow == 0 {
+		p.SmoothWindow = 3
+	}
+	if p.SWABBuffer == 0 {
+		p.SWABBuffer = 50
+	}
+	if p.SWABMaxError == 0 {
+		p.SWABMaxError = 0.5
+	}
+	if p.SAXAlphabet == 0 {
+		p.SAXAlphabet = 5
+	}
+	return p
+}
+
+// DomainConfig is the per-domain parameterization: which signals to
+// extract (U_comb selection), how to reduce and extend them, and the
+// type-dependent processing thresholds. Parameterize once, run on every
+// trace — the framework's central workflow.
+type DomainConfig struct {
+	// Name labels the domain (e.g. "lights", "wiper").
+	Name string
+	// SIDs is the signal selection defining U_comb.
+	SIDs []string
+	// Constraints is C; when a signal has no applicable constraint all
+	// its rows are kept.
+	Constraints []Constraint
+	// Extensions is E.
+	Extensions []Extension
+	// RateThreshold is T of Eq. 2 (values per second separating high
+	// from low change rate); default 2.
+	RateThreshold float64
+	// Alpha tunes branch α.
+	Alpha AlphaParams
+	// Partitions sets the engine parallelism for this domain's jobs;
+	// 0 lets the executor decide.
+	Partitions int
+}
+
+// Normalize fills defaults and validates; call before use.
+func (d *DomainConfig) Normalize() error {
+	if d.Name == "" {
+		return fmt.Errorf("rules: domain config without name")
+	}
+	if len(d.SIDs) == 0 {
+		return fmt.Errorf("rules: domain %s selects no signals", d.Name)
+	}
+	if d.RateThreshold == 0 {
+		d.RateThreshold = 2
+	}
+	d.Alpha = d.Alpha.withDefaults()
+	for i := range d.Constraints {
+		if err := d.Constraints[i].Validate(); err != nil {
+			return fmt.Errorf("rules: domain %s: %w", d.Name, err)
+		}
+	}
+	for i := range d.Extensions {
+		if err := d.Extensions[i].Validate(); err != nil {
+			return fmt.Errorf("rules: domain %s: %w", d.Name, err)
+		}
+	}
+	return nil
+}
+
+// ConstraintsFor returns the constraints applying to a signal id
+// (exact matches plus "*" wildcards).
+func (d *DomainConfig) ConstraintsFor(sid string) []Constraint {
+	var out []Constraint
+	for i := range d.Constraints {
+		if d.Constraints[i].SID == sid || d.Constraints[i].SID == "*" {
+			out = append(out, d.Constraints[i])
+		}
+	}
+	return out
+}
+
+// ExtensionsFor returns the extensions deriving from a signal id.
+func (d *DomainConfig) ExtensionsFor(sid string) []Extension {
+	var out []Extension
+	for i := range d.Extensions {
+		if d.Extensions[i].SID == sid || d.Extensions[i].SID == "*" {
+			out = append(out, d.Extensions[i])
+		}
+	}
+	return out
+}
+
+// SaveConfig writes a domain config as JSON.
+func SaveConfig(path string, d *DomainConfig) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadConfig reads and normalizes a domain config from JSON.
+func LoadConfig(path string) (*DomainConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d DomainConfig
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("rules: %s: %w", path, err)
+	}
+	if err := d.Normalize(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// SaveCatalog writes a catalog as JSON.
+func SaveCatalog(path string, c *Catalog) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadCatalog reads and validates a catalog from JSON.
+func LoadCatalog(path string) (*Catalog, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Catalog
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("rules: %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

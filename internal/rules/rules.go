@@ -1,0 +1,259 @@
+// Package rules holds the framework's parameterization: the U_rel
+// catalog of translation tuples (Sec. 3.1, Table 1), the reduction
+// constraint sets C (Sec. 4.1, Eq. 1), the extension rules E and the
+// per-domain configuration bundling a selection U_comb with processing
+// thresholds. One such configuration is the "one-time parameterization"
+// the paper's abstract promises per analyzing domain.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ivnt/internal/expr"
+	"ivnt/internal/relation"
+	"ivnt/internal/trace"
+)
+
+// SignalClass is the documented value domain of a signal, feeding the
+// z_val / z_aff classification criteria of Sec. 4.2.
+type SignalClass uint8
+
+// Signal classes as documented per signal type.
+const (
+	// ClassNumeric signals carry physical quantities (steering angle,
+	// speed).
+	ClassNumeric SignalClass = iota
+	// ClassOrdinal signals carry ranked states (off < low < medium <
+	// high); valence is comparable.
+	ClassOrdinal
+	// ClassNominal signals carry unranked states (driving, parking).
+	ClassNominal
+	// ClassBinary signals carry exactly two states (ON/OFF).
+	ClassBinary
+)
+
+// String returns the class name.
+func (c SignalClass) String() string {
+	switch c {
+	case ClassNumeric:
+		return "numeric"
+	case ClassOrdinal:
+		return "ordinal"
+	case ClassNominal:
+		return "nominal"
+	case ClassBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Translation is one u_rel = (s_id, b_id, m_id, u_info) translation
+// tuple. The u_info part is everything needed for extraction: the
+// relevant byte range (rel.B), the interpretation rule (Int.rule), data
+// typing and documentation-derived knowledge.
+type Translation struct {
+	// SID is s_id^rel.
+	SID string
+	// Channel is b_id, MsgID is m_id.
+	Channel string
+	MsgID   uint32
+
+	// FirstByte/LastByte delimit rel.B, the payload bytes the signal
+	// occupies (inclusive).
+	FirstByte int
+	LastByte  int
+	// Rule is the Int.rule: an expression over column "lrel" (the
+	// relevant bytes extracted by u₁) yielding the signal value v.
+	Rule string
+
+	// Class is the documented value domain.
+	Class SignalClass
+	// Unit is the physical unit, informational.
+	Unit string
+	// CycleTime is the documented nominal send period in seconds
+	// (0 = event driven); constraints check violations against it.
+	CycleTime float64
+	// OrdinalScale orders symbolic ordinal values low→high; branch β
+	// uses it to translate symbols into numeric equivalents.
+	OrdinalScale []string
+	// ValidityValues lists values expressing validity (V) rather than
+	// a functional property (F), e.g. "signal invalid" — z_aff.
+	ValidityValues []string
+}
+
+// Validate checks internal consistency of the tuple.
+func (u *Translation) Validate() error {
+	if u.SID == "" {
+		return fmt.Errorf("rules: translation without s_id")
+	}
+	if u.Channel == "" {
+		return fmt.Errorf("rules: %s: empty channel", u.SID)
+	}
+	if u.FirstByte < 0 || u.LastByte < u.FirstByte {
+		return fmt.Errorf("rules: %s: bad relevant byte range [%d,%d]", u.SID, u.FirstByte, u.LastByte)
+	}
+	if u.Rule == "" {
+		return fmt.Errorf("rules: %s: empty interpretation rule", u.SID)
+	}
+	if _, err := expr.Compile(u.Rule, u1Schema()); err != nil {
+		return fmt.Errorf("rules: %s: %w", u.SID, err)
+	}
+	return nil
+}
+
+// U1Rule renders the u₁ relevant-byte extraction for this tuple as an
+// expression over the raw payload column l.
+func (u *Translation) U1Rule() string {
+	return fmt.Sprintf("slice(l, %d, %d)", u.FirstByte, u.LastByte-u.FirstByte+1)
+}
+
+// u1Schema is the schema interpretation rules see: the relevant bytes
+// plus timing/identity context.
+func u1Schema() relation.Schema {
+	return relation.NewSchema(
+		relation.Column{Name: trace.ColT, Kind: relation.KindFloat},
+		relation.Column{Name: trace.ColBID, Kind: relation.KindString},
+		relation.Column{Name: trace.ColSID, Kind: relation.KindString},
+		relation.Column{Name: trace.ColLRel, Kind: relation.KindBytes},
+		relation.Column{Name: "l", Kind: relation.KindBytes},
+	)
+}
+
+// Catalog is U_rel: every documented signal of the vehicle (the paper
+// verifies over 10 000 signal types; catalogs here are whatever the
+// generator or the user supplies).
+type Catalog struct {
+	Translations []Translation
+}
+
+// Validate checks every tuple and uniqueness of s_id per channel.
+func (c *Catalog) Validate() error {
+	seen := map[string]bool{}
+	for i := range c.Translations {
+		u := &c.Translations[i]
+		if err := u.Validate(); err != nil {
+			return err
+		}
+		key := u.SID + "\x00" + u.Channel
+		if seen[key] {
+			return fmt.Errorf("rules: duplicate translation for %s on %s", u.SID, u.Channel)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// SIDs returns the distinct signal ids in the catalog, sorted.
+func (c *Catalog) SIDs() []string {
+	set := map[string]bool{}
+	for i := range c.Translations {
+		set[c.Translations[i].SID] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns all translation tuples for a signal id (one per
+// channel the signal is routed on).
+func (c *Catalog) Lookup(sid string) []Translation {
+	var out []Translation
+	for i := range c.Translations {
+		if c.Translations[i].SID == sid {
+			out = append(out, c.Translations[i])
+		}
+	}
+	return out
+}
+
+// Select builds U_comb: the subset of tuples for the requested signal
+// ids. Unknown ids are an error — a domain asking for an undocumented
+// signal is a parameterization bug.
+func (c *Catalog) Select(sids ...string) ([]Translation, error) {
+	var out []Translation
+	for _, sid := range sids {
+		ts := c.Lookup(sid)
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("rules: no translation tuple for signal %q", sid)
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// Column names of the U_comb broadcast table.
+const (
+	ColUSID     = "sid"
+	ColUBID     = "ubid"
+	ColUMID     = "umid"
+	ColU1Rule   = "u1rule"
+	ColU2Rule   = "rule"
+	ColUPairBID = "pbid"
+	ColUPairMID = "pmid"
+)
+
+// ToRelation renders translation tuples as the broadcast join table of
+// Sec. 3.2 (schema: sid, ubid, umid, u1rule, rule).
+func ToRelation(ts []Translation) *relation.Relation {
+	s := relation.NewSchema(
+		relation.Column{Name: ColUSID, Kind: relation.KindString},
+		relation.Column{Name: ColUBID, Kind: relation.KindString},
+		relation.Column{Name: ColUMID, Kind: relation.KindInt},
+		relation.Column{Name: ColU1Rule, Kind: relation.KindString},
+		relation.Column{Name: ColU2Rule, Kind: relation.KindString},
+	)
+	rel := relation.New(s)
+	for i := range ts {
+		u := &ts[i]
+		rel.Append(relation.Row{
+			relation.Str(u.SID),
+			relation.Str(u.Channel),
+			relation.Int(int64(u.MsgID)),
+			relation.Str(u.U1Rule()),
+			relation.Str(u.Rule),
+		})
+	}
+	return rel
+}
+
+// PairRelation renders the distinct (b_id, m_id) pairs of the tuples —
+// the preselection semijoin table of Sec. 3.1 (line 3 of Algorithm 1).
+func PairRelation(ts []Translation) *relation.Relation {
+	s := relation.NewSchema(
+		relation.Column{Name: ColUPairBID, Kind: relation.KindString},
+		relation.Column{Name: ColUPairMID, Kind: relation.KindInt},
+	)
+	rel := relation.New(s)
+	seen := map[string]bool{}
+	for i := range ts {
+		u := &ts[i]
+		key := fmt.Sprintf("%s\x00%d", u.Channel, u.MsgID)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rel.Append(relation.Row{relation.Str(u.Channel), relation.Int(int64(u.MsgID))})
+	}
+	return rel
+}
+
+// ValueTableString serializes a raw→symbol table into the argument
+// format of the expression function lookup().
+func ValueTableString(vt map[uint64]string) string {
+	keys := make([]uint64, 0, len(vt))
+	for k := range vt {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%d=%s", k, vt[k])
+	}
+	return strings.Join(parts, ";")
+}

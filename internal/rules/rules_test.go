@@ -1,0 +1,267 @@
+package rules
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ivnt/internal/relation"
+)
+
+func wiperCatalog() *Catalog {
+	return &Catalog{Translations: []Translation{
+		{SID: "wpos", Channel: "FC", MsgID: 3, FirstByte: 0, LastByte: 1,
+			Rule: "0.5 * ube(lrel, 0, 2)", Class: ClassNumeric, Unit: "deg", CycleTime: 0.5},
+		{SID: "wvel", Channel: "FC", MsgID: 3, FirstByte: 2, LastByte: 3,
+			Rule: "ube(lrel, 0, 2)", Class: ClassNumeric, Unit: "rad/min", CycleTime: 0.5},
+		{SID: "wtype", Channel: "K-LIN", MsgID: 11, FirstByte: 0, LastByte: 0,
+			Rule: "byteat(lrel, 0) + 2", Class: ClassOrdinal,
+			OrdinalScale: []string{"none", "front", "both"}},
+		{SID: "wstat", Channel: "ETH1", MsgID: 212, FirstByte: 9, LastByte: 21,
+			Rule: "lookup(byteat(lrel, 1), '0=idle;1=wiping;2=error')", Class: ClassNominal,
+			ValidityValues: []string{"error"}},
+		// wpos also forwarded through a gateway onto a second channel.
+		{SID: "wpos", Channel: "BC", MsgID: 77, FirstByte: 0, LastByte: 1,
+			Rule: "0.5 * ube(lrel, 0, 2)", Class: ClassNumeric, CycleTime: 0.5},
+	}}
+}
+
+func TestCatalogValidate(t *testing.T) {
+	c := wiperCatalog()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dup := &Catalog{Translations: []Translation{
+		c.Translations[0], c.Translations[0],
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate (sid, channel) must fail")
+	}
+}
+
+func TestTranslationValidateErrors(t *testing.T) {
+	bad := []Translation{
+		{SID: "", Channel: "FC", Rule: "1", LastByte: 1},
+		{SID: "x", Channel: "", Rule: "1", LastByte: 1},
+		{SID: "x", Channel: "FC", Rule: "1", FirstByte: 2, LastByte: 1},
+		{SID: "x", Channel: "FC", Rule: "", LastByte: 1},
+		{SID: "x", Channel: "FC", Rule: "nosuchcol + (", LastByte: 1},
+		{SID: "x", Channel: "FC", Rule: "missingcol + 1", LastByte: 1},
+	}
+	for i, u := range bad {
+		if err := u.Validate(); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, u)
+		}
+	}
+}
+
+func TestCatalogSelectAndLookup(t *testing.T) {
+	c := wiperCatalog()
+	sids := c.SIDs()
+	if strings.Join(sids, ",") != "wpos,wstat,wtype,wvel" {
+		t.Fatalf("SIDs = %v", sids)
+	}
+	ts, err := c.Select("wpos", "wvel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 { // wpos on two channels + wvel
+		t.Fatalf("U_comb size = %d, want 3", len(ts))
+	}
+	if _, err := c.Select("nonexistent"); err == nil {
+		t.Fatal("unknown signal must fail selection")
+	}
+	if got := c.Lookup("wpos"); len(got) != 2 {
+		t.Fatalf("Lookup(wpos) = %d tuples, want 2", len(got))
+	}
+}
+
+func TestToRelationAndPairRelation(t *testing.T) {
+	c := wiperCatalog()
+	ts, err := c.Select("wpos", "wvel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ToRelation(ts)
+	if rel.NumRows() != 3 || rel.Schema.Len() != 5 {
+		t.Fatalf("relation %s with %d rows", rel.Schema, rel.NumRows())
+	}
+	u1Idx := rel.Schema.MustIndex(ColU1Rule)
+	if got := rel.Rows()[0][u1Idx].AsString(); got != "slice(l, 0, 2)" {
+		t.Fatalf("u1 rule = %q", got)
+	}
+	pairs := PairRelation(ts)
+	// (FC,3) shared by wpos+wvel, (BC,77) for forwarded wpos.
+	if pairs.NumRows() != 2 {
+		t.Fatalf("pair rows = %d, want 2", pairs.NumRows())
+	}
+}
+
+func TestConstraintKeepExpr(t *testing.T) {
+	c := Constraint{SID: "wpos", Funcs: []string{"a > 1", "b > 2"}, When: "sid == 'wpos'"}
+	want := "(sid == 'wpos') && ((a > 1) || (b > 2))"
+	if got := c.KeepExpr(); got != want {
+		t.Fatalf("KeepExpr = %q, want %q", got, want)
+	}
+	c2 := Constraint{SID: "x", Funcs: []string{"v != lag(v)"}}
+	if got := c2.KeepExpr(); got != "(v != lag(v))" {
+		t.Fatalf("KeepExpr = %q", got)
+	}
+}
+
+func TestConstraintValidate(t *testing.T) {
+	good := ChangeConstraint("wpos")
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	viol := CycleViolationConstraint("wpos", 0.5)
+	if err := viol.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Constraint{
+		{SID: "", Funcs: []string{"true"}},
+		{SID: "x"},
+		{SID: "x", Funcs: []string{"nosuchcol > 1"}},
+		{SID: "x", When: "nosuchcol > 1", Funcs: []string{"true"}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestExtensionValidate(t *testing.T) {
+	good := Extension{WID: "wposGap", SID: "wpos", Expr: "gap(t)"}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Extension{
+		{WID: "", SID: "x", Expr: "1"},
+		{WID: "w", SID: "", Expr: "1"},
+		{WID: "w", SID: "x", Expr: "nosuchcol"},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDomainConfigNormalizeAndSelectors(t *testing.T) {
+	d := &DomainConfig{
+		Name: "wiper",
+		SIDs: []string{"wpos", "wvel"},
+		Constraints: []Constraint{
+			ChangeConstraint("*"),
+			CycleViolationConstraint("wpos", 0.5),
+		},
+		Extensions: []Extension{{WID: "wposGap", SID: "wpos", Expr: "gap(t)"}},
+	}
+	if err := d.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if d.RateThreshold != 2 || d.Alpha.SAXAlphabet != 5 || d.Alpha.OutlierWindow != 11 {
+		t.Fatalf("defaults not applied: %+v", d)
+	}
+	if got := d.ConstraintsFor("wpos"); len(got) != 2 {
+		t.Fatalf("constraints for wpos = %d, want 2", len(got))
+	}
+	if got := d.ConstraintsFor("wvel"); len(got) != 1 {
+		t.Fatalf("constraints for wvel = %d, want 1", len(got))
+	}
+	if got := d.ExtensionsFor("wpos"); len(got) != 1 {
+		t.Fatalf("extensions for wpos = %d", len(got))
+	}
+	if got := d.ExtensionsFor("wvel"); len(got) != 0 {
+		t.Fatalf("extensions for wvel = %d", len(got))
+	}
+}
+
+func TestDomainConfigNormalizeErrors(t *testing.T) {
+	bad := []*DomainConfig{
+		{Name: "", SIDs: []string{"a"}},
+		{Name: "x"},
+		{Name: "x", SIDs: []string{"a"}, Constraints: []Constraint{{SID: "a"}}},
+		{Name: "x", SIDs: []string{"a"}, Extensions: []Extension{{WID: "w", SID: "a", Expr: "("}}},
+	}
+	for i, d := range bad {
+		if err := d.Normalize(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wiper.json")
+	d := &DomainConfig{
+		Name:        "wiper",
+		SIDs:        []string{"wpos"},
+		Constraints: []Constraint{ChangeConstraint("*")},
+	}
+	if err := d.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveConfig(path, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "wiper" || len(back.SIDs) != 1 || len(back.Constraints) != 1 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestCatalogJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.json")
+	c := wiperCatalog()
+	if err := SaveCatalog(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Translations) != len(c.Translations) {
+		t.Fatalf("round trip lost tuples: %d vs %d", len(back.Translations), len(c.Translations))
+	}
+	if back.Translations[0].Rule != c.Translations[0].Rule {
+		t.Fatal("rule text lost")
+	}
+}
+
+func TestValueTableString(t *testing.T) {
+	vt := map[uint64]string{2: "headlight on", 0: "off", 1: "parklight on"}
+	got := ValueTableString(vt)
+	if got != "0=off;1=parklight on;2=headlight on" {
+		t.Fatalf("ValueTableString = %q", got)
+	}
+}
+
+func TestSignalClassString(t *testing.T) {
+	for c, want := range map[SignalClass]string{
+		ClassNumeric: "numeric", ClassOrdinal: "ordinal",
+		ClassNominal: "nominal", ClassBinary: "binary",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestSequenceSchemaShape(t *testing.T) {
+	s := SequenceSchema()
+	for _, name := range []string{"t", "sid", "v", "bid"} {
+		if !s.Has(name) {
+			t.Errorf("sequence schema missing %q", name)
+		}
+	}
+	_ = relation.Schema{}
+}

@@ -1,0 +1,222 @@
+// Package staterep builds the state representation of Sec. 4.3
+// (Table 4): all homogenized signal sequences K_α ∪ K_β ∪ K_γ and the
+// meta sequences W merge into one wide table with a column per signal
+// type, a row per occurrence timestamp, and forward-filled values — the
+// "state of all signal instances at a time" that downstream Data Mining
+// consumes directly.
+package staterep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ivnt/internal/relation"
+	"ivnt/internal/trace"
+)
+
+// Unknown fills cells before a signal's first occurrence.
+const Unknown = "-"
+
+// Table is the state representation.
+type Table struct {
+	// Times are the row timestamps, ascending.
+	Times []float64
+	// Signals are the column names (signal ids), in the order given to
+	// Build.
+	Signals []string
+	// Cells[i][j] is the value of Signals[j] at Times[i], forward
+	// filled.
+	Cells [][]string
+}
+
+// Build merges K_s-shaped sequences into the state representation. The
+// column set is the union of signal ids across sequences, ordered by
+// first appearance in seqs (then alphabetically within a sequence).
+func Build(seqs ...*relation.Relation) (*Table, error) {
+	type ev struct {
+		t   float64
+		sid string
+		v   string
+		seq int // merge priority for equal timestamps
+	}
+	var events []ev
+	var signals []string
+	seen := map[string]bool{}
+	for si, seq := range seqs {
+		if seq == nil {
+			continue
+		}
+		tIdx := seq.Schema.Index(trace.ColT)
+		sIdx := seq.Schema.Index(trace.ColSID)
+		vIdx := seq.Schema.Index(trace.ColV)
+		if tIdx < 0 || sIdx < 0 || vIdx < 0 {
+			return nil, fmt.Errorf("staterep: sequence %d lacks t/sid/v (%s)", si, seq.Schema)
+		}
+		var local []string
+		for _, p := range seq.Partitions {
+			for _, r := range p {
+				sid := r[sIdx].AsString()
+				if !seen[sid] {
+					seen[sid] = true
+					local = append(local, sid)
+				}
+				events = append(events, ev{
+					t:   r[tIdx].AsFloat(),
+					sid: sid,
+					v:   r[vIdx].AsString(),
+					seq: si,
+				})
+			}
+		}
+		sort.Strings(local)
+		signals = append(signals, local...)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].sid < events[j].sid
+	})
+
+	colIdx := make(map[string]int, len(signals))
+	for i, s := range signals {
+		colIdx[s] = i
+	}
+	tbl := &Table{Signals: signals}
+	last := make([]string, len(signals))
+	for i := range last {
+		last[i] = Unknown
+	}
+	i := 0
+	for i < len(events) {
+		t := events[i].t
+		// Apply every event at this timestamp, then snapshot (lag
+		// semantics: a row is the state AT the time, so simultaneous
+		// updates coalesce).
+		for i < len(events) && events[i].t == t {
+			last[colIdx[events[i].sid]] = events[i].v
+			i++
+		}
+		row := make([]string, len(signals))
+		copy(row, last)
+		tbl.Times = append(tbl.Times, t)
+		tbl.Cells = append(tbl.Cells, row)
+	}
+	return tbl, nil
+}
+
+// NumRows returns the number of states.
+func (tb *Table) NumRows() int { return len(tb.Times) }
+
+// Row returns state i as a signal→value map.
+func (tb *Table) Row(i int) map[string]string {
+	out := make(map[string]string, len(tb.Signals))
+	for j, s := range tb.Signals {
+		out[s] = tb.Cells[i][j]
+	}
+	return out
+}
+
+// Column returns the value series of one signal, or an error for
+// unknown signals.
+func (tb *Table) Column(sid string) ([]string, error) {
+	for j, s := range tb.Signals {
+		if s == sid {
+			out := make([]string, len(tb.Cells))
+			for i := range tb.Cells {
+				out[i] = tb.Cells[i][j]
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("staterep: no signal %q", sid)
+}
+
+// ToRelation renders the table as a relation (t + one string column per
+// signal) for further engine processing.
+func (tb *Table) ToRelation() *relation.Relation {
+	cols := make([]relation.Column, 0, len(tb.Signals)+1)
+	cols = append(cols, relation.Column{Name: trace.ColT, Kind: relation.KindFloat})
+	for _, s := range tb.Signals {
+		cols = append(cols, relation.Column{Name: s, Kind: relation.KindString})
+	}
+	rel := relation.New(relation.NewSchema(cols...))
+	for i, t := range tb.Times {
+		row := make(relation.Row, 0, len(cols))
+		row = append(row, relation.Float(t))
+		for _, v := range tb.Cells[i] {
+			row = append(row, relation.Str(v))
+		}
+		rel.Append(row)
+	}
+	return rel
+}
+
+// StateKey renders row i as a canonical composite state string (used by
+// transition graphs and anomaly scoring).
+func (tb *Table) StateKey(i int) string {
+	return strings.Join(tb.Cells[i], "\x1f")
+}
+
+// Render writes the table as aligned text, Table-4 style. maxRows ≤ 0
+// renders everything.
+func (tb *Table) Render(w io.Writer, maxRows int) error {
+	n := len(tb.Times)
+	if maxRows > 0 && maxRows < n {
+		n = maxRows
+	}
+	widths := make([]int, len(tb.Signals)+1)
+	widths[0] = len("t")
+	header := append([]string{"t"}, tb.Signals...)
+	for j, h := range header {
+		if len(h) > widths[j] {
+			widths[j] = len(h)
+		}
+	}
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, len(tb.Signals)+1)
+		row[0] = trimFloat(tb.Times[i])
+		copy(row[1:], tb.Cells[i])
+		for j, c := range row {
+			if len(c) > widths[j] {
+				widths[j] = len(c)
+			}
+		}
+		rows[i] = row
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for j, c := range cells {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[j]-len(c)))
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	if n < len(tb.Times) {
+		_, err := fmt.Fprintf(w, "... (%d more states)\n", len(tb.Times)-n)
+		return err
+	}
+	return nil
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.3f", f)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

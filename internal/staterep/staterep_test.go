@@ -1,0 +1,230 @@
+package staterep
+
+import (
+	"strings"
+	"testing"
+
+	"ivnt/internal/relation"
+	"ivnt/internal/rules"
+)
+
+func seqOf(sid string, pts ...[2]interface{}) *relation.Relation {
+	rel := relation.New(rules.SequenceSchema())
+	for _, p := range pts {
+		rel.Append(relation.Row{
+			relation.Float(p[0].(float64)),
+			relation.Str(sid),
+			relation.Str(p[1].(string)),
+			relation.Str("FC"),
+		})
+	}
+	return rel
+}
+
+// lightsScenario reproduces the shape of Table 4: headlight,
+// indicatorlight and speed signals merging into forward-filled states.
+func lightsScenario() (*Table, error) {
+	headlight := seqOf("headlight",
+		[2]interface{}{2.0, "off"},
+		[2]interface{}{20.1, "parklight on"},
+		[2]interface{}{23.5, "headlight on"},
+	)
+	indicator := seqOf("indicatorlight",
+		[2]interface{}{4.25, "left on"},
+		[2]interface{}{7.22, "off"},
+	)
+	speed := seqOf("speed",
+		[2]interface{}{2.0, "(high,increasing)"},
+		[2]interface{}{14.0, "(high,steady)"},
+		[2]interface{}{22.0, "outlier v=800"},
+		[2]interface{}{23.0, "(high,steady)"},
+	)
+	return Build(headlight, indicator, speed)
+}
+
+func TestBuildForwardFill(t *testing.T) {
+	tb, err := lightsScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Signals) != 3 {
+		t.Fatalf("signals = %v", tb.Signals)
+	}
+	// 9 distinct timestamps (2.0 shared by headlight and speed).
+	if tb.NumRows() != 8 {
+		t.Fatalf("rows = %d, want 8 (times %v)", tb.NumRows(), tb.Times)
+	}
+	// Row at t=4.25: headlight forward-filled "off", indicator just
+	// became "left on", speed still "(high,increasing)".
+	r := tb.Row(1)
+	if r["headlight"] != "off" || r["indicatorlight"] != "left on" || r["speed"] != "(high,increasing)" {
+		t.Fatalf("row 1 = %v", r)
+	}
+	// Row at t=22: outlier visible with lights forward-filled.
+	var out map[string]string
+	for i, tt := range tb.Times {
+		if tt == 22.0 {
+			out = tb.Row(i)
+		}
+	}
+	if out == nil || out["speed"] != "outlier v=800" || out["headlight"] != "parklight on" {
+		t.Fatalf("outlier state = %v", out)
+	}
+}
+
+func TestBuildUnknownBeforeFirstOccurrence(t *testing.T) {
+	tb, err := lightsScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=2.0 the indicator has not occurred yet.
+	if tb.Row(0)["indicatorlight"] != Unknown {
+		t.Fatalf("row 0 = %v", tb.Row(0))
+	}
+}
+
+func TestBuildSimultaneousEventsCoalesce(t *testing.T) {
+	a := seqOf("a", [2]interface{}{1.0, "x"})
+	b := seqOf("b", [2]interface{}{1.0, "y"})
+	tb, err := Build(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", tb.NumRows())
+	}
+	r := tb.Row(0)
+	if r["a"] != "x" || r["b"] != "y" {
+		t.Fatalf("row = %v", r)
+	}
+}
+
+func TestColumnAndStateKey(t *testing.T) {
+	tb, err := lightsScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := tb.Column("headlight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[0] != "off" || col[len(col)-1] != "headlight on" {
+		t.Fatalf("column = %v", col)
+	}
+	if _, err := tb.Column("nope"); err == nil {
+		t.Fatal("unknown column must fail")
+	}
+	if tb.StateKey(0) == tb.StateKey(tb.NumRows()-1) {
+		t.Fatal("distinct states must have distinct keys")
+	}
+}
+
+func TestToRelation(t *testing.T) {
+	tb, err := lightsScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := tb.ToRelation()
+	if rel.NumRows() != tb.NumRows() {
+		t.Fatalf("relation rows = %d", rel.NumRows())
+	}
+	if !rel.Schema.Has("headlight") || !rel.Schema.Has("t") {
+		t.Fatalf("schema = %s", rel.Schema)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tb, err := lightsScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"headlight", "outlier v=800", "left on", "(high,steady)"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// Truncated render mentions the remainder.
+	sb.Reset()
+	if err := tb.Render(&sb, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "more states") {
+		t.Fatalf("truncated render:\n%s", sb.String())
+	}
+}
+
+func TestBuildNilAndBadInputs(t *testing.T) {
+	tb, err := Build(nil, seqOf("a", [2]interface{}{1.0, "x"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	bad := relation.New(relation.NewSchema(relation.Column{Name: "x", Kind: relation.KindInt}))
+	if _, err := Build(bad); err == nil {
+		t.Fatal("bad schema must fail")
+	}
+	empty, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumRows() != 0 {
+		t.Fatal("empty build must be empty")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		2:     "2",
+		2.5:   "2.5",
+		4.25:  "4.25",
+		7.22:  "7.22",
+		0.125: "0.125",
+	}
+	for f, want := range cases {
+		if got := trimFloat(f); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestForwardFillOnlyChangesAtOccurrencesProperty(t *testing.T) {
+	// Property: a signal's column changes value only at rows whose
+	// timestamp is one of the signal's occurrence times.
+	occurrences := map[float64]bool{}
+	a := relation.New(rules.SequenceSchema())
+	for i := 0; i < 37; i++ {
+		tt := float64(i*i%91) / 7
+		occurrences[tt] = true
+		a.Append(relation.Row{
+			relation.Float(tt), relation.Str("a"),
+			relation.Str(string(rune('A' + i%5))), relation.Str("FC"),
+		})
+	}
+	b := relation.New(rules.SequenceSchema())
+	for i := 0; i < 23; i++ {
+		b.Append(relation.Row{
+			relation.Float(float64(i)), relation.Str("b"),
+			relation.Str(string(rune('x' + i%3))), relation.Str("FC"),
+		})
+	}
+	tb, err := Build(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := tb.Column("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < tb.NumRows(); i++ {
+		if col[i] != col[i-1] && !occurrences[tb.Times[i]] {
+			t.Fatalf("column a changed at t=%v which is not an occurrence", tb.Times[i])
+		}
+	}
+}

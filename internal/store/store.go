@@ -1,0 +1,275 @@
+// Package store persists extraction results — the "database" the
+// paper's proposed pipeline writes interpreted signals into (Sec. 5.1
+// measures "interpretation followed by writing the results to the
+// database"). One directory per domain holds a manifest, the state
+// representation and the per-signal symbolized sequences, all in
+// portable CSV so downstream Data Mining stacks can ingest them
+// directly.
+package store
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"ivnt/internal/core"
+	"ivnt/internal/relation"
+	"ivnt/internal/staterep"
+	"ivnt/internal/trace"
+)
+
+// Manifest describes one stored extraction.
+type Manifest struct {
+	Domain        string    `json:"domain"`
+	CreatedAt     time.Time `json:"created_at"`
+	Signals       []string  `json:"signals"`
+	States        int       `json:"states"`
+	KsRows        int       `json:"ks_rows"`
+	ReducedRows   int       `json:"reduced_rows"`
+	TraceRows     int       `json:"trace_rows"`
+	Executor      string    `json:"executor"`
+	ExtensionRows int       `json:"extension_rows"`
+}
+
+// Store is a directory of per-domain extraction results.
+type Store struct {
+	dir string
+}
+
+// Open creates/opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) domainDir(domain string) string {
+	return filepath.Join(s.dir, domain)
+}
+
+// Domains lists the stored domains, sorted.
+func (s *Store) Domains() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.dir, e.Name(), "manifest.json")); err == nil {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// WriteResult persists one pipeline result under the domain's
+// directory, replacing any previous extraction for that domain.
+func (s *Store) WriteResult(domain string, res *core.Result, executor string, traceRows int) error {
+	if domain == "" {
+		return fmt.Errorf("store: empty domain name")
+	}
+	dir := s.domainDir(domain)
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "signals"), 0o755); err != nil {
+		return err
+	}
+	if err := writeStateCSV(filepath.Join(dir, "state.csv"), res.State); err != nil {
+		return err
+	}
+	for _, sig := range res.Signals {
+		path := filepath.Join(dir, "signals", sig.SID+".csv")
+		if err := writeSequenceCSV(path, sig.Rel); err != nil {
+			return err
+		}
+	}
+	extRows := 0
+	if res.Extensions != nil {
+		extRows = res.Extensions.NumRows()
+		if err := writeSequenceCSV(filepath.Join(dir, "extensions.csv"), res.Extensions); err != nil {
+			return err
+		}
+	}
+	man := Manifest{
+		Domain:        domain,
+		CreatedAt:     time.Now().UTC(),
+		Signals:       res.State.Signals,
+		States:        res.State.NumRows(),
+		KsRows:        res.KsRows,
+		ReducedRows:   res.ReduceStats.RowsOut,
+		TraceRows:     traceRows,
+		Executor:      executor,
+		ExtensionRows: extRows,
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644)
+}
+
+// Manifest loads a domain's manifest.
+func (s *Store) Manifest(domain string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(s.domainDir(domain), "manifest.json"))
+	if err != nil {
+		return Manifest{}, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return Manifest{}, fmt.Errorf("store: %s: %w", domain, err)
+	}
+	return man, nil
+}
+
+// ReadState loads a domain's state representation.
+func (s *Store) ReadState(domain string) (*staterep.Table, error) {
+	return readStateCSV(filepath.Join(s.domainDir(domain), "state.csv"))
+}
+
+// ReadSequence loads one stored per-signal sequence in K_s shape.
+func (s *Store) ReadSequence(domain, sid string) (*relation.Relation, error) {
+	return readSequenceCSV(filepath.Join(s.domainDir(domain), "signals", sid+".csv"))
+}
+
+// writeStateCSV stores a state table: header "t,<signals...>".
+func writeStateCSV(path string, tb *staterep.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	header := append([]string{"t"}, tb.Signals...)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	rec := make([]string, len(tb.Signals)+1)
+	for i, t := range tb.Times {
+		rec[0] = strconv.FormatFloat(t, 'g', -1, 64)
+		copy(rec[1:], tb.Cells[i])
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readStateCSV(path string) (*staterep.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	recs, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if len(recs) == 0 || len(recs[0]) < 1 || recs[0][0] != "t" {
+		return nil, fmt.Errorf("store: %s: malformed state header", path)
+	}
+	tb := &staterep.Table{Signals: recs[0][1:]}
+	for i, rec := range recs[1:] {
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: row %d: bad t %q", path, i+1, rec[0])
+		}
+		tb.Times = append(tb.Times, t)
+		cells := make([]string, len(rec)-1)
+		copy(cells, rec[1:])
+		tb.Cells = append(tb.Cells, cells)
+	}
+	return tb, nil
+}
+
+// writeSequenceCSV stores a K_s-shaped relation (t,sid,v,bid).
+func writeSequenceCSV(path string, rel *relation.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"t", "sid", "v", "bid"}); err != nil {
+		f.Close()
+		return err
+	}
+	ti := rel.Schema.Index(trace.ColT)
+	si := rel.Schema.Index(trace.ColSID)
+	vi := rel.Schema.Index(trace.ColV)
+	bi := rel.Schema.Index(trace.ColBID)
+	if ti < 0 || si < 0 || vi < 0 || bi < 0 {
+		f.Close()
+		return fmt.Errorf("store: relation is not K_s shaped (%s)", rel.Schema)
+	}
+	for _, p := range rel.Partitions {
+		for _, row := range p {
+			rec := []string{
+				strconv.FormatFloat(row[ti].AsFloat(), 'g', -1, 64),
+				row[si].AsString(),
+				row[vi].AsString(),
+				row[bi].AsString(),
+			}
+			if err := w.Write(rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readSequenceCSV(path string) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = 4
+	recs, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	rel := relation.New(trace.SignalSchema())
+	for i, rec := range recs {
+		if i == 0 {
+			continue // header
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: row %d: bad t %q", path, i, rec[0])
+		}
+		rel.Append(relation.Row{
+			relation.Float(t),
+			relation.Str(rec[1]),
+			relation.Str(rec[2]),
+			relation.Str(rec[3]),
+		})
+	}
+	return rel, nil
+}

@@ -1,0 +1,221 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ivnt/internal/core"
+	"ivnt/internal/engine"
+	"ivnt/internal/gen"
+)
+
+func sampleResult(t *testing.T) (*core.Result, int) {
+	t.Helper()
+	d := gen.Build(gen.SYN)
+	tr := d.Generate(8000)
+	fw, err := core.New(d.Catalog, d.DefaultConfig(), engine.NewLocal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.RunTrace(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tr.Len()
+}
+
+func TestWriteAndReadBack(t *testing.T) {
+	res, traceRows := sampleResult(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteResult("syn", res, "local[2]", traceRows); err != nil {
+		t.Fatal(err)
+	}
+
+	domains, err := st.Domains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 1 || domains[0] != "syn" {
+		t.Fatalf("domains = %v", domains)
+	}
+
+	man, err := st.Manifest("syn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Domain != "syn" || man.States != res.State.NumRows() ||
+		man.KsRows != res.KsRows || man.TraceRows != traceRows ||
+		man.Executor != "local[2]" {
+		t.Fatalf("manifest = %+v", man)
+	}
+
+	tb, err := st.ReadState("syn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != res.State.NumRows() || len(tb.Signals) != len(res.State.Signals) {
+		t.Fatalf("state round trip: %d/%d rows, %d/%d signals",
+			tb.NumRows(), res.State.NumRows(), len(tb.Signals), len(res.State.Signals))
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		if tb.StateKey(i) != res.State.StateKey(i) {
+			t.Fatalf("state %d differs after round trip", i)
+		}
+		if tb.Times[i] != res.State.Times[i] {
+			t.Fatalf("time %d differs: %v vs %v", i, tb.Times[i], res.State.Times[i])
+		}
+	}
+}
+
+func TestReadSequence(t *testing.T) {
+	res, traceRows := sampleResult(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteResult("syn", res, "local", traceRows); err != nil {
+		t.Fatal(err)
+	}
+	sid := res.Signals[0].SID
+	rel, err := st.ReadSequence("syn", sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != res.Signals[0].Rel.NumRows() {
+		t.Fatalf("sequence rows = %d, want %d", rel.NumRows(), res.Signals[0].Rel.NumRows())
+	}
+	a, b := rel.Rows(), res.Signals[0].Rel.Rows()
+	for i := range a {
+		if a[i][0].AsFloat() != b[i][0].AsFloat() || a[i][2].AsString() != b[i][2].AsString() {
+			t.Fatalf("sequence row %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if _, err := st.ReadSequence("syn", "no.such.signal"); err == nil {
+		t.Fatal("missing sequence must fail")
+	}
+}
+
+func TestWriteReplacesPrevious(t *testing.T) {
+	res, traceRows := sampleResult(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteResult("syn", res, "local", traceRows); err != nil {
+		t.Fatal(err)
+	}
+	// Drop a marker file into the domain dir; a rewrite must remove it.
+	marker := filepath.Join(st.Dir(), "syn", "stale.txt")
+	if err := os.WriteFile(marker, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteResult("syn", res, "local", traceRows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(marker); !os.IsNotExist(err) {
+		t.Fatal("rewrite did not replace the domain directory")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, traceRows := sampleResult(t)
+	if err := st.WriteResult("", res, "local", traceRows); err == nil {
+		t.Fatal("empty domain must fail")
+	}
+	if _, err := st.Manifest("missing"); err == nil {
+		t.Fatal("missing manifest must fail")
+	}
+	if _, err := st.ReadState("missing"); err == nil {
+		t.Fatal("missing state must fail")
+	}
+	// Corrupted state file.
+	dir := filepath.Join(st.Dir(), "bad")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "state.csv"), []byte("x,y\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ReadState("bad"); err == nil {
+		t.Fatal("malformed header must fail")
+	}
+	// Non-directory entries in the store root are ignored by Domains.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "junk.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	domains, err := st.Domains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range domains {
+		if d == "junk.txt" || d == "bad" {
+			t.Fatalf("domains include non-domain entry: %v", domains)
+		}
+	}
+}
+
+func TestReadSequenceCorrupt(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(st.Dir(), "bad", "signals")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"badt.csv":    "t,sid,v,bid\nxx,s,1,FC\n",
+		"badcols.csv": "t,sid\n1,s\n",
+	}
+	for name, content := range cases {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sid := name[:len(name)-4]
+		if _, err := st.ReadSequence("bad", sid); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestManifestCorrupt(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(st.Dir(), "bad")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Manifest("bad"); err == nil {
+		t.Fatal("corrupt manifest must fail")
+	}
+}
+
+func TestOpenCreatesNestedDir(t *testing.T) {
+	base := t.TempDir()
+	st, err := Open(filepath.Join(base, "a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(st.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	// Domains on an empty store.
+	domains, err := st.Domains()
+	if err != nil || len(domains) != 0 {
+		t.Fatalf("empty store domains = %v, %v", domains, err)
+	}
+}

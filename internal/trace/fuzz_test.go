@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary hardens the IVTR reader against corrupted logger
+// output: it must either parse or error, never panic, and everything it
+// parses must re-serialize.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleTrace(5)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("IVTR"))
+	f.Add([]byte{})
+	data := append([]byte{}, buf.Bytes()...)
+	data[7] = 0xFF // absurd count
+	f.Add(data)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("parsed trace failed to serialize: %v", err)
+		}
+		back, err := ReadBinary(&out)
+		if err != nil || back.Len() != tr.Len() {
+			t.Fatalf("re-read failed: %v (%d vs %d)", err, back.Len(), tr.Len())
+		}
+	})
+}
+
+// FuzzReadCSV covers the text reader the same way.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleTrace(3)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("t,proto,channel,mid,dlc,payload\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, tr); err != nil {
+			t.Fatalf("parsed trace failed to serialize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+)
+
+// Binary trace format ("IVTR"): a compact record-per-message log,
+// standing in for the proprietary logger formats (BLF/ASC-class) that
+// in-vehicle monitoring devices write.
+//
+//	magic "IVTR" | version u8 | count u64 |
+//	repeat count times:
+//	  t f64 | proto u8 | dlc u8 | mid u32 | chanLen u16 | chan |
+//	  payloadLen u16 | payload
+//
+// All integers little-endian.
+
+const (
+	binMagic   = "IVTR"
+	binVersion = 1
+)
+
+// WriteBinary writes the trace in IVTR format.
+func WriteBinary(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binVersion); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(tr.Tuples)))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	for i := range tr.Tuples {
+		k := &tr.Tuples[i]
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(k.T))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(k.Info.Protocol)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(k.Info.DLC); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(buf[:4], k.MsgID)
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+		if len(k.Channel) > 0xFFFF {
+			return fmt.Errorf("trace: channel name too long (%d bytes)", len(k.Channel))
+		}
+		binary.LittleEndian.PutUint16(buf[:2], uint16(len(k.Channel)))
+		if _, err := bw.Write(buf[:2]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(k.Channel); err != nil {
+			return err
+		}
+		if len(k.Payload) > 0xFFFF {
+			return fmt.Errorf("trace: payload too long (%d bytes)", len(k.Payload))
+		}
+		binary.LittleEndian.PutUint16(buf[:2], uint16(len(k.Payload)))
+		if _, err := bw.Write(buf[:2]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(k.Payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses an IVTR stream.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(binMagic)+1+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:4]) != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:4])
+	}
+	if head[4] != binVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", head[4])
+	}
+	count := binary.LittleEndian.Uint64(head[5:])
+	tr := &Trace{Tuples: make([]ByteTuple, 0, capHint(count))}
+	var buf [8]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		t := math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+		pb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		if pb > uint8(ProtoSOMEIP) {
+			return nil, fmt.Errorf("trace: record %d: invalid protocol %d", i, pb)
+		}
+		dlc, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		mid := binary.LittleEndian.Uint32(buf[:4])
+		if _, err := io.ReadFull(br, buf[:2]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		chanLen := binary.LittleEndian.Uint16(buf[:2])
+		chanBytes := make([]byte, chanLen)
+		if _, err := io.ReadFull(br, chanBytes); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, buf[:2]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		payLen := binary.LittleEndian.Uint16(buf[:2])
+		payload := make([]byte, payLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		tr.Append(ByteTuple{
+			T:       t,
+			Channel: string(chanBytes),
+			MsgID:   mid,
+			Payload: payload,
+			Info:    MsgInfo{Protocol: Protocol(pb), DLC: dlc},
+		})
+	}
+	return tr, nil
+}
+
+// capHint bounds the pre-allocation so a corrupted count field cannot
+// OOM the reader.
+func capHint(count uint64) int {
+	const max = 1 << 20
+	if count > max {
+		return max
+	}
+	return int(count)
+}
+
+// WriteFile writes the trace to path in IVTR format.
+func WriteFile(path string, tr *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads an IVTR file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// WriteCSV writes the trace as text (t,proto,channel,mid,dlc,payloadHex)
+// for interoperability with spreadsheet-class inspection.
+func WriteCSV(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "proto", "channel", "mid", "dlc", "payload"}); err != nil {
+		return err
+	}
+	for i := range tr.Tuples {
+		k := &tr.Tuples[i]
+		rec := []string{
+			strconv.FormatFloat(k.T, 'g', -1, 64),
+			k.Info.Protocol.String(),
+			k.Channel,
+			strconv.FormatUint(uint64(k.MsgID), 10),
+			strconv.FormatUint(uint64(k.Info.DLC), 10),
+			fmt.Sprintf("%x", k.Payload),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the CSV form written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 6
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return &Trace{}, nil
+	}
+	tr := &Trace{Tuples: make([]ByteTuple, 0, len(recs)-1)}
+	for i, rec := range recs[1:] {
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: bad t %q", i+1, rec[0])
+		}
+		proto, err := ParseProtocol(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %v", i+1, err)
+		}
+		mid, err := strconv.ParseUint(rec[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: bad mid %q", i+1, rec[3])
+		}
+		dlc, err := strconv.ParseUint(rec[4], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: bad dlc %q", i+1, rec[4])
+		}
+		payload, err := parseHex(rec[5])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: bad payload %q", i+1, rec[5])
+		}
+		tr.Append(ByteTuple{
+			T:       t,
+			Channel: rec[2],
+			MsgID:   uint32(mid),
+			Payload: payload,
+			Info:    MsgInfo{Protocol: proto, DLC: uint8(dlc)},
+		})
+	}
+	return tr, nil
+}
+
+func parseHex(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd hex length %d", len(s))
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		hi, err := hexNibble(s[2*i])
+		if err != nil {
+			return nil, err
+		}
+		lo, err := hexNibble(s[2*i+1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexNibble(c byte) (byte, error) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', nil
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, nil
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, nil
+	default:
+		return 0, fmt.Errorf("bad hex digit %q", c)
+	}
+}

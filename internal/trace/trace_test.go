@@ -1,0 +1,328 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ivnt/internal/relation"
+)
+
+func sampleTrace(n int) *Trace {
+	tr := &Trace{}
+	protos := []Protocol{ProtoCAN, ProtoLIN, ProtoSOMEIP}
+	chans := []string{"FC", "K-LIN", "ETH1"}
+	for i := 0; i < n; i++ {
+		tr.Append(ByteTuple{
+			T:       float64(i) * 0.01,
+			Channel: chans[i%3],
+			MsgID:   uint32(3 + i%5),
+			Payload: []byte{byte(i), byte(i * 2), byte(i % 7)},
+			Info:    MsgInfo{Protocol: protos[i%3], DLC: 3},
+		})
+	}
+	return tr
+}
+
+func TestProtocolStringRoundTrip(t *testing.T) {
+	for _, p := range []Protocol{ProtoCAN, ProtoLIN, ProtoSOMEIP} {
+		got, err := ParseProtocol(p.String())
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("round trip %v -> %v", p, got)
+		}
+	}
+	if _, err := ParseProtocol("FLEXRAY"); err == nil {
+		t.Fatal("unknown protocol must error")
+	}
+	if _, err := ParseProtocol("SOMEIP"); err != nil {
+		t.Fatal("SOMEIP alias must parse")
+	}
+}
+
+func TestTraceDuration(t *testing.T) {
+	tr := sampleTrace(101)
+	if d := tr.Duration(); d != 1.0 {
+		t.Fatalf("duration = %v, want 1.0", d)
+	}
+	if (&Trace{}).Duration() != 0 {
+		t.Fatal("empty trace duration must be 0")
+	}
+	if tr.Len() != 101 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestToFromRelationRoundTrip(t *testing.T) {
+	tr := sampleTrace(50)
+	rel := tr.ToRelation(4)
+	if rel.NumRows() != 50 {
+		t.Fatalf("rows = %d", rel.NumRows())
+	}
+	if rel.NumPartitions() != 4 {
+		t.Fatalf("partitions = %d", rel.NumPartitions())
+	}
+	back, err := FromRelation(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip lost rows: %d vs %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Tuples {
+		a, b := tr.Tuples[i], back.Tuples[i]
+		if a.T != b.T || a.Channel != b.Channel || a.MsgID != b.MsgID ||
+			a.Info != b.Info || !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("tuple %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestFromRelationMissingColumn(t *testing.T) {
+	rel := relation.New(relation.NewSchema(relation.Column{Name: "x", Kind: relation.KindInt}))
+	if _, err := FromRelation(rel); err == nil {
+		t.Fatal("expected error for missing columns")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace(200)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("len %d vs %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Tuples {
+		a, b := tr.Tuples[i], back.Tuples[i]
+		if a.T != b.T || a.Channel != b.Channel || a.MsgID != b.MsgID ||
+			a.Info != b.Info || !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("tuple %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	tr := sampleTrace(5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+
+	bad = append([]byte{}, data...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version must fail")
+	}
+
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("truncated stream must fail")
+	}
+
+	if _, err := ReadBinary(bytes.NewReader(data[:6])); err == nil {
+		t.Fatal("short header must fail")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journey.ivtr")
+	tr := sampleTrace(30)
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 30 {
+		t.Fatalf("len = %d", back.Len())
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.ivtr")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace(25)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("len %d vs %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Tuples {
+		a, b := tr.Tuples[i], back.Tuples[i]
+		if a.T != b.T || a.Channel != b.Channel || a.MsgID != b.MsgID ||
+			a.Info != b.Info || !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("tuple %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestCSVRejectsBadRows(t *testing.T) {
+	cases := []string{
+		"t,proto,channel,mid,dlc,payload\nxx,CAN,FC,3,2,0102\n",
+		"t,proto,channel,mid,dlc,payload\n1,NOPE,FC,3,2,0102\n",
+		"t,proto,channel,mid,dlc,payload\n1,CAN,FC,yy,2,0102\n",
+		"t,proto,channel,mid,dlc,payload\n1,CAN,FC,3,zz,0102\n",
+		"t,proto,channel,mid,dlc,payload\n1,CAN,FC,3,2,010\n",
+		"t,proto,channel,mid,dlc,payload\n1,CAN,FC,3,2,01gg\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestSignalsFromRelation(t *testing.T) {
+	rel := relation.FromRows(SignalSchema(), []relation.Row{
+		{relation.Float(2), relation.Str("wpos"), relation.Float(45), relation.Str("FC")},
+		{relation.Float(2.5), relation.Str("wpos"), relation.Float(60), relation.Str("FC")},
+	})
+	sig, err := SignalsFromRelation(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != 2 || sig[0].SID != "wpos" || sig[1].V.AsFloat() != 60 {
+		t.Fatalf("signals = %+v", sig)
+	}
+	bad := relation.New(relation.NewSchema(relation.Column{Name: "x", Kind: relation.KindInt}))
+	if _, err := SignalsFromRelation(bad); err == nil {
+		t.Fatal("missing columns must fail")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(ts []float64, payload []byte, mid uint32, dlc uint8) bool {
+		tr := &Trace{}
+		for _, tv := range ts {
+			tr.Append(ByteTuple{T: tv, Channel: "FC", MsgID: mid, Payload: payload,
+				Info: MsgInfo{Protocol: ProtoCAN, DLC: dlc}})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Tuples {
+			if tr.Tuples[i].T != back.Tuples[i].T && !(tr.Tuples[i].T != tr.Tuples[i].T) { // NaN-safe
+				return false
+			}
+			if !bytes.Equal(tr.Tuples[i].Payload, back.Tuples[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeInterleavesByTime(t *testing.T) {
+	a := &Trace{}
+	b := &Trace{}
+	for i := 0; i < 10; i++ {
+		a.Append(ByteTuple{T: float64(i * 2), Channel: "FC", MsgID: 1,
+			Info: MsgInfo{Protocol: ProtoCAN}})
+		b.Append(ByteTuple{T: float64(i*2 + 1), Channel: "DC", MsgID: 2,
+			Info: MsgInfo{Protocol: ProtoCAN}})
+	}
+	m := Merge(a, b)
+	if m.Len() != 20 {
+		t.Fatalf("merged len = %d", m.Len())
+	}
+	for i := 1; i < m.Len(); i++ {
+		if m.Tuples[i].T < m.Tuples[i-1].T {
+			t.Fatalf("merge broke order at %d", i)
+		}
+	}
+	if m.Tuples[0].Channel != "FC" || m.Tuples[1].Channel != "DC" {
+		t.Fatalf("interleave wrong: %v %v", m.Tuples[0].Channel, m.Tuples[1].Channel)
+	}
+	// Nil and empty inputs are tolerated.
+	if got := Merge(nil, &Trace{}, a); got.Len() != 10 {
+		t.Fatalf("merge with nil = %d", got.Len())
+	}
+	if got := Merge(); got.Len() != 0 {
+		t.Fatal("empty merge must be empty")
+	}
+}
+
+func TestMergeTiesKeepInputOrder(t *testing.T) {
+	a := &Trace{Tuples: []ByteTuple{{T: 1, MsgID: 1, Info: MsgInfo{Protocol: ProtoCAN}}}}
+	b := &Trace{Tuples: []ByteTuple{{T: 1, MsgID: 2, Info: MsgInfo{Protocol: ProtoCAN}}}}
+	m := Merge(a, b)
+	if m.Tuples[0].MsgID != 1 || m.Tuples[1].MsgID != 2 {
+		t.Fatalf("tie order wrong: %v", m.Tuples)
+	}
+}
+
+func TestWriteBinaryRejectsOversizedFields(t *testing.T) {
+	long := make([]byte, 0x10000+1)
+	tr := &Trace{Tuples: []ByteTuple{{T: 1, Channel: "FC", Payload: long,
+		Info: MsgInfo{Protocol: ProtoCAN}}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err == nil {
+		t.Fatal("oversized payload must fail")
+	}
+	tr = &Trace{Tuples: []ByteTuple{{T: 1, Channel: strings.Repeat("x", 0x10000+1),
+		Info: MsgInfo{Protocol: ProtoCAN}}}}
+	buf.Reset()
+	if err := WriteBinary(&buf, tr); err == nil {
+		t.Fatal("oversized channel name must fail")
+	}
+}
+
+func TestCapHintBounds(t *testing.T) {
+	if capHint(10) != 10 {
+		t.Fatal("small counts pass through")
+	}
+	if capHint(1<<40) != 1<<20 {
+		t.Fatal("huge counts must be clamped")
+	}
+}
+
+func TestBinaryRejectsInvalidProtocolByte(t *testing.T) {
+	tr := sampleTrace(1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Header is 4+1+8 = 13 bytes, then t (8 bytes), then the protocol
+	// byte of record 0.
+	data[13+8] = 99
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("invalid protocol byte must fail")
+	}
+}
