@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build test race vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The cluster scheduler is the concurrency-heavy core (reconnecting
+# slots, speculation, graceful drain); always race-check it.
+race:
+	$(GO) test -race ./internal/cluster/...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race

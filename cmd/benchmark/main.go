@@ -25,11 +25,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchmark: ")
 	var (
-		exp       = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage or all")
-		scale     = flag.Float64("scale", 0, "scale factor vs paper row counts (0 = per-experiment default)")
-		workers   = flag.Int("workers", 0, "local executor workers (0 = all cores)")
-		steps     = flag.Int("steps", 8, "fig5: sweep steps per data set")
-		clusterFl = flag.String("cluster", "", "table6: comma-separated executor addresses for the proposed side")
+		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage or all")
+		scale       = flag.Float64("scale", 0, "scale factor vs paper row counts (0 = per-experiment default)")
+		workers     = flag.Int("workers", 0, "local executor workers (0 = all cores)")
+		steps       = flag.Int("steps", 8, "fig5: sweep steps per data set")
+		clusterFl   = flag.String("cluster", "", "table6: comma-separated executor addresses for the proposed side")
+		taskTimeout = flag.Duration("task-timeout", 0, "cluster: per-task deadline (0 = driver default, negative disables)")
+		specFactor  = flag.Float64("speculation", 0, "cluster: straggler speculation factor k (0 = driver default, negative disables)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -58,7 +60,12 @@ func main() {
 		case "table6":
 			opts := bench.Table6Options{Scale: *scale, Workers: *workers}
 			if *clusterFl != "" {
-				opts.Exec = &cluster.Driver{Addrs: strings.Split(*clusterFl, ","), SlotsPerExecutor: 2}
+				opts.Exec = &cluster.Driver{
+					Addrs:             strings.Split(*clusterFl, ","),
+					SlotsPerExecutor:  2,
+					TaskTimeout:       *taskTimeout,
+					SpeculationFactor: *specFactor,
+				}
 			} else {
 				opts.Exec = engine.NewLocal(*workers)
 			}

@@ -2,15 +2,21 @@
 // stages from a driver over TCP and applies them to trace partitions —
 // the per-server executor process of the paper's Spark deployment.
 //
-//	executor -listen :7077 -capacity 5
+// On SIGINT/SIGTERM the executor drains gracefully: it stops accepting
+// connections, finishes the tasks already in flight (and sends their
+// results), then exits. A second signal forces an immediate exit.
+//
+//	executor -listen :7077 -capacity 5 -grace 30s
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ivnt/internal/cluster"
 )
@@ -21,16 +27,36 @@ func main() {
 	var (
 		listen   = flag.String("listen", ":7077", "TCP listen address")
 		capacity = flag.Int("capacity", 5, "advertised concurrent task capacity")
+		grace    = flag.Duration("grace", 30*time.Second, "drain window for in-flight tasks on shutdown")
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 
 	srv := &cluster.ExecutorServer{Capacity: *capacity, Logf: log.Printf}
+	served := make(chan error, 1)
+	go func() {
+		served <- srv.ListenAndServe(context.Background(), *listen)
+	}()
 	log.Printf("listening on %s (capacity %d)", *listen, *capacity)
-	if err := srv.ListenAndServe(ctx, *listen); err != nil {
-		log.Fatal(err)
+
+	select {
+	case err := <-served:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("received %v: draining (finishing in-flight tasks, up to %v)", s, *grace)
+		go func() {
+			s := <-sig
+			log.Printf("received second %v: forcing exit after %d tasks", s, srv.TasksRun())
+			os.Exit(1)
+		}()
+		srv.Shutdown(*grace)
+		if err := <-served; err != nil {
+			log.Printf("serve: %v", err)
+		}
 	}
 	log.Printf("shut down after %d tasks", srv.TasksRun())
 }

@@ -226,7 +226,9 @@ func slope(pts [][2]float64) float64 {
 
 // ---------------------------------------------------------------- Table 6
 
-// Table6Row is one row of the paper's Table 6.
+// Table6Row is one row of the paper's Table 6, plus the cluster
+// driver's fault-tolerance counters for the proposed side (all zero on
+// the local executor or a healthy cluster).
 type Table6Row struct {
 	Journeys      int
 	TraceRows     int
@@ -235,6 +237,10 @@ type Table6Row struct {
 	ProposedSec   float64
 	InhouseSec    float64
 	Speedup       float64
+	Retries       int
+	Reconnects    int
+	Speculative   int
+	DeadlineHits  int
 }
 
 // Table6Options tune the comparison.
@@ -323,6 +329,7 @@ func Table6(ctx context.Context, opts Table6Options) ([]Table6Row, error) {
 			// 3–6, not reduction — against the baseline's ingest.
 			start := time.Now()
 			extracted := 0
+			var faults engine.Stats
 			for _, j := range fleet {
 				ks, exStats, err := interp.Extract(ctx, exec, j.ToRelation(parts), ucomb, interp.DefaultOptions())
 				if err != nil {
@@ -330,6 +337,7 @@ func Table6(ctx context.Context, opts Table6Options) ([]Table6Row, error) {
 				}
 				_ = ks
 				extracted += exStats.RowsOut
+				faults.Add(exStats)
 			}
 			proposedSec := time.Since(start).Seconds()
 			row := Table6Row{
@@ -339,6 +347,10 @@ func Table6(ctx context.Context, opts Table6Options) ([]Table6Row, error) {
 				Signals:       nSignals,
 				ProposedSec:   proposedSec,
 				InhouseSec:    inhouseSec,
+				Retries:       faults.Retries,
+				Reconnects:    faults.Reconnects,
+				Speculative:   faults.Speculative,
+				DeadlineHits:  faults.DeadlineHits,
 			}
 			if proposedSec > 0 {
 				row.Speedup = inhouseSec / proposedSec
@@ -356,10 +368,19 @@ func FormatTable6(rows []Table6Row, opts Table6Options) string {
 	fmt.Fprintf(&b, "Table 6: signal extraction times (scale %g of paper rows; paper: 0.481e9 rows/journey)\n", opts.Scale)
 	fmt.Fprintf(&b, "%9s %12s %15s %10s %14s %14s %8s\n",
 		"journeys", "trace rows", "extracted rows", "# signals", "proposed [s]", "in-house [s]", "speedup")
+	var retries, reconnects, speculative, deadlineHits int
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%9d %12d %15d %10d %14.3f %14.3f %8.2f\n",
 			r.Journeys, r.TraceRows, r.ExtractedRows, r.Signals,
 			r.ProposedSec, r.InhouseSec, r.Speedup)
+		retries += r.Retries
+		reconnects += r.Reconnects
+		speculative += r.Speculative
+		deadlineHits += r.DeadlineHits
+	}
+	if retries+reconnects+speculative+deadlineHits > 0 {
+		fmt.Fprintf(&b, "fault tolerance (proposed side): retries=%d reconnects=%d speculative=%d deadline hits=%d\n",
+			retries, reconnects, speculative, deadlineHits)
 	}
 	return b.String()
 }

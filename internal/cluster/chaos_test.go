@@ -1,0 +1,544 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ivnt/internal/cluster/faultproxy"
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+)
+
+// ackLen is the exact gob wire length of the executor's handshake ack,
+// so chaos plans can target byte offsets after the handshake but
+// before the first result frame.
+func ackLen(t *testing.T, capacity int) int64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(helloAck{OK: true, Version: protocolVersion, Capacity: capacity}); err != nil {
+		t.Fatal(err)
+	}
+	return int64(buf.Len())
+}
+
+// mustMatchLocal runs the stage locally and asserts the cluster output
+// is row-for-row identical.
+func mustMatchLocal(t *testing.T, ctx context.Context, got *relation.Relation, rel *relation.Relation, ops []engine.OpDesc) {
+	t.Helper()
+	want, _, err := engine.NewLocal(2).RunStage(ctx, rel, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("cluster rows = %d, local = %d", got.NumRows(), want.NumRows())
+	}
+	gr, wr := got.Rows(), want.Rows()
+	for i := range gr {
+		if !gr[i].Equal(wr[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, gr[i], wr[i])
+		}
+	}
+}
+
+// TestChaosHangingExecutor: one executor's responses stall permanently
+// right after the handshake. The per-task deadline must fire, the task
+// must be requeued on the healthy executor, and the stage must
+// complete with output identical to local execution.
+func TestChaosHangingExecutor(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	proxy, err := faultproxy.New(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	plan := faultproxy.Passthrough()
+	plan.StallAfter = ackLen(t, 1) // handshake completes; every result stalls
+	proxy.SetPlan(plan)
+
+	// Heavy partitions keep the healthy executor busy long enough that
+	// the stalled one is guaranteed to win at least one task.
+	rel := traceRel(40000, 8)
+	drv := &Driver{
+		Addrs:             []string{addrs[0], proxy.Addr()},
+		TaskTimeout:       250 * time.Millisecond,
+		MaxRetries:        8,
+		ReconnectBase:     20 * time.Millisecond,
+		SpeculationFactor: -1, // isolate the deadline path
+	}
+	got, st, err := drv.RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchLocal(t, ctx, got, rel, stageOps())
+	if st.DeadlineHits == 0 {
+		t.Fatalf("expected deadline hits, stats = %+v", st)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("stalled tasks must be requeued, stats = %+v", st)
+	}
+}
+
+// TestChaosKillAndReconnect: the only executor's connection is severed
+// mid-result (the network view of a kill), then the link comes back
+// clean. The slot must reconnect with backoff and finish the stage —
+// no "undeliverable" on a briefly-down cluster.
+func TestChaosKillAndReconnect(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	proxy, err := faultproxy.New(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	plan := faultproxy.Passthrough()
+	plan.SeverAfter = ackLen(t, 1) + 32 // die inside the first result frame
+	plan.Once = true                    // the "restarted" executor behaves
+	proxy.SetPlan(plan)
+
+	rel := traceRel(300, 6)
+	drv := &Driver{
+		Addrs:         []string{proxy.Addr()},
+		MaxRetries:    4,
+		ReconnectBase: 10 * time.Millisecond,
+	}
+	got, st, err := drv.RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchLocal(t, ctx, got, rel, stageOps())
+	if st.Reconnects == 0 {
+		t.Fatalf("expected a reconnect after the sever, stats = %+v", st)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("the severed task must be retried, stats = %+v", st)
+	}
+}
+
+// TestChaosExecutorRestart kills a real executor process mid-stage and
+// restarts it on the same address; the driver's reconnect loop must
+// pick it back up.
+func TestChaosExecutorRestart(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	srv1 := &ExecutorServer{Capacity: 1}
+	sctx1, kill1 := context.WithCancel(ctx)
+	served1 := make(chan struct{})
+	go func() {
+		defer close(served1)
+		_ = srv1.Serve(sctx1, l)
+	}()
+
+	// Enough heavy partitions that the stage is still in flight when the
+	// executor is killed after its second task.
+	rel := traceRel(100000, 50)
+	drv := &Driver{
+		Addrs:            []string{addr},
+		MaxRetries:       6,
+		ReconnectBase:    10 * time.Millisecond,
+		SlotFailureLimit: 500, // survive the whole restart window
+	}
+	type result struct {
+		out *relation.Relation
+		st  engine.Stats
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		out, st, err := drv.RunStage(ctx, rel, stageOps())
+		resCh <- result{out, st, err}
+	}()
+
+	// Wait for the stage to make progress, then kill the executor.
+	for srv1.TasksRun() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	kill1()
+	<-served1
+
+	// Restart on the same address.
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := &ExecutorServer{Capacity: 1}
+	sctx2, kill2 := context.WithCancel(ctx)
+	defer kill2()
+	served2 := make(chan struct{})
+	go func() {
+		defer close(served2)
+		_ = srv2.Serve(sctx2, l2)
+	}()
+	defer func() { kill2(); <-served2 }()
+
+	r := <-resCh
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	mustMatchLocal(t, ctx, r.out, rel, stageOps())
+	if r.st.Reconnects == 0 {
+		t.Fatalf("expected reconnects after restart, stats = %+v", r.st)
+	}
+	if srv2.TasksRun() == 0 {
+		t.Fatal("restarted executor never ran a task")
+	}
+}
+
+// TestChaosCorruptedResultFrame flips one byte inside the first result
+// frame. The driver must treat the broken gob stream as a transport
+// failure, reconnect, and still produce output identical to local.
+func TestChaosCorruptedResultFrame(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	proxy, err := faultproxy.New(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	plan := faultproxy.Passthrough()
+	plan.CorruptAt = ackLen(t, 1) + 5 // inside the result frame's type wire
+	plan.Once = true
+	proxy.SetPlan(plan)
+
+	rel := traceRel(300, 6)
+	drv := &Driver{
+		Addrs:         []string{proxy.Addr()},
+		MaxRetries:    4,
+		ReconnectBase: 10 * time.Millisecond,
+	}
+	got, st, err := drv.RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchLocal(t, ctx, got, rel, stageOps())
+	if st.Retries == 0 {
+		t.Fatalf("corrupt frame must cause a retry, stats = %+v", st)
+	}
+}
+
+// TestChaosSpeculativeExecution: an executor accepts a task and never
+// answers (deadlines disabled). The straggler monitor must launch a
+// speculative copy on the healthy executor and the first result wins.
+func TestChaosSpeculativeExecution(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	proxy, err := faultproxy.New(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	plan := faultproxy.Passthrough()
+	plan.StallAfter = ackLen(t, 1)
+	proxy.SetPlan(plan)
+
+	rel := traceRel(60000, 12)
+	drv := &Driver{
+		Addrs:               []string{addrs[0], proxy.Addr()},
+		TaskTimeout:         -1, // disabled: only speculation can save the stage
+		SpeculationFactor:   2,
+		SpeculationMin:      20 * time.Millisecond,
+		SpeculationInterval: 5 * time.Millisecond,
+	}
+	got, st, err := drv.RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchLocal(t, ctx, got, rel, stageOps())
+	if st.Speculative == 0 {
+		t.Fatalf("expected speculative launches, stats = %+v", st)
+	}
+}
+
+// TestChaosRefusedThenHealthy: connections to one executor are refused
+// outright (process down); the other carries the stage.
+func TestChaosRefusedThenHealthy(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	proxy, err := faultproxy.New(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	plan := faultproxy.Passthrough()
+	plan.Refuse = true
+	proxy.SetPlan(plan)
+
+	rel := traceRel(200, 4)
+	drv := &Driver{
+		Addrs:         []string{addrs[0], proxy.Addr()},
+		ReconnectBase: 10 * time.Millisecond,
+	}
+	got, _, err := drv.RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchLocal(t, ctx, got, rel, stageOps())
+}
+
+// scriptedExecutor speaks the wire protocol directly: the first
+// connection is dropped right after reading a task; later connections
+// are served via behave.
+func scriptedExecutor(t *testing.T, behave func(c *conn, task *taskMsg)) (addr string, cleanup func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	nconns := 0
+	go func() {
+		for {
+			raw, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			nconns++
+			first := nconns == 1
+			mu.Unlock()
+			go func(raw net.Conn, first bool) {
+				defer raw.Close()
+				c := newConn(raw)
+				var hello helloMsg
+				if c.dec.Decode(&hello) != nil {
+					return
+				}
+				if c.enc.Encode(helloAck{OK: true, Version: protocolVersion, Capacity: 1}) != nil {
+					return
+				}
+				for {
+					var task taskMsg
+					if c.dec.Decode(&task) != nil {
+						return
+					}
+					if first {
+						return // drop the connection mid-task
+					}
+					behave(c, &task)
+				}
+			}(raw, first)
+		}
+	}()
+	return l.Addr().String(), func() { _ = l.Close() }
+}
+
+// TestRetryAccountingExact injects exactly one connection drop and
+// asserts the stats are exact: one retry, one reconnect, Tasks equal
+// to the partition count.
+func TestRetryAccountingExact(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	addr, cleanup := scriptedExecutor(t, func(c *conn, task *taskMsg) {
+		pipe, err := engine.NewStagePipeline(task.Schema, task.Ops)
+		if err != nil {
+			_ = c.enc.Encode(resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()})
+			return
+		}
+		rows, err := pipe.Apply(task.Rows)
+		if err != nil {
+			_ = c.enc.Encode(resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()})
+			return
+		}
+		_ = c.enc.Encode(resultMsg{ID: task.ID, Epoch: task.Epoch, Schema: pipe.OutputSchema(), Rows: rows})
+	})
+	defer cleanup()
+
+	rel := traceRel(200, 5)
+	drv := &Driver{
+		Addrs:             []string{addr},
+		MaxRetries:        3,
+		ReconnectBase:     5 * time.Millisecond,
+		SpeculationFactor: -1, // speculation would blur exact counts
+	}
+	got, st, err := drv.RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchLocal(t, ctx, got, rel, stageOps())
+	if st.Retries != 1 {
+		t.Fatalf("Retries = %d, want exactly 1 (stats %+v)", st.Retries, st)
+	}
+	if st.Reconnects != 1 {
+		t.Fatalf("Reconnects = %d, want exactly 1 (stats %+v)", st.Reconnects, st)
+	}
+	if st.Tasks != 5 {
+		t.Fatalf("Tasks = %d, want 5", st.Tasks)
+	}
+}
+
+// TestTaskErrorAfterTransportRetryAborts: the first attempt dies on a
+// connection drop; the retried attempt returns a deterministic task
+// error. The stage must abort with that task error — the earlier
+// transport failure must not mask it or turn it into another retry.
+func TestTaskErrorAfterTransportRetryAborts(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	addr, cleanup := scriptedExecutor(t, func(c *conn, task *taskMsg) {
+		_ = c.enc.Encode(resultMsg{ID: task.ID, Epoch: task.Epoch, Err: "boom: deterministic task failure"})
+	})
+	defer cleanup()
+
+	drv := &Driver{
+		Addrs:             []string{addr},
+		MaxRetries:        5,
+		ReconnectBase:     5 * time.Millisecond,
+		SpeculationFactor: -1,
+	}
+	_, _, err := drv.RunStage(ctx, traceRel(50, 1), stageOps())
+	if err == nil {
+		t.Fatal("task error after a transport retry must abort the stage")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("stage error must carry the task error, got: %v", err)
+	}
+	if strings.Contains(err.Error(), "failed") && strings.Contains(err.Error(), "times") {
+		t.Fatalf("task error must not be double-counted as retry exhaustion: %v", err)
+	}
+}
+
+// TestCancellationReportsCanceled is the regression test for the
+// misleading "no executor reachable" on user cancellation: a stage
+// cancelled mid-flight must surface ctx.Err(), whatever the transport
+// was doing at the time.
+func TestCancellationReportsCanceled(t *testing.T) {
+	bg, bgCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer bgCancel()
+	addrs, stop, err := StartLocalCluster(bg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// Stall everything so the stage cannot finish before the cancel.
+	proxy, err := faultproxy.New(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	plan := faultproxy.Passthrough()
+	plan.StallAfter = ackLen(t, 1)
+	proxy.SetPlan(plan)
+
+	ctx, cancel := context.WithCancel(bg)
+	drv := &Driver{Addrs: []string{proxy.Addr()}}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := drv.RunStage(ctx, traceRel(100, 4), stageOps())
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("stage did not return after cancellation")
+	}
+}
+
+// TestExecutorGracefulDrain: Shutdown must close idle connections,
+// stop accepting, and leave completed work accounted for.
+func TestExecutorGracefulDrain(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &ExecutorServer{Capacity: 1}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, l) }()
+
+	drv := &Driver{Addrs: []string{l.Addr().String()}}
+	rel := traceRel(100, 4)
+	if _, _, err := drv.RunStage(ctx, rel, stageOps()); err != nil {
+		t.Fatal(err)
+	}
+	if srv.TasksRun() != 4 {
+		t.Fatalf("tasks run = %d, want 4", srv.TasksRun())
+	}
+
+	// An idle connection sitting in the task-decode loop...
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	c := newConn(raw)
+	if err := c.enc.Encode(helloMsg{Magic: magic, Version: protocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	var ack helloAck
+	if err := c.dec.Decode(&ack); err != nil || !ack.OK {
+		t.Fatalf("handshake failed: %v %+v", err, ack)
+	}
+
+	// ...must be closed by a graceful drain, and Serve must return.
+	go srv.Shutdown(5 * time.Second)
+	var msg resultMsg
+	if err := c.dec.Decode(&msg); err == nil {
+		t.Fatal("idle connection must be closed on drain")
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	// New connections must be refused.
+	if _, err := net.Dial("tcp", l.Addr().String()); err == nil {
+		t.Fatal("listener must be closed after drain")
+	}
+	if srv.TasksRun() != 4 {
+		t.Fatalf("tasks run changed during drain: %d", srv.TasksRun())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -166,10 +167,20 @@ func TestClusterNoExecutors(t *testing.T) {
 }
 
 func TestClusterAllExecutorsUnreachable(t *testing.T) {
-	drv := &Driver{Addrs: []string{"127.0.0.1:1"}, DialTimeout: 200 * time.Millisecond}
+	drv := &Driver{
+		Addrs:       []string{"127.0.0.1:1"},
+		DialTimeout: 200 * time.Millisecond,
+		// Fast backoff so the slots burn through their failure budget
+		// quickly; correctness is the same at any speed.
+		ReconnectBase: time.Millisecond,
+		ReconnectMax:  4 * time.Millisecond,
+	}
 	_, _, err := drv.RunStage(context.Background(), traceRel(10, 2), stageOps())
 	if err == nil {
 		t.Fatal("unreachable executors must fail the stage")
+	}
+	if !strings.Contains(err.Error(), "undeliverable") {
+		t.Fatalf("err = %v, want undeliverable", err)
 	}
 }
 

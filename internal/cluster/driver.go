@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -14,7 +17,11 @@ import (
 // Driver distributes engine stages across remote executors. It
 // implements engine.Executor, so every pipeline in the framework runs
 // unchanged either locally or on a cluster — the property the paper
-// gets from targeting Spark.
+// gets from targeting Spark. The driver survives every single-node
+// failure mode without aborting a stage: stalled connections hit
+// per-task deadlines, dropped connections are re-established with
+// capped exponential backoff, and straggler tasks are speculatively
+// re-executed on other executors (first result wins).
 type Driver struct {
 	// Addrs are executor addresses ("host:port").
 	Addrs []string
@@ -25,8 +32,40 @@ type Driver struct {
 	// MaxRetries is how often a task is re-dispatched after a transport
 	// failure before the stage aborts. Default 2.
 	MaxRetries int
-	// DialTimeout bounds connection establishment. Default 5s.
+	// DialTimeout bounds connection establishment and the handshake.
+	// Default 5s.
 	DialTimeout time.Duration
+	// TaskTimeout bounds one task round trip (send + remote compute +
+	// receive) on a slot connection. A deadline hit counts in
+	// Stats.DeadlineHits and requeues the task like any other transport
+	// failure. 0 means the 2m default; negative disables deadlines.
+	TaskTimeout time.Duration
+	// ReconnectBase and ReconnectMax shape the capped exponential
+	// backoff (with jitter) between reconnection attempts of a slot.
+	// Defaults 50ms and 2s.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// SlotFailureLimit is how many consecutive dial/transport failures a
+	// slot tolerates before it retires for the remainder of the stage (a
+	// persistently dead executor must not spin forever, and the stage
+	// must be able to report "undeliverable" when every slot is gone).
+	// Any successfully completed task resets the counter. The default 8
+	// gives a restarting executor a multi-second window to rejoin.
+	SlotFailureLimit int
+	// SpeculationFactor k: a task whose runtime exceeds k× the median
+	// completed-task duration is re-dispatched speculatively; the first
+	// result wins and duplicates are discarded by task epoch. 0 means
+	// the default 3; negative disables speculation.
+	SpeculationFactor float64
+	// SpeculationMin is the floor on the straggler threshold, so
+	// microsecond medians do not trigger spurious re-execution.
+	// Default 100ms.
+	SpeculationMin time.Duration
+	// SpeculationInterval is how often the straggler monitor scans
+	// in-flight tasks. Default 25ms.
+	SpeculationInterval time.Duration
+	// MaxSpeculation bounds speculative launches per task. Default 2.
+	MaxSpeculation int
 }
 
 // Name implements engine.Executor.
@@ -55,22 +94,121 @@ func (d *Driver) dialTimeout() time.Duration {
 	return 5 * time.Second
 }
 
+func (d *Driver) taskTimeout() time.Duration {
+	switch {
+	case d.TaskTimeout > 0:
+		return d.TaskTimeout
+	case d.TaskTimeout < 0:
+		return 0
+	default:
+		return 2 * time.Minute
+	}
+}
+
+func (d *Driver) reconnectBase() time.Duration {
+	if d.ReconnectBase > 0 {
+		return d.ReconnectBase
+	}
+	return 50 * time.Millisecond
+}
+
+func (d *Driver) reconnectMax() time.Duration {
+	if d.ReconnectMax > 0 {
+		return d.ReconnectMax
+	}
+	return 2 * time.Second
+}
+
+func (d *Driver) slotFailureLimit() int {
+	if d.SlotFailureLimit > 0 {
+		return d.SlotFailureLimit
+	}
+	return 8
+}
+
+func (d *Driver) speculationFactor() float64 {
+	switch {
+	case d.SpeculationFactor > 0:
+		return d.SpeculationFactor
+	case d.SpeculationFactor < 0:
+		return 0
+	default:
+		return 3
+	}
+}
+
+func (d *Driver) speculationMin() time.Duration {
+	if d.SpeculationMin > 0 {
+		return d.SpeculationMin
+	}
+	return 100 * time.Millisecond
+}
+
+func (d *Driver) speculationInterval() time.Duration {
+	if d.SpeculationInterval > 0 {
+		return d.SpeculationInterval
+	}
+	return 25 * time.Millisecond
+}
+
+func (d *Driver) maxSpeculation() int {
+	if d.MaxSpeculation > 0 {
+		return d.MaxSpeculation
+	}
+	return 2
+}
+
+// backoff returns the sleep before reconnection attempt number fails
+// (1-based): capped exponential with ±50% jitter.
+func (d *Driver) backoff(fails int) time.Duration {
+	b := d.reconnectBase()
+	max := d.reconnectMax()
+	for i := 1; i < fails && b < max; i++ {
+		b *= 2
+	}
+	if b > max {
+		b = max
+	}
+	half := int64(b / 2)
+	if half <= 0 {
+		return b
+	}
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// inflightInfo tracks the live dispatches of one task: how many copies
+// are out (original + speculative) and when the oldest was launched.
+type inflightInfo struct {
+	n     int
+	start time.Time
+}
+
 // stageRun is the shared scheduling state of one RunStage call. Tasks
 // are partition indexes flowing through work; pending counts tasks not
-// yet completed. A worker that hits a transport failure requeues its
-// task and retires its connection slot (executor blacklisting); when
-// every slot has retired with work outstanding, the stage fails.
+// yet completed. Slots survive transport failures by reconnecting; the
+// stage fails only when a task exhausts its retry budget, the context
+// is cancelled, or every slot has retired with work outstanding.
 type stageRun struct {
 	rel      *relation.Relation
 	ops      []engine.OpDesc
 	outParts [][]relation.Row
 
-	mu       sync.Mutex
-	work     chan int
-	closed   bool
-	pending  int
-	attempts []int
-	retries  int
+	mu        sync.Mutex
+	work      chan int
+	closed    bool
+	pending   int
+	done      []bool
+	attempts  []int
+	epoch     []int
+	specs     []int
+	inflight  map[int]inflightInfo
+	durations []time.Duration
+
+	retries      int
+	reconnects   int
+	speculative  int
+	deadlineHits int
+
 	firstErr error
 	cancel   context.CancelFunc
 }
@@ -84,53 +222,166 @@ func (sr *stageRun) closeWorkLocked() {
 	}
 }
 
+func (sr *stageRun) finished() bool {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.closed
+}
+
 func (sr *stageRun) fail(err error) {
 	sr.mu.Lock()
 	if sr.firstErr == nil {
 		sr.firstErr = err
 	}
-	sr.pending = 0
 	sr.closeWorkLocked()
 	sr.mu.Unlock()
 	sr.cancel()
 }
 
-// complete marks one task done and closes the work channel when all
-// tasks have finished.
-func (sr *stageRun) complete() {
+func (sr *stageRun) noteReconnect() {
 	sr.mu.Lock()
-	if sr.pending > 0 {
-		sr.pending--
-		if sr.pending == 0 {
-			sr.closeWorkLocked()
-		}
-	}
+	sr.reconnects++
 	sr.mu.Unlock()
 }
 
-// requeue re-offers a task after a transport failure; returns false
-// (and fails the stage) when the retry budget is exhausted. The send
-// happens under the mutex — the channel is buffered generously, so it
-// never blocks, and the lock serializes it against closeWorkLocked.
-func (sr *stageRun) requeue(pi, maxRetries int, cause error, addr string) bool {
+func (sr *stageRun) noteDeadline() {
 	sr.mu.Lock()
-	if sr.closed {
+	sr.deadlineHits++
+	sr.mu.Unlock()
+}
+
+// dispatch registers one launch of task pi and returns its epoch. A
+// task that already completed (e.g. a stale speculative queue entry)
+// is not dispatched again.
+func (sr *stageRun) dispatch(pi int) (epoch int, ok bool) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.closed || sr.done[pi] {
+		return 0, false
+	}
+	sr.epoch[pi]++
+	fl := sr.inflight[pi]
+	if fl.n == 0 {
+		fl.start = time.Now()
+	}
+	fl.n++
+	sr.inflight[pi] = fl
+	return sr.epoch[pi], true
+}
+
+// commit records a completed task. The first result for a partition
+// wins; duplicates from speculative copies are discarded.
+func (sr *stageRun) commit(pi int, rows []relation.Row) {
+	sr.mu.Lock()
+	started := sr.dropInflightLocked(pi)
+	if sr.done[pi] || sr.closed {
 		sr.mu.Unlock()
-		return false
+		return
+	}
+	sr.done[pi] = true
+	sr.outParts[pi] = rows
+	if !started.IsZero() {
+		sr.durations = append(sr.durations, time.Since(started))
+	}
+	sr.pending--
+	finished := sr.pending == 0
+	if finished {
+		sr.closeWorkLocked()
+	}
+	sr.mu.Unlock()
+	if finished {
+		// Unblock slots whose connections are mid-read (e.g. a stalled
+		// executor that lost the speculation race).
+		sr.cancel()
+	}
+}
+
+func (sr *stageRun) dropInflightLocked(pi int) time.Time {
+	fl, ok := sr.inflight[pi]
+	if !ok {
+		return time.Time{}
+	}
+	start := fl.start
+	fl.n--
+	if fl.n <= 0 {
+		delete(sr.inflight, pi)
+	} else {
+		sr.inflight[pi] = fl
+	}
+	return start
+}
+
+// abandon records a transport failure of one launch of task pi and
+// requeues the task unless another copy is still in flight or the
+// retry budget is exhausted (which fails the stage).
+func (sr *stageRun) abandon(pi, maxRetries int, cause error, addr string) {
+	sr.mu.Lock()
+	sr.dropInflightLocked(pi)
+	if sr.done[pi] || sr.closed {
+		sr.mu.Unlock()
+		return
 	}
 	sr.attempts[pi]++
 	sr.retries++
-	tooMany := sr.attempts[pi] > maxRetries
 	attempts := sr.attempts[pi]
+	tooMany := attempts > maxRetries
 	if !tooMany {
-		sr.work <- pi
+		if fl, live := sr.inflight[pi]; !live || fl.n <= 0 {
+			sr.work <- pi
+		}
 	}
 	sr.mu.Unlock()
 	if tooMany {
 		sr.fail(fmt.Errorf("cluster: partition %d failed %d times (last on %s): %w", pi, attempts, addr, cause))
-		return false
 	}
-	return true
+}
+
+// speculate is the straggler monitor: any task whose oldest in-flight
+// copy has been running longer than factor× the median completed-task
+// duration (floored at min) is re-enqueued, up to maxPer copies.
+func (sr *stageRun) speculate(ctx context.Context, factor float64, min, interval time.Duration, maxPer int) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		sr.mu.Lock()
+		if sr.closed {
+			sr.mu.Unlock()
+			return
+		}
+		med := medianDuration(sr.durations)
+		if med <= 0 {
+			sr.mu.Unlock()
+			continue
+		}
+		thr := time.Duration(factor * float64(med))
+		if thr < min {
+			thr = min
+		}
+		now := time.Now()
+		for pi, fl := range sr.inflight {
+			if fl.n == 1 && !sr.done[pi] && sr.specs[pi] < maxPer && now.Sub(fl.start) > thr {
+				sr.specs[pi]++
+				sr.speculative++
+				sr.work <- pi
+			}
+		}
+		sr.mu.Unlock()
+	}
+}
+
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	c := make([]time.Duration, len(ds))
+	copy(c, ds)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c[len(c)/2]
 }
 
 // RunStage implements engine.Executor: each partition becomes one task,
@@ -155,10 +406,14 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 		ops:      ops,
 		outParts: make([][]relation.Row, nParts),
 		// Capacity covers every task being requeued up to the retry
-		// budget, so requeue never blocks.
-		work:     make(chan int, nParts*(d.retries()+2)),
+		// budget plus every speculative launch, so no send ever blocks.
+		work:     make(chan int, nParts*(d.retries()+d.maxSpeculation()+2)),
 		pending:  nParts,
+		done:     make([]bool, nParts),
 		attempts: make([]int, nParts),
+		epoch:    make([]int, nParts),
+		specs:    make([]int, nParts),
+		inflight: make(map[int]inflightInfo),
 		cancel:   cancel,
 	}
 	for pi := 0; pi < nParts; pi++ {
@@ -166,6 +421,10 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 	}
 	if nParts == 0 {
 		close(sr.work)
+	}
+
+	if f := d.speculationFactor(); f > 0 && nParts > 0 {
+		go sr.speculate(cctx, f, d.speculationMin(), d.speculationInterval(), d.maxSpeculation())
 	}
 
 	var wg sync.WaitGroup
@@ -181,44 +440,99 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 	wg.Wait()
 
 	sr.mu.Lock()
-	firstErr, pending, retries := sr.firstErr, sr.pending, sr.retries
+	firstErr, pending := sr.firstErr, sr.pending
+	st := engine.Stats{
+		Retries:      sr.retries,
+		Reconnects:   sr.reconnects,
+		Speculative:  sr.speculative,
+		DeadlineHits: sr.deadlineHits,
+	}
 	sr.mu.Unlock()
+	// A user cancellation must surface as such, not as a transport
+	// failure or an "undeliverable" stage.
+	if ctx.Err() != nil {
+		return nil, engine.Stats{}, ctx.Err()
+	}
 	if firstErr != nil {
 		return nil, engine.Stats{}, firstErr
 	}
 	if pending > 0 {
 		return nil, engine.Stats{}, fmt.Errorf("cluster: %d partition(s) undeliverable: no executor reachable", pending)
 	}
-	if ctx.Err() != nil {
-		return nil, engine.Stats{}, ctx.Err()
-	}
 	out := &relation.Relation{Schema: outSchema, Partitions: sr.outParts}
-	st := engine.Stats{
-		RowsIn:     rel.NumRows(),
-		RowsOut:    out.NumRows(),
-		Partitions: nParts,
-		Wall:       time.Since(start),
-		Tasks:      nParts,
-		Retries:    retries,
-	}
+	st.RowsIn = rel.NumRows()
+	st.RowsOut = out.NumRows()
+	st.Partitions = nParts
+	st.Wall = time.Since(start)
+	st.Tasks = nParts
 	return out, st, nil
 }
 
-// runSlot owns one executor connection. On a transport failure it
-// requeues the in-flight task and retires, blacklisting this slot for
-// the remainder of the stage (a flaky executor must not starve the
-// retry budget of healthy ones).
-func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
-	raw, err := net.DialTimeout("tcp", addr, d.dialTimeout())
+// connect dials and handshakes one executor connection.
+func (d *Driver) connect(ctx context.Context, addr string) (*conn, error) {
+	dialer := net.Dialer{Timeout: d.dialTimeout()}
+	raw, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return
+		return nil, err
 	}
 	c := newConn(raw)
-	defer c.close()
 	if err := c.handshake(d.dialTimeout()); err != nil {
-		return
+		c.close()
+		return nil, err
 	}
+	return c, nil
+}
+
+// runSlot owns one executor connection. Transport failures no longer
+// retire the slot: the in-flight task is requeued and the slot
+// reconnects with capped exponential backoff, so executors that
+// restart mid-stage rejoin. Only SlotFailureLimit consecutive failures
+// retire the slot, bounding the damage of a persistently dead or
+// flaky executor (it must not starve the retry budget of healthy
+// ones).
+func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
+	var c *conn
+	var stopWatch func() bool
+	closeConn := func() {
+		if c != nil {
+			if stopWatch != nil {
+				stopWatch()
+			}
+			c.close()
+			c = nil
+		}
+	}
+	defer closeConn()
+
+	fails := 0      // consecutive dial/transport failures
+	dialed := false // ever connected successfully
 	for {
+		if ctx.Err() != nil || sr.finished() {
+			return
+		}
+		if c == nil {
+			if fails > 0 {
+				if !sleepCtx(ctx, d.backoff(fails)) {
+					return
+				}
+			}
+			nc, err := d.connect(ctx, addr)
+			if err != nil {
+				fails++
+				if fails >= d.slotFailureLimit() {
+					return
+				}
+				continue
+			}
+			c = nc
+			// Close the connection when the stage ends so a slot blocked
+			// in a read (stalled executor, stage already complete) wakes.
+			stopWatch = context.AfterFunc(ctx, func() { nc.close() })
+			if dialed || fails > 0 {
+				sr.noteReconnect()
+			}
+			dialed = true
+		}
 		var pi int
 		var ok bool
 		select {
@@ -229,16 +543,52 @@ func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 				return
 			}
 		}
-		if err := d.sendTask(c, sr, pi); err != nil {
-			if tf, isTF := err.(*taskFailure); isTF && tf.taskErr != nil {
-				sr.fail(tf.taskErr)
-				return
-			}
-			sr.requeue(pi, d.retries(), err, addr)
+		ep, ok := sr.dispatch(pi)
+		if !ok {
+			continue
+		}
+		err := d.sendTask(c, sr, pi, ep)
+		if err == nil {
+			fails = 0
+			continue
+		}
+		if tf, isTF := err.(*taskFailure); isTF && tf.taskErr != nil {
+			sr.fail(tf.taskErr)
 			return
 		}
-		sr.complete()
+		if isTimeout(err) {
+			sr.noteDeadline()
+		}
+		sr.abandon(pi, d.retries(), err, addr)
+		closeConn()
+		fails++
+		if fails >= d.slotFailureLimit() {
+			return
+		}
 	}
+}
+
+// sleepCtx sleeps for dur or until ctx is done; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, dur time.Duration) bool {
+	if dur <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// isTimeout reports whether a transport error was caused by an expired
+// read/write deadline (as opposed to a closed or reset connection).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // taskFailure distinguishes deterministic task errors (abort) from
@@ -263,8 +613,12 @@ func (t *taskFailure) Unwrap() error {
 	return t.ioErr
 }
 
-func (d *Driver) sendTask(c *conn, sr *stageRun, pi int) error {
-	task := taskMsg{ID: uint64(pi), Schema: sr.rel.Schema, Rows: sr.rel.Partitions[pi], Ops: sr.ops}
+func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) error {
+	if tt := d.taskTimeout(); tt > 0 {
+		_ = c.raw.SetDeadline(time.Now().Add(tt))
+		defer func() { _ = c.raw.SetDeadline(time.Time{}) }()
+	}
+	task := taskMsg{ID: uint64(pi), Epoch: uint64(epoch), Schema: sr.rel.Schema, Rows: sr.rel.Partitions[pi], Ops: sr.ops}
 	if err := c.enc.Encode(task); err != nil {
 		return &taskFailure{ioErr: err}
 	}
@@ -275,9 +629,9 @@ func (d *Driver) sendTask(c *conn, sr *stageRun, pi int) error {
 	if res.Err != "" {
 		return &taskFailure{taskErr: fmt.Errorf("cluster: task %d: %s", pi, res.Err)}
 	}
-	if res.ID != uint64(pi) {
-		return &taskFailure{ioErr: fmt.Errorf("cluster: task id mismatch: sent %d got %d", pi, res.ID)}
+	if res.ID != uint64(pi) || res.Epoch != uint64(epoch) {
+		return &taskFailure{ioErr: fmt.Errorf("cluster: task id/epoch mismatch: sent %d/%d got %d/%d", pi, epoch, res.ID, res.Epoch)}
 	}
-	sr.outParts[pi] = res.Rows
+	sr.commit(pi, res.Rows)
 	return nil
 }

@@ -3,9 +3,9 @@ package cluster
 import (
 	"context"
 	"errors"
-	"log"
 	"net"
 	"sync"
+	"time"
 
 	"ivnt/internal/engine"
 	"ivnt/internal/relation"
@@ -18,10 +18,20 @@ type ExecutorServer struct {
 	Capacity int
 	// Logf, when set, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
+	// HandshakeTimeout bounds the hello exchange on a new connection, so
+	// a client that connects and sends nothing cannot hold a handler
+	// goroutine forever. 0 means the 10s default; negative disables.
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds sending one result back to the driver. 0 means
+	// the 1m default; negative disables.
+	WriteTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
 	tasksRun int
+	draining bool
+	conns    map[*conn]struct{}
+	handlers sync.WaitGroup
 }
 
 // TasksRun reports how many tasks this executor has completed.
@@ -47,6 +57,28 @@ func (s *ExecutorServer) logf(format string, args ...any) {
 	}
 }
 
+func (s *ExecutorServer) handshakeTimeout() time.Duration {
+	switch {
+	case s.HandshakeTimeout > 0:
+		return s.HandshakeTimeout
+	case s.HandshakeTimeout < 0:
+		return 0
+	default:
+		return 10 * time.Second
+	}
+}
+
+func (s *ExecutorServer) writeTimeout() time.Duration {
+	switch {
+	case s.WriteTimeout > 0:
+		return s.WriteTimeout
+	case s.WriteTimeout < 0:
+		return 0
+	default:
+		return time.Minute
+	}
+}
+
 // ListenAndServe binds addr (e.g. ":7077" or "127.0.0.1:0") and serves
 // until ctx is cancelled.
 func (s *ExecutorServer) ListenAndServe(ctx context.Context, addr string) error {
@@ -57,22 +89,25 @@ func (s *ExecutorServer) ListenAndServe(ctx context.Context, addr string) error 
 	return s.Serve(ctx, l)
 }
 
-// Serve accepts connections on l until ctx is cancelled. Each
-// connection is handled on its own goroutine, so one executor process
-// serves many driver connections concurrently (the "5 virtual CPUs per
-// executor" of the paper's setup corresponds to slots-per-executor on
-// the driver side).
+// Serve accepts connections on l until ctx is cancelled or the
+// listener is closed (see Shutdown). Each connection is handled on its
+// own goroutine, so one executor process serves many driver
+// connections concurrently (the "5 virtual CPUs per executor" of the
+// paper's setup corresponds to slots-per-executor on the driver side).
 func (s *ExecutorServer) Serve(ctx context.Context, l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
+	if s.conns == nil {
+		s.conns = make(map[*conn]struct{})
+	}
 	s.mu.Unlock()
 
-	go func() {
-		<-ctx.Done()
+	stop := context.AfterFunc(ctx, func() {
 		_ = l.Close()
-	}()
-	var wg sync.WaitGroup
-	defer wg.Wait()
+		s.closeConns()
+	})
+	defer stop()
+	defer s.handlers.Wait()
 	for {
 		raw, err := l.Accept()
 		if err != nil {
@@ -81,41 +116,140 @@ func (s *ExecutorServer) Serve(ctx context.Context, l net.Listener) error {
 			}
 			return err
 		}
-		wg.Add(1)
+		s.handlers.Add(1)
 		go func() {
-			defer wg.Done()
+			defer s.handlers.Done()
 			s.handle(ctx, newConn(raw))
 		}()
 	}
 }
 
+// Shutdown drains the executor gracefully: it stops accepting new
+// connections, wakes handlers waiting for a task, lets in-flight
+// tasks finish (and their results be sent) for up to grace, then
+// force-closes whatever is left and waits for all handlers to exit.
+func (s *ExecutorServer) Shutdown(grace time.Duration) {
+	s.mu.Lock()
+	s.draining = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	s.drainConns()
+
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	if grace > 0 {
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+	}
+	s.closeConns() // force
+	<-done
+}
+
+// drainConns expires the read deadline on every tracked connection:
+// handlers blocked waiting for the next task wake immediately and
+// exit, while a task that was already decoded keeps running and its
+// result write still goes out (writes are unaffected by the read
+// deadline). Closing "idle" connections instead would race with the
+// instant between a task being decoded and the handler marking itself
+// busy, dropping that task's result.
+func (s *ExecutorServer) drainConns() {
+	s.mu.Lock()
+	cs := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	now := time.Now()
+	for _, c := range cs {
+		_ = c.raw.SetReadDeadline(now)
+	}
+}
+
+// closeConns force-closes every tracked connection.
+func (s *ExecutorServer) closeConns() {
+	s.mu.Lock()
+	victims := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		victims = append(victims, c)
+	}
+	s.mu.Unlock()
+	for _, c := range victims {
+		c.close()
+	}
+}
+
+func (s *ExecutorServer) track(c *conn) {
+	s.mu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[*conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *ExecutorServer) untrack(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *ExecutorServer) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 func (s *ExecutorServer) handle(ctx context.Context, c *conn) {
 	defer c.close()
+	s.track(c)
+	defer s.untrack(c)
+
+	if ht := s.handshakeTimeout(); ht > 0 {
+		_ = c.raw.SetReadDeadline(time.Now().Add(ht))
+	}
 	var hello helloMsg
 	if err := c.dec.Decode(&hello); err != nil {
 		s.logf("cluster executor: bad hello: %v", err)
 		return
 	}
+	_ = c.raw.SetReadDeadline(time.Time{})
 	ok := hello.Magic == magic && hello.Version == protocolVersion
-	cap := s.Capacity
-	if cap <= 0 {
-		cap = 1
+	capacity := s.Capacity
+	if capacity <= 0 {
+		capacity = 1
 	}
-	if err := c.enc.Encode(helloAck{OK: ok, Version: protocolVersion, Capacity: cap}); err != nil {
+	if err := c.enc.Encode(helloAck{OK: ok, Version: protocolVersion, Capacity: capacity}); err != nil {
 		return
 	}
 	if !ok {
 		s.logf("cluster executor: rejected connection (magic %q version %d)", hello.Magic, hello.Version)
 		return
 	}
-	for ctx.Err() == nil {
+	for ctx.Err() == nil && !s.isDraining() {
 		var task taskMsg
 		if err := c.dec.Decode(&task); err != nil {
-			// Connection closed by driver; normal end of stream.
+			// Connection closed by driver (or by drain); normal end of
+			// stream.
 			return
 		}
 		res := s.runTask(&task)
-		if err := c.enc.Encode(res); err != nil {
+		if wt := s.writeTimeout(); wt > 0 {
+			_ = c.raw.SetWriteDeadline(time.Now().Add(wt))
+		}
+		err := c.enc.Encode(res)
+		_ = c.raw.SetWriteDeadline(time.Time{})
+		if err != nil {
 			s.logf("cluster executor: send result %d: %v", task.ID, err)
 			return
 		}
@@ -125,16 +259,16 @@ func (s *ExecutorServer) handle(ctx context.Context, c *conn) {
 func (s *ExecutorServer) runTask(task *taskMsg) resultMsg {
 	pipe, err := engine.NewStagePipeline(task.Schema, task.Ops)
 	if err != nil {
-		return resultMsg{ID: task.ID, Err: err.Error()}
+		return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()}
 	}
 	rows, err := pipe.Apply(task.Rows)
 	if err != nil {
-		return resultMsg{ID: task.ID, Err: err.Error()}
+		return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()}
 	}
 	s.mu.Lock()
 	s.tasksRun++
 	s.mu.Unlock()
-	return resultMsg{ID: task.ID, Schema: pipe.OutputSchema(), Rows: rows}
+	return resultMsg{ID: task.ID, Epoch: task.Epoch, Schema: pipe.OutputSchema(), Rows: rows}
 }
 
 // StartLocalCluster spins up n executor servers on loopback ports and
@@ -157,7 +291,7 @@ func StartLocalCluster(ctx context.Context, n int) (addrs []string, stop func(),
 		go func() {
 			defer wg.Done()
 			if err := srv.Serve(cctx, l); err != nil {
-				log.Printf("cluster: executor: %v", err)
+				srv.logf("cluster: executor: %v", err)
 			}
 		}()
 	}

@@ -21,8 +21,9 @@ import (
 	"ivnt/internal/relation"
 )
 
-// protocolVersion guards against driver/executor skew.
-const protocolVersion = 1
+// protocolVersion guards against driver/executor skew. Version 2 added
+// the task epoch (speculative re-execution, duplicate-result discard).
+const protocolVersion = 2
 
 // magic identifies the protocol on connect.
 const magic = "IVNT"
@@ -41,8 +42,12 @@ type helloAck struct {
 }
 
 // taskMsg carries one partition and the stage pipeline to apply to it.
+// Epoch distinguishes re-dispatches of the same task (retries and
+// speculative copies); executors echo it so the driver can discard
+// stale or desynchronized results.
 type taskMsg struct {
 	ID     uint64
+	Epoch  uint64
 	Schema relation.Schema
 	Rows   []relation.Row
 	Ops    []engine.OpDesc
@@ -51,6 +56,7 @@ type taskMsg struct {
 // resultMsg returns the transformed partition (or a task error).
 type resultMsg struct {
 	ID     uint64
+	Epoch  uint64
 	Schema relation.Schema
 	Rows   []relation.Row
 	// Err is a non-retryable task failure (e.g. a malformed rule); the

@@ -19,6 +19,14 @@ type Stats struct {
 	Wall       time.Duration
 	Tasks      int
 	Retries    int
+	// Fault-tolerance counters (populated by the cluster driver):
+	// Reconnects counts re-established executor connections,
+	// Speculative counts straggler tasks re-dispatched speculatively,
+	// DeadlineHits counts task round trips that exceeded the per-task
+	// deadline.
+	Reconnects   int
+	Speculative  int
+	DeadlineHits int
 }
 
 // Add accumulates another stage's stats.
@@ -29,6 +37,9 @@ func (s *Stats) Add(o Stats) {
 	s.Wall += o.Wall
 	s.Tasks += o.Tasks
 	s.Retries += o.Retries
+	s.Reconnects += o.Reconnects
+	s.Speculative += o.Speculative
+	s.DeadlineHits += o.DeadlineHits
 }
 
 // Executor runs a stage — a narrow-operator pipeline over every
