@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check
+.PHONY: all build test race vet check bench
 
 all: check
 
@@ -19,3 +19,12 @@ vet:
 	$(GO) vet ./...
 
 check: build vet test race
+
+# Codec, join-stage and cluster micro-benchmarks, then the wire
+# experiment (protocol v3 vs simulated v2 bytes per task), which writes
+# BENCH_engine.json.
+bench: build
+	$(GO) test -run NONE -bench 'BenchmarkEncode|BenchmarkDecode' -benchtime 0.5s ./internal/colcodec/
+	$(GO) test -run NONE -bench 'BenchmarkBroadcastJoinStage|BenchmarkRuleCacheParallel|BenchmarkEvalRuleParallel' -benchtime 0.5s ./internal/engine/
+	$(GO) test -run NONE -bench 'BenchmarkClusterStage' -benchtime 0.5s ./internal/cluster/
+	$(GO) run ./cmd/benchmark -exp wire -wire-out BENCH_engine.json

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,13 +26,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchmark: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage or all")
+		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire or all")
 		scale       = flag.Float64("scale", 0, "scale factor vs paper row counts (0 = per-experiment default)")
 		workers     = flag.Int("workers", 0, "local executor workers (0 = all cores)")
 		steps       = flag.Int("steps", 8, "fig5: sweep steps per data set")
 		clusterFl   = flag.String("cluster", "", "table6: comma-separated executor addresses for the proposed side")
 		taskTimeout = flag.Duration("task-timeout", 0, "cluster: per-task deadline (0 = driver default, negative disables)")
 		specFactor  = flag.Float64("speculation", 0, "cluster: straggler speculation factor k (0 = driver default, negative disables)")
+		wireRows    = flag.Int("wire-rows", 0, "wire: rows in the streamed relation (0 = default)")
+		wireOut     = flag.String("wire-out", "", "wire: also write results as JSON to this file (e.g. BENCH_engine.json)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -93,6 +96,10 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Print(bench.FormatReduction(rows))
+		case "wire":
+			if err := runWire(ctx, *wireRows, *wireOut); err != nil {
+				log.Fatal(err)
+			}
 		case "storage":
 			rows, err := bench.AblationStorage(*scale)
 			if err != nil {
@@ -108,10 +115,51 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage"} {
+		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire"} {
 			run(name)
 		}
 		return
 	}
 	run(*exp)
+}
+
+// runWire measures protocol-v3 bytes per task against the simulated v2
+// baseline, with compression off and on, and optionally writes the
+// results (plus raw codec timings) as JSON.
+func runWire(ctx context.Context, rows int, outPath string) error {
+	var results []*bench.WireResult
+	var codec []*bench.WireCodecResult
+	for _, compress := range []bool{false, true} {
+		opts := bench.WireOptions{Rows: rows, Compress: compress}
+		r, err := bench.Wire(ctx, opts)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		c, err := bench.WireCodec(opts)
+		if err != nil {
+			return err
+		}
+		codec = append(codec, c)
+	}
+	fmt.Print(bench.FormatWire(results))
+	for _, c := range codec {
+		fmt.Printf("codec (compress=%v): %d rows/partition, encode %.0f ns/op, decode %.0f ns/op, %d B encoded\n",
+			c.Compress, c.RowsPerPartition, c.EncodeNsPerOp, c.DecodeNsPerOp, c.EncodedBytes)
+	}
+	if outPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(struct {
+		Wire  []*bench.WireResult      `json:"wire"`
+		Codec []*bench.WireCodecResult `json:"codec"`
+	}{results, codec}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", outPath)
+	return nil
 }

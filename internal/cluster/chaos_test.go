@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ivnt/internal/cluster/faultproxy"
+	"ivnt/internal/colcodec"
 	"ivnt/internal/engine"
 	"ivnt/internal/relation"
 )
@@ -207,6 +208,59 @@ func TestChaosExecutorRestart(t *testing.T) {
 	if srv2.TasksRun() == 0 {
 		t.Fatal("restarted executor never ran a task")
 	}
+	// The restarted executor has no stage cache: the driver must ship
+	// the stage again on the fresh connection (StagesShipped counts the
+	// pre-kill shipment plus at least one re-shipment), and the new
+	// process must have accepted it.
+	if r.st.StagesShipped < 2 {
+		t.Fatalf("StagesShipped = %d, want >= 2 (stage must re-ship after restart)", r.st.StagesShipped)
+	}
+	if srv2.StagesReceived() == 0 {
+		t.Fatal("restarted executor never received a stage shipment")
+	}
+}
+
+// TestChaosStageReshipOnReconnect severs the only executor's connection
+// mid-stage once. The driver's fresh connection starts with an empty
+// per-connection stage ledger, so the stage must cross the wire again —
+// and the output must stay byte-identical (no stale stage cache, no
+// double-applied epochs).
+func TestChaosStageReshipOnReconnect(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	proxy, err := faultproxy.New(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	plan := faultproxy.Passthrough()
+	plan.SeverAfter = ackLen(t, 1) + 32 // die inside the first result frame
+	plan.Once = true
+	proxy.SetPlan(plan)
+
+	rel := traceRel(300, 6)
+	drv := &Driver{
+		Addrs:         []string{proxy.Addr()},
+		MaxRetries:    4,
+		ReconnectBase: 10 * time.Millisecond,
+	}
+	got, st, err := drv.RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchLocal(t, ctx, got, rel, stageOps())
+	if st.Reconnects == 0 {
+		t.Fatalf("expected a reconnect after the sever, stats = %+v", st)
+	}
+	if st.StagesShipped < 2 {
+		t.Fatalf("StagesShipped = %d, want >= 2: the reconnected link must receive the stage again", st.StagesShipped)
+	}
 }
 
 // TestChaosCorruptedResultFrame flips one byte inside the first result
@@ -320,8 +374,9 @@ func TestChaosRefusedThenHealthy(t *testing.T) {
 
 // scriptedExecutor speaks the wire protocol directly: the first
 // connection is dropped right after reading a task; later connections
-// are served via behave.
-func scriptedExecutor(t *testing.T, behave func(c *conn, task *taskMsg)) (addr string, cleanup func()) {
+// are served via behave, which receives the task alongside the stage
+// pipeline the connection has registered for it.
+func scriptedExecutor(t *testing.T, behave func(c *conn, pipe *engine.StagePipeline, task *taskMsg)) (addr string, cleanup func()) {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -349,15 +404,16 @@ func scriptedExecutor(t *testing.T, behave func(c *conn, task *taskMsg)) (addr s
 				if c.enc.Encode(helloAck{OK: true, Version: protocolVersion, Capacity: 1}) != nil {
 					return
 				}
+				cs := newConnState()
 				for {
-					var task taskMsg
-					if c.dec.Decode(&task) != nil {
+					task, pipe, err := cs.recvTask(c)
+					if err != nil {
 						return
 					}
 					if first {
 						return // drop the connection mid-task
 					}
-					behave(c, &task)
+					behave(c, pipe, task)
 				}
 			}(raw, first)
 		}
@@ -372,18 +428,23 @@ func TestRetryAccountingExact(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	addr, cleanup := scriptedExecutor(t, func(c *conn, task *taskMsg) {
-		pipe, err := engine.NewStagePipeline(task.Schema, task.Ops)
+	addr, cleanup := scriptedExecutor(t, func(c *conn, pipe *engine.StagePipeline, task *taskMsg) {
+		rows, err := colcodec.Decode(pipe.InputSchema(), task.Data)
 		if err != nil {
 			_ = c.enc.Encode(resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()})
 			return
 		}
-		rows, err := pipe.Apply(task.Rows)
+		out, err := pipe.Apply(rows)
 		if err != nil {
 			_ = c.enc.Encode(resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()})
 			return
 		}
-		_ = c.enc.Encode(resultMsg{ID: task.ID, Epoch: task.Epoch, Schema: pipe.OutputSchema(), Rows: rows})
+		data, err := colcodec.Encode(pipe.OutputSchema(), out, colcodec.Options{})
+		if err != nil {
+			_ = c.enc.Encode(resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()})
+			return
+		}
+		_ = c.enc.Encode(resultMsg{ID: task.ID, Epoch: task.Epoch, Data: data})
 	})
 	defer cleanup()
 
@@ -418,7 +479,7 @@ func TestTaskErrorAfterTransportRetryAborts(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	addr, cleanup := scriptedExecutor(t, func(c *conn, task *taskMsg) {
+	addr, cleanup := scriptedExecutor(t, func(c *conn, pipe *engine.StagePipeline, task *taskMsg) {
 		_ = c.enc.Encode(resultMsg{ID: task.ID, Epoch: task.Epoch, Err: "boom: deterministic task failure"})
 	})
 	defer cleanup()

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+)
+
+// benchStage is the wire benchmark's broadcast-join stage at a small
+// fixed size, reused across cluster benchmark variants.
+func benchStage() (*relation.Relation, []engine.OpDesc) {
+	const nRows, nParts, nTable = 8000, 8, 128
+	streamSchema := relation.NewSchema(
+		relation.Column{Name: "t", Kind: relation.KindFloat},
+		relation.Column{Name: "mid", Kind: relation.KindInt},
+		relation.Column{Name: "x", Kind: relation.KindInt},
+	)
+	rows := make([]relation.Row, nRows)
+	for i := range rows {
+		rows[i] = relation.Row{
+			relation.Float(float64(i) * 0.01),
+			relation.Int(int64(i % nTable)),
+			relation.Int(int64(i % 4096)),
+		}
+	}
+	rel := relation.FromRows(streamSchema, rows).Repartition(nParts)
+	tableSchema := relation.NewSchema(
+		relation.Column{Name: "mid", Kind: relation.KindInt},
+		relation.Column{Name: "rule", Kind: relation.KindString},
+	)
+	trows := make([]relation.Row, nTable)
+	for i := range trows {
+		trows[i] = relation.Row{
+			relation.Int(int64(i)),
+			relation.Str(fmt.Sprintf("x * %d + %d", i%13+1, i%29)),
+		}
+	}
+	small := relation.FromRows(tableSchema, trows)
+	return rel, []engine.OpDesc{
+		engine.BroadcastJoin(small, []string{"mid"}, []string{"mid"}),
+		engine.EvalRule("v", relation.KindInt, "rule"),
+		engine.Project("t", "mid", "v"),
+	}
+}
+
+// BenchmarkClusterStage round-trips the broadcast-join stage over a
+// loopback cluster with the v3 protocol. Bytes on the wire per task are
+// reported as a metric; stage shipping is amortized across iterations
+// (executor pipelines are cached per connection).
+func benchmarkClusterStage(b *testing.B, compress bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	drv := &Driver{Addrs: addrs, SlotsPerExecutor: 2, Compress: compress}
+	rel, ops := benchStage()
+	var bytesOnWire int64
+	var tasks int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := drv.RunStage(ctx, rel, ops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesOnWire += st.BytesSent + st.BytesRecv
+		tasks += st.Tasks
+	}
+	b.StopTimer()
+	if tasks > 0 {
+		b.ReportMetric(float64(bytesOnWire)/float64(tasks), "wire-B/task")
+	}
+}
+
+func BenchmarkClusterStage(b *testing.B)           { benchmarkClusterStage(b, false) }
+func BenchmarkClusterStageCompressed(b *testing.B) { benchmarkClusterStage(b, true) }

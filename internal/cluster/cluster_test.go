@@ -37,6 +37,49 @@ func stageOps() []engine.OpDesc {
 	}
 }
 
+// connState is the minimal executor-side v3 connection state used by
+// scripted/adversarial test executors speaking the wire protocol
+// directly.
+type connState struct {
+	stages map[uint64]*engine.StagePipeline
+	tables map[uint64][]relation.Row
+}
+
+func newConnState() *connState {
+	return &connState{stages: map[uint64]*engine.StagePipeline{}, tables: map[uint64][]relation.Row{}}
+}
+
+// recvTask consumes frames — registering any stage shipments — until a
+// task frame arrives, and returns it with its compiled pipeline.
+func (cs *connState) recvTask(c *conn) (*taskMsg, *engine.StagePipeline, error) {
+	for {
+		var hdr frameHdr
+		if err := c.dec.Decode(&hdr); err != nil {
+			return nil, nil, err
+		}
+		switch hdr.Kind {
+		case frameStage:
+			var st stageMsg
+			if err := c.dec.Decode(&st); err != nil {
+				return nil, nil, err
+			}
+			pipe, err := (&ExecutorServer{}).registerStage(&st, cs.tables)
+			if err != nil {
+				return nil, nil, err
+			}
+			cs.stages[st.Fingerprint] = pipe
+		case frameTask:
+			var task taskMsg
+			if err := c.dec.Decode(&task); err != nil {
+				return nil, nil, err
+			}
+			return &task, cs.stages[task.Stage], nil
+		default:
+			return nil, nil, fmt.Errorf("unknown frame kind %d", hdr.Kind)
+		}
+	}
+}
+
 func TestClusterMatchesLocal(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -236,8 +279,8 @@ func TestClusterRetryOnConnectionDrop(t *testing.T) {
 					return
 				}
 				_ = c.enc.Encode(helloAck{OK: true, Version: protocolVersion, Capacity: 1})
-				var task taskMsg
-				if c.dec.Decode(&task) != nil {
+				cs := newConnState()
+				if _, _, err := cs.recvTask(c); err != nil {
 					return
 				}
 				once.Do(func() { raw.Close() }) // drop first task
@@ -469,6 +512,121 @@ func TestExecutorAddrAndTasksRun(t *testing.T) {
 	}
 	cancel()
 	<-done
+}
+
+// TestClusterMatchesLocalCompressed is the byte-identical equivalence
+// check with the DEFLATE flag on: compression must be invisible to
+// results.
+func TestClusterMatchesLocalCompressed(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	small := relation.FromRows(
+		relation.NewSchema(
+			relation.Column{Name: "rmid", Kind: relation.KindInt},
+			relation.Column{Name: "sid", Kind: relation.KindString},
+			relation.Column{Name: "rule", Kind: relation.KindString},
+		),
+		[]relation.Row{
+			{relation.Int(3), relation.Str("wpos"), relation.Str("byteat(l, 0)")},
+			{relation.Int(4), relation.Str("wvel"), relation.Str("byteat(l, 1) * 2")},
+		},
+	)
+	ops := []engine.OpDesc{
+		engine.BroadcastJoin(small, []string{"mid"}, []string{"rmid"}),
+		engine.EvalRule("v", relation.KindFloat, "rule"),
+	}
+	rel := traceRel(600, 7)
+	want, _, err := engine.NewLocal(2).RunStage(ctx, rel, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compress := range []bool{false, true} {
+		drv := &Driver{Addrs: addrs, SlotsPerExecutor: 2, Compress: compress}
+		got, st, err := drv.RunStage(ctx, rel, ops)
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Fatalf("compress=%v: rows = %d, want %d", compress, got.NumRows(), want.NumRows())
+		}
+		gr, wr := got.Rows(), want.Rows()
+		for i := range gr {
+			if !gr[i].Equal(wr[i]) {
+				t.Fatalf("compress=%v: row %d differs: %v vs %v", compress, i, gr[i], wr[i])
+			}
+		}
+		if st.BytesSent == 0 || st.BytesRecv == 0 {
+			t.Fatalf("compress=%v: wire byte counters not populated: %+v", compress, st)
+		}
+	}
+}
+
+// TestStageShippedOncePerConnection: with one executor and one slot the
+// stage must cross the wire exactly once, however many tasks follow.
+func TestStageShippedOncePerConnection(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	drv := &Driver{Addrs: addrs, SlotsPerExecutor: 1}
+	_, st, err := drv.RunStage(ctx, traceRel(400, 8), stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 8 {
+		t.Fatalf("Tasks = %d, want 8", st.Tasks)
+	}
+	if st.StagesShipped != 1 {
+		t.Fatalf("StagesShipped = %d, want exactly 1 (stage must not ride along with every task)", st.StagesShipped)
+	}
+}
+
+// TestV3DriverRejectedByV2Executor: a legacy executor that only accepts
+// protocol version 2 must refuse the v3 driver's handshake, and the
+// driver must fail the stage rather than talk past it.
+func TestV3DriverRejectedByV2Executor(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			raw, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(raw net.Conn) {
+				defer raw.Close()
+				c := newConn(raw)
+				var hello helloMsg
+				if c.dec.Decode(&hello) != nil {
+					return
+				}
+				// A v2 executor's exact acceptance check.
+				ok := hello.Magic == magic && hello.Version == 2
+				_ = c.enc.Encode(helloAck{OK: ok, Version: 2, Capacity: 1})
+			}(raw)
+		}
+	}()
+	drv := &Driver{Addrs: []string{l.Addr().String()}, DialTimeout: time.Second}
+	_, _, err = drv.RunStage(context.Background(), traceRel(10, 2), stageOps())
+	if err == nil {
+		t.Fatal("v2 executor must reject the v3 driver and fail the stage")
+	}
+	if !strings.Contains(err.Error(), "undeliverable") {
+		t.Fatalf("err = %v, want undeliverable (no usable executor)", err)
+	}
 }
 
 func TestDriverRejectsWrongVersionExecutor(t *testing.T) {

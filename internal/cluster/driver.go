@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"ivnt/internal/colcodec"
 	"ivnt/internal/engine"
 	"ivnt/internal/relation"
 )
@@ -66,6 +67,12 @@ type Driver struct {
 	SpeculationInterval time.Duration
 	// MaxSpeculation bounds speculative launches per task. Default 2.
 	MaxSpeculation int
+	// Compress runs columnar partition and broadcast-table payloads
+	// through DEFLATE (stdlib flate) before they hit the wire. Worth it
+	// for string-heavy traces crossing real networks; pure CPU overhead
+	// on loopback. Executors auto-detect the flag per payload and
+	// mirror it on results.
+	Compress bool
 }
 
 // Name implements engine.Executor.
@@ -190,8 +197,17 @@ type inflightInfo struct {
 // is cancelled, or every slot has retired with work outstanding.
 type stageRun struct {
 	rel      *relation.Relation
-	ops      []engine.OpDesc
 	outParts [][]relation.Row
+
+	// v3 stage shipment, prepared once per RunStage: the stage's
+	// content fingerprint, the pipeline with broadcast rows stripped
+	// (replaced by table-hash references), the columnar-encoded
+	// broadcast tables, and the output schema results decode against.
+	fp        uint64
+	opsWire   []engine.OpDesc
+	tables    []tableMsg
+	outSchema relation.Schema
+	compress  bool
 
 	mu        sync.Mutex
 	work      chan int
@@ -203,11 +219,19 @@ type stageRun struct {
 	specs     []int
 	inflight  map[int]inflightInfo
 	durations []time.Duration
+	// encParts caches each partition's columnar encoding so retries and
+	// speculative copies reuse the bytes instead of re-encoding.
+	encParts [][]byte
 
-	retries      int
-	reconnects   int
-	speculative  int
-	deadlineHits int
+	retries       int
+	reconnects    int
+	speculative   int
+	deadlineHits  int
+	bytesSent     int64
+	bytesRecv     int64
+	stagesShipped int
+	encodeWall    time.Duration
+	decodeWall    time.Duration
 
 	firstErr error
 	cancel   context.CancelFunc
@@ -248,6 +272,52 @@ func (sr *stageRun) noteDeadline() {
 	sr.mu.Lock()
 	sr.deadlineHits++
 	sr.mu.Unlock()
+}
+
+func (sr *stageRun) noteStageShipped() {
+	sr.mu.Lock()
+	sr.stagesShipped++
+	sr.mu.Unlock()
+}
+
+func (sr *stageRun) noteDecode(d time.Duration) {
+	sr.mu.Lock()
+	sr.decodeWall += d
+	sr.mu.Unlock()
+}
+
+// harvestBytes folds a connection's byte counters into the stage
+// totals; called exactly once per connection, when it is closed.
+func (sr *stageRun) harvestBytes(c *conn) {
+	sr.mu.Lock()
+	sr.bytesSent += c.count.written
+	sr.bytesRecv += c.count.read
+	sr.mu.Unlock()
+}
+
+// encodedPartition returns (caching) the columnar encoding of partition
+// pi. Re-dispatches of a task (retries, speculation) reuse the bytes.
+func (sr *stageRun) encodedPartition(pi int) ([]byte, error) {
+	sr.mu.Lock()
+	if b := sr.encParts[pi]; b != nil {
+		sr.mu.Unlock()
+		return b, nil
+	}
+	sr.mu.Unlock()
+	start := time.Now()
+	b, err := colcodec.Encode(sr.rel.Schema, sr.rel.Partitions[pi], colcodec.Options{Compress: sr.compress})
+	if err != nil {
+		return nil, err
+	}
+	sr.mu.Lock()
+	sr.encodeWall += time.Since(start)
+	if sr.encParts[pi] == nil {
+		sr.encParts[pi] = b
+	} else {
+		b = sr.encParts[pi] // lost a benign double-encode race
+	}
+	sr.mu.Unlock()
+	return b, nil
 }
 
 // dispatch registers one launch of task pi and returns its epoch. A
@@ -398,13 +468,45 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 		return nil, engine.Stats{}, err
 	}
 
+	// Prepare the stage shipment once: fingerprint the stage, strip
+	// broadcast tables out of the pipeline (they ship separately, keyed
+	// by content hash, at most once per connection), and columnar-encode
+	// each distinct table a single time for the whole stage.
+	fp := engine.StageFingerprint(rel.Schema, ops)
+	opsWire := make([]engine.OpDesc, len(ops))
+	var tables []tableMsg
+	seenTables := map[uint64]bool{}
+	for i, op := range ops {
+		opsWire[i] = op
+		if op.Kind != engine.OpBroadcastJoin || op.Join == nil {
+			continue
+		}
+		th := engine.TableFingerprint(op.Join.Schema, op.Join.Rows)
+		j := *op.Join
+		j.Rows = nil
+		j.TableHash = th
+		opsWire[i].Join = &j
+		if !seenTables[th] {
+			seenTables[th] = true
+			data, err := colcodec.Encode(op.Join.Schema, op.Join.Rows, colcodec.Options{Compress: d.Compress})
+			if err != nil {
+				return nil, engine.Stats{}, fmt.Errorf("cluster: encode broadcast table: %w", err)
+			}
+			tables = append(tables, tableMsg{Hash: th, Schema: op.Join.Schema, Data: data})
+		}
+	}
+
 	nParts := len(rel.Partitions)
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	sr := &stageRun{
-		rel:      rel,
-		ops:      ops,
-		outParts: make([][]relation.Row, nParts),
+		rel:       rel,
+		fp:        fp,
+		opsWire:   opsWire,
+		tables:    tables,
+		outSchema: outSchema,
+		compress:  d.Compress,
+		outParts:  make([][]relation.Row, nParts),
 		// Capacity covers every task being requeued up to the retry
 		// budget plus every speculative launch, so no send ever blocks.
 		work:     make(chan int, nParts*(d.retries()+d.maxSpeculation()+2)),
@@ -413,6 +515,7 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 		attempts: make([]int, nParts),
 		epoch:    make([]int, nParts),
 		specs:    make([]int, nParts),
+		encParts: make([][]byte, nParts),
 		inflight: make(map[int]inflightInfo),
 		cancel:   cancel,
 	}
@@ -442,10 +545,15 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 	sr.mu.Lock()
 	firstErr, pending := sr.firstErr, sr.pending
 	st := engine.Stats{
-		Retries:      sr.retries,
-		Reconnects:   sr.reconnects,
-		Speculative:  sr.speculative,
-		DeadlineHits: sr.deadlineHits,
+		Retries:       sr.retries,
+		Reconnects:    sr.reconnects,
+		Speculative:   sr.speculative,
+		DeadlineHits:  sr.deadlineHits,
+		BytesSent:     sr.bytesSent,
+		BytesRecv:     sr.bytesRecv,
+		StagesShipped: sr.stagesShipped,
+		EncodeWall:    sr.encodeWall,
+		DecodeWall:    sr.decodeWall,
 	}
 	sr.mu.Unlock()
 	// A user cancellation must surface as such, not as a transport
@@ -499,6 +607,7 @@ func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 				stopWatch()
 			}
 			c.close()
+			sr.harvestBytes(c)
 			c = nil
 		}
 	}
@@ -618,7 +727,38 @@ func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) error {
 		_ = c.raw.SetDeadline(time.Now().Add(tt))
 		defer func() { _ = c.raw.SetDeadline(time.Time{}) }()
 	}
-	task := taskMsg{ID: uint64(pi), Epoch: uint64(epoch), Schema: sr.rel.Schema, Rows: sr.rel.Partitions[pi], Ops: sr.ops}
+	// Ship the stage first if this connection has not seen it yet —
+	// once per stage per connection, so a reconnected (restarted)
+	// executor receives it again, and broadcast tables the connection
+	// already holds are not re-sent even across stages.
+	if !c.sentStages[sr.fp] {
+		msg := stageMsg{Fingerprint: sr.fp, Schema: sr.rel.Schema, Ops: sr.opsWire}
+		for _, tbl := range sr.tables {
+			if !c.sentTables[tbl.Hash] {
+				msg.Tables = append(msg.Tables, tbl)
+			}
+		}
+		if err := c.enc.Encode(frameHdr{Kind: frameStage}); err != nil {
+			return &taskFailure{ioErr: err}
+		}
+		if err := c.enc.Encode(msg); err != nil {
+			return &taskFailure{ioErr: err}
+		}
+		c.sentStages[sr.fp] = true
+		for _, tbl := range msg.Tables {
+			c.sentTables[tbl.Hash] = true
+		}
+		sr.noteStageShipped()
+	}
+	data, err := sr.encodedPartition(pi)
+	if err != nil {
+		// Encoding is driver-local and deterministic: abort, don't retry.
+		return &taskFailure{taskErr: fmt.Errorf("cluster: task %d: encode partition: %w", pi, err)}
+	}
+	task := taskMsg{ID: uint64(pi), Epoch: uint64(epoch), Stage: sr.fp, Data: data}
+	if err := c.enc.Encode(frameHdr{Kind: frameTask}); err != nil {
+		return &taskFailure{ioErr: err}
+	}
 	if err := c.enc.Encode(task); err != nil {
 		return &taskFailure{ioErr: err}
 	}
@@ -632,6 +772,14 @@ func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) error {
 	if res.ID != uint64(pi) || res.Epoch != uint64(epoch) {
 		return &taskFailure{ioErr: fmt.Errorf("cluster: task id/epoch mismatch: sent %d/%d got %d/%d", pi, epoch, res.ID, res.Epoch)}
 	}
-	sr.commit(pi, res.Rows)
+	dstart := time.Now()
+	rows, err := colcodec.Decode(sr.outSchema, res.Data)
+	if err != nil {
+		// A payload that gob-decoded but fails the columnar codec is
+		// wire corruption: retryable, like any broken frame.
+		return &taskFailure{ioErr: fmt.Errorf("cluster: task %d: decode result: %w", pi, err)}
+	}
+	sr.noteDecode(time.Since(dstart))
+	sr.commit(pi, rows)
 	return nil
 }

@@ -3,10 +3,12 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"ivnt/internal/colcodec"
 	"ivnt/internal/engine"
 	"ivnt/internal/relation"
 )
@@ -26,12 +28,13 @@ type ExecutorServer struct {
 	// the 1m default; negative disables.
 	WriteTimeout time.Duration
 
-	mu       sync.Mutex
-	listener net.Listener
-	tasksRun int
-	draining bool
-	conns    map[*conn]struct{}
-	handlers sync.WaitGroup
+	mu         sync.Mutex
+	listener   net.Listener
+	tasksRun   int
+	stagesRecv int
+	draining   bool
+	conns      map[*conn]struct{}
+	handlers   sync.WaitGroup
 }
 
 // TasksRun reports how many tasks this executor has completed.
@@ -39,6 +42,15 @@ func (s *ExecutorServer) TasksRun() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.tasksRun
+}
+
+// StagesReceived reports how many stage shipments (stageMsg frames)
+// this executor has accepted — one per stage per driver connection,
+// plus re-shipments after reconnects. Chaos tests assert on it.
+func (s *ExecutorServer) StagesReceived() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stagesRecv
 }
 
 // Addr returns the listen address once Serve has bound it.
@@ -236,39 +248,132 @@ func (s *ExecutorServer) handle(ctx context.Context, c *conn) {
 		s.logf("cluster executor: rejected connection (magic %q version %d)", hello.Magic, hello.Version)
 		return
 	}
+
+	// Per-connection stage state. The driver guarantees a stage frame
+	// precedes any task referencing it on the same connection, so these
+	// maps are always warm by the time a task arrives. Lifetime equals
+	// the connection, which is exactly the driver's book-keeping scope:
+	// after a reconnect both sides start empty and the stage re-ships.
+	// Compiled pipelines are additionally deduplicated process-wide by
+	// content fingerprint (engine.CompileStageAs), so N slot
+	// connections compile — and build the broadcast hash table of — a
+	// given stage once.
+	stages := map[uint64]*engine.StagePipeline{}
+	stageErrs := map[uint64]error{}
+	tables := map[uint64][]relation.Row{}
+
 	for ctx.Err() == nil && !s.isDraining() {
-		var task taskMsg
-		if err := c.dec.Decode(&task); err != nil {
+		var hdr frameHdr
+		if err := c.dec.Decode(&hdr); err != nil {
 			// Connection closed by driver (or by drain); normal end of
 			// stream.
 			return
 		}
-		res := s.runTask(&task)
-		if wt := s.writeTimeout(); wt > 0 {
-			_ = c.raw.SetWriteDeadline(time.Now().Add(wt))
-		}
-		err := c.enc.Encode(res)
-		_ = c.raw.SetWriteDeadline(time.Time{})
-		if err != nil {
-			s.logf("cluster executor: send result %d: %v", task.ID, err)
+		switch hdr.Kind {
+		case frameStage:
+			var st stageMsg
+			if err := c.dec.Decode(&st); err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.stagesRecv++
+			s.mu.Unlock()
+			pipe, err := s.registerStage(&st, tables)
+			if err != nil {
+				// A stage that fails to materialize or compile is
+				// deterministic; remember the error and report it on
+				// the tasks that reference the stage.
+				stageErrs[st.Fingerprint] = err
+			} else {
+				stages[st.Fingerprint] = pipe
+			}
+		case frameTask:
+			var task taskMsg
+			if err := c.dec.Decode(&task); err != nil {
+				return
+			}
+			res, fatal := s.runTask(stages, stageErrs, &task)
+			if fatal {
+				// Corrupt partition payload: drop the connection so the
+				// driver treats it as a transport failure and retries,
+				// instead of aborting the whole stage.
+				s.logf("cluster executor: task %d: corrupt partition payload", task.ID)
+				return
+			}
+			if wt := s.writeTimeout(); wt > 0 {
+				_ = c.raw.SetWriteDeadline(time.Now().Add(wt))
+			}
+			err := c.enc.Encode(res)
+			_ = c.raw.SetWriteDeadline(time.Time{})
+			if err != nil {
+				s.logf("cluster executor: send result %d: %v", task.ID, err)
+				return
+			}
+		default:
+			s.logf("cluster executor: unknown frame kind %d", hdr.Kind)
 			return
 		}
 	}
 }
 
-func (s *ExecutorServer) runTask(task *taskMsg) resultMsg {
-	pipe, err := engine.NewStagePipeline(task.Schema, task.Ops)
-	if err != nil {
-		return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()}
+// registerStage decodes a stage shipment: broadcast tables land in the
+// connection's content-hash cache, table references in the pipeline are
+// materialized from it, and the stage compiles through the process-wide
+// pipeline cache keyed by the driver's fingerprint.
+func (s *ExecutorServer) registerStage(st *stageMsg, tables map[uint64][]relation.Row) (*engine.StagePipeline, error) {
+	for _, t := range st.Tables {
+		rows, err := colcodec.Decode(t.Schema, t.Data)
+		if err != nil {
+			return nil, fmt.Errorf("broadcast table %#x: %w", t.Hash, err)
+		}
+		tables[t.Hash] = rows
 	}
-	rows, err := pipe.Apply(task.Rows)
+	ops := make([]engine.OpDesc, len(st.Ops))
+	copy(ops, st.Ops)
+	for i, op := range ops {
+		if op.Kind != engine.OpBroadcastJoin || op.Join == nil || op.Join.Rows != nil {
+			continue
+		}
+		rows, ok := tables[op.Join.TableHash]
+		if !ok {
+			return nil, fmt.Errorf("broadcast table %#x referenced but never shipped", op.Join.TableHash)
+		}
+		j := *op.Join
+		j.Rows = rows
+		ops[i].Join = &j
+	}
+	return engine.CompileStageAs(st.Fingerprint, st.Schema, ops)
+}
+
+// runTask applies the cached stage pipeline to one columnar partition.
+// fatal=true means the partition payload itself was undecodable and the
+// connection should be dropped (retryable corruption); every other
+// failure is reported as a deterministic task error.
+func (s *ExecutorServer) runTask(stages map[uint64]*engine.StagePipeline, stageErrs map[uint64]error, task *taskMsg) (resultMsg, bool) {
+	pipe, ok := stages[task.Stage]
+	if !ok {
+		if err := stageErrs[task.Stage]; err != nil {
+			return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()}, false
+		}
+		return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: fmt.Sprintf("unknown stage %#x (driver sent task before stage)", task.Stage)}, false
+	}
+	rows, err := colcodec.Decode(pipe.InputSchema(), task.Data)
 	if err != nil {
-		return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()}
+		return resultMsg{}, true
+	}
+	out, err := pipe.Apply(rows)
+	if err != nil {
+		return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()}, false
+	}
+	// Results mirror the task payload's compression choice.
+	data, err := colcodec.Encode(pipe.OutputSchema(), out, colcodec.Options{Compress: colcodec.IsCompressed(task.Data)})
+	if err != nil {
+		return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()}, false
 	}
 	s.mu.Lock()
 	s.tasksRun++
 	s.mu.Unlock()
-	return resultMsg{ID: task.ID, Epoch: task.Epoch, Schema: pipe.OutputSchema(), Rows: rows}
+	return resultMsg{ID: task.ID, Epoch: task.Epoch, Data: data}, false
 }
 
 // StartLocalCluster spins up n executor servers on loopback ports and

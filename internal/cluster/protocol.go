@@ -3,17 +3,22 @@
 // on 70 servers; we run the same operator plans on N executors reachable
 // over stdlib net, or in-process for tests).
 //
-// The wire protocol is deliberately minimal: a driver opens one or more
-// connections per executor, performs a version handshake, then streams
-// gob-encoded tasks. A task is a partition of rows plus the serializable
-// operator pipeline (engine.OpDesc) to apply — rules ride along as
-// expression text, so executors need no code shipping, mirroring how the
-// paper submits one-time parameterization to its Big Data jobs.
+// The wire protocol (v3) ships each stage once per connection: a
+// stageMsg carries the operator pipeline, the input schema, and any
+// broadcast-join tables (keyed by content hash, columnar-encoded), and
+// executors cache the compiled pipeline by stage fingerprint. Tasks
+// then shrink to {id, epoch, stage fingerprint, columnar partition} —
+// bytes on the wire scale with partition data, not with stage size, the
+// same economics Spark gets from broadcast variables and per-stage
+// closures. Rules still ride along as expression text, so executors
+// need no code shipping, mirroring how the paper submits one-time
+// parameterization to its Big Data jobs.
 package cluster
 
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
@@ -22,8 +27,12 @@ import (
 )
 
 // protocolVersion guards against driver/executor skew. Version 2 added
-// the task epoch (speculative re-execution, duplicate-result discard).
-const protocolVersion = 2
+// the task epoch (speculative re-execution, duplicate-result discard);
+// version 3 added stage-once shipping (stageMsg, content-hashed
+// broadcast tables, executor-side pipeline caching) and the columnar
+// partition codec (internal/colcodec), making v2 and v3 mutually
+// unintelligible past the handshake — hence the version bump.
+const protocolVersion = 3
 
 // magic identifies the protocol on connect.
 const magic = "IVNT"
@@ -41,38 +50,110 @@ type helloAck struct {
 	Capacity int
 }
 
-// taskMsg carries one partition and the stage pipeline to apply to it.
-// Epoch distinguishes re-dispatches of the same task (retries and
-// speculative copies); executors echo it so the driver can discard
-// stale or desynchronized results.
-type taskMsg struct {
-	ID     uint64
-	Epoch  uint64
-	Schema relation.Schema
-	Rows   []relation.Row
-	Ops    []engine.OpDesc
+// Frame kinds. Every driver→executor message after the handshake is a
+// frameHdr followed by the payload it announces, so the executor knows
+// whether to expect a stage shipment or a task.
+const (
+	frameStage uint8 = 1
+	frameTask  uint8 = 2
+)
+
+type frameHdr struct {
+	Kind uint8
 }
 
-// resultMsg returns the transformed partition (or a task error).
-type resultMsg struct {
-	ID     uint64
-	Epoch  uint64
+// tableMsg is one broadcast-join table, shipped at most once per
+// connection and cached by content hash on the executor. Rows are
+// columnar-encoded against Schema.
+type tableMsg struct {
+	Hash   uint64
 	Schema relation.Schema
-	Rows   []relation.Row
+	Data   []byte
+}
+
+// stageMsg ships one stage: the operator pipeline (broadcast tables
+// stripped and replaced by JoinSpec.TableHash references), the input
+// schema, and whichever referenced tables this connection has not seen
+// yet. The fingerprint is the content hash of the complete stage
+// (schema + ops + table contents), so executor caches can never serve
+// a stale entry: a different stage is a different fingerprint.
+type stageMsg struct {
+	Fingerprint uint64
+	Schema      relation.Schema
+	Ops         []engine.OpDesc
+	Tables      []tableMsg
+}
+
+// taskMsg carries one partition, columnar-encoded against the stage's
+// input schema, plus the fingerprint of the (already shipped) stage to
+// apply. Epoch distinguishes re-dispatches of the same task (retries
+// and speculative copies); executors echo it so the driver can discard
+// stale or desynchronized results.
+type taskMsg struct {
+	ID    uint64
+	Epoch uint64
+	Stage uint64
+	Data  []byte
+}
+
+// resultMsg returns the transformed partition, columnar-encoded against
+// the stage's output schema (which the driver computed before shipping
+// anything), or a task error.
+type resultMsg struct {
+	ID    uint64
+	Epoch uint64
+	Data  []byte
 	// Err is a non-retryable task failure (e.g. a malformed rule); the
 	// driver aborts the stage rather than re-running elsewhere.
 	Err string
 }
 
-// conn wraps a net.Conn with gob codecs and deadlines.
+// countingRW wraps the raw connection and counts bytes in both
+// directions, so the driver can report exact bytes-on-wire per stage.
+// Each conn is driven by a single goroutine, so plain int64s suffice.
+type countingRW struct {
+	rw      io.ReadWriter
+	read    int64
+	written int64
+}
+
+func (c *countingRW) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	c.read += int64(n)
+	return n, err
+}
+
+func (c *countingRW) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	c.written += int64(n)
+	return n, err
+}
+
+// conn wraps a net.Conn with gob codecs, byte counters and per-
+// connection v3 shipping state: which stages and broadcast tables the
+// remote end has already received on this connection. A reconnect
+// builds a fresh conn, so the driver naturally re-ships the stage to a
+// restarted executor.
 type conn struct {
-	raw net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+	raw   net.Conn
+	count *countingRW
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+
+	sentStages map[uint64]bool
+	sentTables map[uint64]bool
 }
 
 func newConn(raw net.Conn) *conn {
-	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+	c := &countingRW{rw: raw}
+	return &conn{
+		raw:        raw,
+		count:      c,
+		enc:        gob.NewEncoder(c),
+		dec:        gob.NewDecoder(c),
+		sentStages: map[uint64]bool{},
+		sentTables: map[uint64]bool{},
+	}
 }
 
 func (c *conn) close() { _ = c.raw.Close() }

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"sync"
+
+	"ivnt/internal/relation"
+)
+
+// pipelineCacheCap bounds the process-wide compiled-pipeline cache. A
+// stage entry can be heavy (it holds the built broadcast hash table),
+// so the cache keeps only the most recently used stages; 32 covers
+// every concurrent workload in the repo with room to spare.
+const pipelineCacheCap = 32
+
+// pipelineCache is an LRU of compiled stage pipelines keyed by stage
+// fingerprint. Pipelines are immutable and safe for concurrent Apply,
+// so one compilation — including the broadcast-join hash map build —
+// serves every partition, every repeated RunStage of the same plan, and
+// (on cluster executors) every driver connection.
+type pipelineCache struct {
+	mu      sync.Mutex
+	entries map[uint64]*pipelineEntry
+	tick    uint64
+}
+
+type pipelineEntry struct {
+	pipe     *StagePipeline
+	lastUsed uint64
+}
+
+var sharedPipelines = &pipelineCache{entries: make(map[uint64]*pipelineEntry)}
+
+func (c *pipelineCache) get(fp uint64) *StagePipeline {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	if !ok {
+		return nil
+	}
+	c.tick++
+	e.lastUsed = c.tick
+	return e.pipe
+}
+
+func (c *pipelineCache) put(fp uint64, p *StagePipeline) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	c.entries[fp] = &pipelineEntry{pipe: p, lastUsed: c.tick}
+	for len(c.entries) > pipelineCacheCap {
+		var oldest uint64
+		var oldestUse uint64 = ^uint64(0)
+		for k, e := range c.entries {
+			if e.lastUsed < oldestUse {
+				oldest, oldestUse = k, e.lastUsed
+			}
+		}
+		delete(c.entries, oldest)
+	}
+}
+
+// CompileStage returns a compiled pipeline for (in, ops), reusing a
+// cached compilation when an identical stage (by content fingerprint)
+// was compiled before. It returns the fingerprint alongside, which
+// callers use as the stage's wire identity.
+func CompileStage(in relation.Schema, ops []OpDesc) (*StagePipeline, uint64, error) {
+	fp := StageFingerprint(in, ops)
+	if p := sharedPipelines.get(fp); p != nil {
+		return p, fp, nil
+	}
+	p, err := NewStagePipeline(in, ops)
+	if err != nil {
+		return nil, fp, err
+	}
+	sharedPipelines.put(fp, p)
+	return p, fp, nil
+}
+
+// CompileStageAs is CompileStage for callers that already know the
+// stage's fingerprint (cluster executors receive it from the driver and
+// must key their cache by the driver's value, not a recomputed one).
+func CompileStageAs(fp uint64, in relation.Schema, ops []OpDesc) (*StagePipeline, error) {
+	if p := sharedPipelines.get(fp); p != nil {
+		return p, nil
+	}
+	p, err := NewStagePipeline(in, ops)
+	if err != nil {
+		return nil, err
+	}
+	sharedPipelines.put(fp, p)
+	return p, nil
+}

@@ -27,6 +27,17 @@ type Stats struct {
 	Reconnects   int
 	Speculative  int
 	DeadlineHits int
+	// Wire counters (populated by the cluster driver, protocol v3):
+	// BytesSent/BytesRecv are bytes written to / read from executor
+	// connections (handshakes, stage shipments, tasks, results);
+	// StagesShipped counts stageMsg sends (once per stage per
+	// connection, plus re-sends after reconnects); EncodeWall and
+	// DecodeWall accumulate driver-side columnar codec time.
+	BytesSent     int64
+	BytesRecv     int64
+	StagesShipped int
+	EncodeWall    time.Duration
+	DecodeWall    time.Duration
 }
 
 // Add accumulates another stage's stats.
@@ -40,6 +51,11 @@ func (s *Stats) Add(o Stats) {
 	s.Reconnects += o.Reconnects
 	s.Speculative += o.Speculative
 	s.DeadlineHits += o.DeadlineHits
+	s.BytesSent += o.BytesSent
+	s.BytesRecv += o.BytesRecv
+	s.StagesShipped += o.StagesShipped
+	s.EncodeWall += o.EncodeWall
+	s.DecodeWall += o.DecodeWall
 }
 
 // Executor runs a stage — a narrow-operator pipeline over every
@@ -77,7 +93,10 @@ func (l *Local) workers() int {
 // RunStage implements Executor.
 func (l *Local) RunStage(ctx context.Context, rel *relation.Relation, ops []OpDesc) (*relation.Relation, Stats, error) {
 	start := time.Now()
-	pipe, err := NewStagePipeline(rel.Schema, ops)
+	// The cached-compile path: repeated stages (per-journey extraction
+	// loops, retried plans) compile — and build their broadcast hash
+	// tables — once per distinct stage, not once per RunStage call.
+	pipe, _, err := CompileStage(rel.Schema, ops)
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ivnt/internal/relation"
+)
+
+// BenchmarkBroadcastJoinStage measures the full broadcast-join +
+// rule-eval + project stage on the local executor — the per-partition
+// work a cluster task performs, and the stage the wire benchmark ships.
+func BenchmarkBroadcastJoinStage(b *testing.B) {
+	const nRows, nParts, nTable = 20000, 16, 256
+	streamSchema := relation.NewSchema(
+		relation.Column{Name: "t", Kind: relation.KindFloat},
+		relation.Column{Name: "mid", Kind: relation.KindInt},
+		relation.Column{Name: "x", Kind: relation.KindInt},
+	)
+	rows := make([]relation.Row, nRows)
+	for i := range rows {
+		rows[i] = relation.Row{
+			relation.Float(float64(i) * 0.01),
+			relation.Int(int64(i % nTable)),
+			relation.Int(int64(i % 4096)),
+		}
+	}
+	rel := relation.FromRows(streamSchema, rows).Repartition(nParts)
+
+	tableSchema := relation.NewSchema(
+		relation.Column{Name: "mid", Kind: relation.KindInt},
+		relation.Column{Name: "rule", Kind: relation.KindString},
+	)
+	trows := make([]relation.Row, nTable)
+	for i := range trows {
+		trows[i] = relation.Row{
+			relation.Int(int64(i)),
+			relation.Str(fmt.Sprintf("x * %d + %d", i%13+1, i%29)),
+		}
+	}
+	small := relation.FromRows(tableSchema, trows)
+	ops := []OpDesc{
+		BroadcastJoin(small, []string{"mid"}, []string{"mid"}),
+		EvalRule("v", relation.KindInt, "rule"),
+		Project("t", "mid", "v"),
+	}
+	exec := NewLocal(0)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exec.RunStage(ctx, rel, ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(nRows*b.N)/b.Elapsed().Seconds(), "rows/s")
+}

@@ -87,6 +87,12 @@ type JoinSpec struct {
 	Rows      []relation.Row
 	LeftKeys  []string
 	RightKeys []string
+	// TableHash is the content fingerprint of (Schema, Rows), set by
+	// the cluster driver when it ships the stage with the table rows
+	// stripped (protocol v3 sends each broadcast table once per
+	// connection, keyed by this hash). The engine itself never reads
+	// it; Rows must be materialized before NewStagePipeline runs.
+	TableHash uint64
 }
 
 // OpDesc is one serializable operator. Only the fields relevant to Kind
@@ -239,34 +245,73 @@ func opSchema(in relation.Schema, op OpDesc) (relation.Schema, error) {
 	}
 }
 
-// ruleCache caches compiled per-row rules by (source, schema fingerprint)
-// so that OpEvalRule compiles each distinct rule text once per stage
-// rather than once per row.
+// ruleShardCount shards the rule cache by source-text hash. Every
+// worker goroutine of a stage hits the cache once per row, and after
+// warm-up virtually every hit is a read, so shards use RWMutexes: the
+// hot path is a shared read lock on 1/16th of the keyspace instead of
+// the single global mutex that serialized all workers (see
+// BenchmarkEvalRuleParallel).
+const ruleShardCount = 16
+
+// ruleCache caches compiled per-row rules by source text so that
+// OpEvalRule compiles each distinct rule once per stage rather than
+// once per row. A compilation error is cached too — interpretation
+// aborts on the first bad rule, but speculative copies of the same
+// task must not pay repeated compile attempts.
 type ruleCache struct {
-	mu     sync.Mutex
 	schema relation.Schema
-	progs  map[string]*expr.Program
-	errs   map[string]error
+	shards [ruleShardCount]ruleShard
+}
+
+type ruleShard struct {
+	mu    sync.RWMutex
+	progs map[string]*expr.Program
+	errs  map[string]error
 }
 
 func newRuleCache(s relation.Schema) *ruleCache {
-	return &ruleCache{schema: s, progs: map[string]*expr.Program{}, errs: map[string]error{}}
+	c := &ruleCache{schema: s}
+	for i := range c.shards {
+		c.shards[i].progs = map[string]*expr.Program{}
+		c.shards[i].errs = map[string]error{}
+	}
+	return c
+}
+
+// ruleShardFor hashes the rule source (FNV-1a) onto a shard.
+func (c *ruleCache) shardFor(src string) *ruleShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(src); i++ {
+		h = (h ^ uint64(src[i])) * 1099511628211
+	}
+	return &c.shards[h%ruleShardCount]
 }
 
 func (c *ruleCache) get(src string) (*expr.Program, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if p, ok := c.progs[src]; ok {
+	sh := c.shardFor(src)
+	sh.mu.RLock()
+	p, okP := sh.progs[src]
+	err, okE := sh.errs[src]
+	sh.mu.RUnlock()
+	if okP {
 		return p, nil
 	}
-	if err, ok := c.errs[src]; ok {
+	if okE {
 		return nil, err
 	}
-	p, err := expr.Compile(src, c.schema)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p, ok := sh.progs[src]; ok {
+		return p, nil
+	}
+	if err, ok := sh.errs[src]; ok {
+		return nil, err
+	}
+	p, err = expr.Compile(src, c.schema)
 	if err != nil {
-		c.errs[src] = err
+		sh.errs[src] = err
 		return nil, err
 	}
-	c.progs[src] = p
+	sh.progs[src] = p
 	return p, nil
 }

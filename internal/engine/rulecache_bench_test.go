@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"ivnt/internal/relation"
+)
+
+// ruleBenchSchema is the shape of a joined interpretation stream: a
+// payload column and a per-row rule column.
+func ruleBenchSchema() relation.Schema {
+	return relation.NewSchema(
+		relation.Column{Name: "x", Kind: relation.KindInt},
+		relation.Column{Name: "rule", Kind: relation.KindString},
+	)
+}
+
+// BenchmarkRuleCacheParallel hammers the compiled-rule cache from all
+// procs with a warm working set — the exact access pattern of
+// OpEvalRule worker goroutines after the first few rows of a stage.
+// Before the cache was sharded with read-mostly locking, every lookup
+// took one global mutex and the workers serialized here.
+func BenchmarkRuleCacheParallel(b *testing.B) {
+	c := newRuleCache(ruleBenchSchema())
+	srcs := make([]string, 64)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("x * %d + %d", i+1, i)
+		if _, err := c.get(srcs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			src := srcs[int(n.Add(1))%len(srcs)]
+			if _, err := c.get(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEvalRuleParallel runs a whole OpEvalRule stage on the local
+// executor with GOMAXPROCS workers — the end-to-end view of rule-cache
+// contention (u₂ interpretation: every row evaluates the rule text it
+// carries).
+func BenchmarkEvalRuleParallel(b *testing.B) {
+	const rowsPerPart, parts = 2000, 16
+	rows := make([]relation.Row, rowsPerPart*parts)
+	for i := range rows {
+		rows[i] = relation.Row{
+			relation.Int(int64(i)),
+			relation.Str(fmt.Sprintf("x * %d + 1", i%32+1)),
+		}
+	}
+	rel := relation.FromRows(ruleBenchSchema(), rows).Repartition(parts)
+	ops := []OpDesc{EvalRule("v", relation.KindInt, "rule")}
+	exec := NewLocal(0)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exec.RunStage(ctx, rel, ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -76,7 +76,10 @@ func (r *Relation) Repartition(n int) *Relation {
 		if hi > len(rows) {
 			hi = len(rows)
 		}
-		parts[i] = rows[lo:hi]
+		// Full-slice expression: partitions share one backing array, so
+		// each slice's capacity must stop at its own end — otherwise an
+		// Append to partition i would clobber partition i+1's first row.
+		parts[i] = rows[lo:hi:hi]
 	}
 	return &Relation{Schema: r.Schema, Partitions: parts}
 }

@@ -207,3 +207,29 @@ func TestRowHashSubset(t *testing.T) {
 		t.Fatal("full hash should differ")
 	}
 }
+
+// TestRepartitionAppendDoesNotAliasNeighbor is the regression test for
+// the sub-slice aliasing bug: Repartition's partitions are windows into
+// one backing array, so without full-slice expressions an Append to
+// partition i (within spare capacity) would overwrite the first row of
+// partition i+1.
+func TestRepartitionAppendDoesNotAliasNeighbor(t *testing.T) {
+	r := FromRows(testSchema(), testRows(12)).Repartition(3)
+	if len(r.Partitions) != 3 {
+		t.Fatalf("partitions = %d", len(r.Partitions))
+	}
+	// Remember partition 1's first row, then append to partition 0.
+	wantFirst := r.Partitions[1][0].Clone()
+	r.Partitions[0] = append(r.Partitions[0], Row{Int(999), Str("x"), Float(0)})
+	if got := r.Partitions[1][0]; !got.Equal(wantFirst) {
+		t.Fatalf("append to partition 0 clobbered partition 1: got %v, want %v", got, wantFirst)
+	}
+	// Same must hold for the relation-level Append, which targets the
+	// last partition — growing it must not write past its own window.
+	r2 := FromRows(testSchema(), testRows(12)).Repartition(4)
+	mid := r2.Partitions[2][0].Clone()
+	r2.Partitions[1] = append(r2.Partitions[1], Row{Int(-1), Str("y"), Float(1)})
+	if got := r2.Partitions[2][0]; !got.Equal(mid) {
+		t.Fatalf("append to partition 1 clobbered partition 2: got %v, want %v", got, mid)
+	}
+}
