@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench
+.PHONY: all build test race vet check bench difftest fuzz-smoke
 
 all: check
 
@@ -10,15 +10,38 @@ build:
 test:
 	$(GO) test ./...
 
-# The cluster scheduler is the concurrency-heavy core (reconnecting
-# slots, speculation, graceful drain); always race-check it.
+# Race-check the full module: the cluster scheduler is the
+# concurrency-heavy core, but the local executor, rule cache and
+# pipeline caches are shared-state too.
 race:
-	$(GO) test -race ./internal/cluster/...
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
+# check is the pre-merge gate: nothing lands unless the module builds,
+# vets, tests and race-tests clean (see docs/TESTING.md).
 check: build vet test race
+
+# Differential correctness run: DIFFTEST_N seeded workloads, each
+# executed on the oracle, the local executor and a real TCP cluster,
+# plus the five metamorphic invariants (partition count, row order,
+# compression, kill+restart, speculation). Reproduce a reported seed
+# with: go test ./internal/difftest/ -run Differential -difftest.seed=<seed> -v
+DIFFTEST_N ?= 25
+difftest:
+	$(GO) test ./internal/difftest/ -run Differential -v -difftest.n=$(DIFFTEST_N)
+
+# Short fuzz pass over every fuzz target, seeded from the checked-in
+# corpora under */testdata/fuzz/.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/colcodec/ -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/colcodec/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/expr/ -run '^$$' -fuzz '^FuzzParseAndEval$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/protocol/dbc/ -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 
 # Codec, join-stage and cluster micro-benchmarks, then the wire
 # experiment (protocol v3 vs simulated v2 bytes per task), which writes

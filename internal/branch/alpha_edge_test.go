@@ -1,0 +1,144 @@
+package branch
+
+import (
+	"strings"
+	"testing"
+
+	"ivnt/internal/classify"
+	"ivnt/internal/relation"
+)
+
+// TestAlphaEdgeCases drives the α path (outlier split → smooth → SWAB →
+// SAX) through its degenerate inputs as a table: a series that is
+// constant once outliers are removed (the std==0 "(level,steady)"
+// path), a series shorter than the SWAB working buffer, and a
+// perfectly linear ramp that must symbolize as a single increasing
+// segment.
+func TestAlphaEdgeCases(t *testing.T) {
+	// constant-after-outliers: 60 samples of 50.0 with three huge
+	// spikes. Four distinct values keep the signal classified numeric/α
+	// (more than two uniques), Hampel removes the spikes, and the
+	// remainder z-normalizes to std==0.
+	constWithSpikes := make([]relation.Value, 60)
+	for i := range constWithSpikes {
+		constWithSpikes[i] = relation.Float(50)
+	}
+	constWithSpikes[10] = relation.Float(800)
+	constWithSpikes[30] = relation.Float(900)
+	constWithSpikes[50] = relation.Float(1000)
+
+	// short-series: 8 points, far below the default 50-point SWAB
+	// buffer — everything is emitted by the final flush.
+	short := make([]relation.Value, 8)
+	for i := range short {
+		short[i] = relation.Float(float64(i * i))
+	}
+
+	// linear ramp: a pure line (short enough for one SWAB flush) must
+	// come out as one "(…,increasing)" segment — the single-segment
+	// SAX output.
+	ramp := make([]relation.Value, 40)
+	for i := range ramp {
+		ramp[i] = relation.Float(float64(i))
+	}
+
+	cases := []struct {
+		name         string
+		vals         []relation.Value
+		wantOutliers int
+		wantSegments int // <0: any count ≥ 1
+		wantContains []string
+		wantAbsent   []string
+	}{
+		{
+			name:         "constant-after-outlier-split",
+			vals:         constWithSpikes,
+			wantOutliers: 3,
+			wantSegments: 1,
+			wantContains: []string{",steady)", "outlier v=800", "outlier v=900", "outlier v=1000"},
+			wantAbsent:   []string{"increasing", "decreasing"},
+		},
+		{
+			name:         "shorter-than-swab-buffer",
+			vals:         short,
+			wantOutliers: 0,
+			wantSegments: -1,
+		},
+		{
+			name:         "linear-ramp-single-segment",
+			vals:         ramp,
+			wantOutliers: 0,
+			wantSegments: 1,
+			wantContains: []string{",increasing)"},
+			wantAbsent:   []string{"steady", "outlier"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Process("s", seqOf(0.05, tc.vals...), nil, cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Branch != classify.Alpha {
+				t.Fatalf("classified (%s, %s), want α", res.DataType, res.Branch)
+			}
+			if res.Outliers != tc.wantOutliers {
+				t.Fatalf("outliers = %d, want %d", res.Outliers, tc.wantOutliers)
+			}
+			if tc.wantSegments >= 0 && res.Segments != tc.wantSegments {
+				t.Fatalf("segments = %d, want %d", res.Segments, tc.wantSegments)
+			}
+			if tc.wantSegments < 0 && res.Segments < 1 {
+				t.Fatalf("segments = %d, want ≥ 1", res.Segments)
+			}
+			if got := res.Rel.NumRows(); got != res.Segments+res.Outliers {
+				t.Fatalf("output rows = %d, want segments+outliers = %d", got, res.Segments+res.Outliers)
+			}
+			var all []string
+			vIdx := res.Rel.Schema.Index("v")
+			for _, r := range res.Rel.Rows() {
+				all = append(all, r[vIdx].AsString())
+			}
+			joined := strings.Join(all, "\n")
+			for _, want := range tc.wantContains {
+				if !strings.Contains(joined, want) {
+					t.Errorf("output lacks %q:\n%s", want, joined)
+				}
+			}
+			for _, nope := range tc.wantAbsent {
+				if strings.Contains(joined, nope) {
+					t.Errorf("output unexpectedly contains %q:\n%s", nope, joined)
+				}
+			}
+		})
+	}
+}
+
+// TestAlphaNaNValues feeds a sequence whose numeric cells are NaN mixed
+// with normal values. NaN is not representable in trace data the
+// pipeline generates, but a defensive guarantee matters: Process must
+// not panic and must still produce a well-formed relation.
+func TestAlphaNaNValues(t *testing.T) {
+	nan := relation.Float(nan64())
+	vals := []relation.Value{
+		relation.Float(1), nan, relation.Float(3), nan, relation.Float(5),
+		relation.Float(7), relation.Float(9), relation.Float(11),
+	}
+	res, err := Process("s", seqOf(0.05, vals...), nil, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel == nil {
+		t.Fatal("nil output relation")
+	}
+	for _, r := range res.Rel.Rows() {
+		if len(r) != res.Rel.Schema.Len() {
+			t.Fatalf("malformed row %v", r)
+		}
+	}
+}
+
+func nan64() float64 {
+	var zero float64
+	return zero / zero // avoids importing math just for NaN
+}

@@ -1,0 +1,195 @@
+package difftest
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// exprType is the value class a generated expression must produce.
+// Numeric expressions are only ever built over numeric-safe columns,
+// so their values stay Int/Float/Null — never a string whose AsFloat
+// would be NaN (NaN has no consistent ordering and would poison the
+// canonical comparator).
+type exprType int
+
+const (
+	tNum exprType = iota
+	tBool
+	tStr
+)
+
+type exprOpts struct {
+	// window permits lag/gap/delta. Emitting one marks the workload
+	// partition- and order-sensitive.
+	window bool
+	// noStr forbids string literals: rule bodies are embedded inside a
+	// quoted literal of the enclosing expression, so they cannot
+	// themselves contain quotes.
+	noStr bool
+}
+
+func (g *gen) colsWhere(pred func(name string) bool) []string {
+	var out []string
+	for _, n := range g.cur.Names() {
+		if pred(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (g *gen) numericCols() []string {
+	return g.colsWhere(func(n string) bool { return g.meta[n].numericSafe })
+}
+
+func (g *gen) kindCols(k ...string) []string {
+	want := map[string]bool{}
+	for _, s := range k {
+		want[s] = true
+	}
+	return g.colsWhere(func(n string) bool {
+		return want[g.cur.Cols[g.cur.Index(n)].Kind.String()]
+	})
+}
+
+func (g *gen) pick(names []string) string { return names[g.rng.Intn(len(names))] }
+
+func (g *gen) numLit() string {
+	if g.rng.Intn(2) == 0 {
+		return strconv.Itoa(g.rng.Intn(201) - 100)
+	}
+	// Sixteenths: exactly representable, so cross-partitioning float
+	// drift stays pure re-association error.
+	return strconv.FormatFloat(float64(g.rng.Intn(3201)-1600)/16, 'g', -1, 64)
+}
+
+func (g *gen) strLit() string {
+	w := wordPool[g.rng.Intn(len(wordPool))]
+	n := g.rng.Intn(len(w) + 1)
+	return strconv.Quote(w[:n])
+}
+
+// genExpr produces a random expression of the requested type with at
+// most `depth` levels of nesting. All emitted constructs are
+// deterministic and row-local (except the explicitly tracked window
+// functions) and never yield NaN or Inf on generated data.
+func (g *gen) genExpr(t exprType, depth int, o exprOpts) string {
+	switch t {
+	case tNum:
+		return g.genNum(depth, o)
+	case tStr:
+		return g.genStr(depth, o)
+	default:
+		return g.genBool(depth, o)
+	}
+}
+
+func (g *gen) genNum(depth int, o exprOpts) string {
+	nums := g.numericCols()
+	if depth <= 0 || g.rng.Float64() < 0.25 {
+		if len(nums) > 0 && g.rng.Float64() < 0.7 {
+			return g.pick(nums)
+		}
+		return g.numLit()
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1, 2:
+		ops := []string{"+", "-", "*"}
+		return fmt.Sprintf("(%s %s %s)", g.genNum(depth-1, o), ops[g.rng.Intn(3)], g.genNum(depth-1, o))
+	case 3:
+		return fmt.Sprintf("(%s / %s)", g.genNum(depth-1, o), g.genNum(depth-1, o))
+	case 4:
+		return fmt.Sprintf("(%s %% %s)", g.genNum(depth-1, o), g.genNum(depth-1, o))
+	case 5:
+		return fmt.Sprintf("abs(%s)", g.genNum(depth-1, o))
+	case 6:
+		fn := []string{"min", "max"}[g.rng.Intn(2)]
+		return fmt.Sprintf("%s(%s, %s)", fn, g.genNum(depth-1, o), g.genNum(depth-1, o))
+	case 7:
+		return fmt.Sprintf("iff(%s, %s, %s)", g.genBool(depth-1, o), g.genNum(depth-1, o), g.genNum(depth-1, o))
+	case 8:
+		if len(nums) > 0 {
+			return fmt.Sprintf("coalesce(%s, %s)", g.pick(nums), g.genNum(depth-1, o))
+		}
+		return g.numLit()
+	default:
+		if o.window && len(nums) > 0 {
+			g.usedWindow = true
+			col := g.pick(nums)
+			switch g.rng.Intn(3) {
+			case 0:
+				return fmt.Sprintf("lag(%s, %d)", col, 1+g.rng.Intn(2))
+			case 1:
+				return fmt.Sprintf("gap(%s)", col)
+			default:
+				return fmt.Sprintf("delta(%s)", col)
+			}
+		}
+		return fmt.Sprintf("-(%s)", g.genNum(depth-1, o))
+	}
+}
+
+func (g *gen) genBool(depth int, o exprOpts) string {
+	bools := g.kindCols("bool")
+	if depth <= 0 || g.rng.Float64() < 0.2 {
+		if len(bools) > 0 && g.rng.Float64() < 0.6 {
+			return g.pick(bools)
+		}
+		return []string{"true", "false"}[g.rng.Intn(2)]
+	}
+	switch g.rng.Intn(8) {
+	case 0, 1:
+		rel := []string{"<", "<=", ">", ">="}[g.rng.Intn(4)]
+		return fmt.Sprintf("(%s %s %s)", g.genNum(depth-1, o), rel, g.genNum(depth-1, o))
+	case 2:
+		eq := []string{"==", "!="}[g.rng.Intn(2)]
+		if o.noStr || g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("(%s %s %s)", g.genNum(depth-1, o), eq, g.genNum(depth-1, o))
+		}
+		return fmt.Sprintf("(%s %s %s)", g.genStr(depth-1, o), eq, g.genStr(depth-1, o))
+	case 3:
+		op := []string{"&&", "||"}[g.rng.Intn(2)]
+		return fmt.Sprintf("(%s %s %s)", g.genBool(depth-1, o), op, g.genBool(depth-1, o))
+	case 4:
+		return fmt.Sprintf("!(%s)", g.genBool(depth-1, o))
+	case 5:
+		return fmt.Sprintf("isnull(%s)", g.pick(g.cur.Names()))
+	case 6:
+		if !o.noStr {
+			fn := []string{"contains", "startswith", "endswith"}[g.rng.Intn(3)]
+			return fmt.Sprintf("%s(%s, %s)", fn, g.genStr(depth-1, o), g.strLit())
+		}
+		return fmt.Sprintf("(%s > %s)", g.genNum(depth-1, o), g.genNum(depth-1, o))
+	default:
+		return fmt.Sprintf("iff(%s, %s, %s)", g.genBool(depth-1, o), g.genBool(depth-1, o), g.genBool(depth-1, o))
+	}
+}
+
+func (g *gen) genStr(depth int, o exprOpts) string {
+	strs := g.kindCols("string")
+	terminal := func() string {
+		if len(strs) > 0 && g.rng.Float64() < 0.6 {
+			return g.pick(strs)
+		}
+		if o.noStr {
+			return fmt.Sprintf("str(%s)", g.numLit())
+		}
+		return g.strLit()
+	}
+	if depth <= 0 || g.rng.Float64() < 0.3 {
+		return terminal()
+	}
+	switch g.rng.Intn(5) {
+	case 0:
+		fn := []string{"lower", "upper"}[g.rng.Intn(2)]
+		return fmt.Sprintf("%s(%s)", fn, g.genStr(depth-1, o))
+	case 1:
+		return fmt.Sprintf("(%s + %s)", g.genStr(depth-1, o), g.genStr(depth-1, o))
+	case 2:
+		return fmt.Sprintf("str(%s)", g.genNum(depth-1, o))
+	case 3:
+		return fmt.Sprintf("iff(%s, %s, %s)", g.genBool(depth-1, o), g.genStr(depth-1, o), g.genStr(depth-1, o))
+	default:
+		return terminal()
+	}
+}

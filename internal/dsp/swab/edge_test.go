@@ -1,0 +1,95 @@
+package swab
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSegmentizeEdgeCases drives the segmenter through the degenerate
+// series the α branch can legitimately produce after outlier removal
+// and smoothing: empty, single-point, constant, shorter than the SWAB
+// buffer, and NaN-contaminated input. The invariant in every case:
+// no panic, and the returned segments tile [0, len) contiguously.
+func TestSegmentizeEdgeCases(t *testing.T) {
+	mk := func(vals ...float64) (ts, xs []float64) {
+		ts = make([]float64, len(vals))
+		for i := range vals {
+			ts[i] = float64(i)
+		}
+		return ts, vals
+	}
+	cases := []struct {
+		name string
+		xs   []float64
+		opts Options
+		// wantSegs < 0 means "any count"; coverage is always checked.
+		wantSegs  int
+		flatSlope bool
+	}{
+		{name: "empty", xs: nil, wantSegs: 0},
+		{name: "single-point", xs: []float64{3.5}, wantSegs: 1, flatSlope: true},
+		{name: "two-points", xs: []float64{1, 2}, wantSegs: -1},
+		{name: "constant", xs: []float64{7, 7, 7, 7, 7, 7, 7, 7, 7, 7}, wantSegs: 1, flatSlope: true},
+		{
+			name: "shorter-than-buffer",
+			xs:   []float64{1, 5, 2},
+			opts: Options{BufferSize: 50},
+			// Three points cannot fill the 50-point working buffer; the
+			// final flush must still emit them.
+			wantSegs: -1,
+		},
+		{name: "nan-values", xs: []float64{1, math.NaN(), 3, math.NaN(), 5}, wantSegs: -1},
+		{name: "all-nan", xs: []float64{math.NaN(), math.NaN(), math.NaN()}, wantSegs: -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, xs := mk(tc.xs...)
+			segs := Segmentize(ts, xs, tc.opts)
+			if tc.wantSegs >= 0 && len(segs) != tc.wantSegs {
+				t.Fatalf("segments = %d, want %d", len(segs), tc.wantSegs)
+			}
+			// Segments must tile the series exactly.
+			next := 0
+			for i, s := range segs {
+				if s.Start != next || s.End <= s.Start || s.End > len(xs) {
+					t.Fatalf("segment %d = [%d,%d) breaks coverage at %d", i, s.Start, s.End, next)
+				}
+				next = s.End
+			}
+			if next != len(xs) {
+				t.Fatalf("segments cover [0,%d), series has %d points", next, len(xs))
+			}
+			if tc.flatSlope {
+				for i, s := range segs {
+					if s.Slope != 0 {
+						t.Fatalf("segment %d slope = %v, want 0", i, s.Slope)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBottomUpShorterThanWindow pins the pre-SWAB primitive on inputs
+// smaller than any merge window: it must return one fine-grained
+// segment per point pair (or fewer after merging), never panic.
+func TestBottomUpShorterThanWindow(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		ts := make([]float64, n)
+		xs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ts[i], xs[i] = float64(i), float64(i*i)
+		}
+		segs := BottomUp(ts, xs, 0.5)
+		next := 0
+		for _, s := range segs {
+			if s.Start != next {
+				t.Fatalf("n=%d: coverage gap at %d", n, next)
+			}
+			next = s.End
+		}
+		if next != n {
+			t.Fatalf("n=%d: covered [0,%d)", n, next)
+		}
+	}
+}

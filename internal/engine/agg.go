@@ -300,11 +300,14 @@ func AggregateDistributed(ctx context.Context, exec Executor, rel *relation.Rela
 	if err != nil {
 		return nil, err
 	}
-	return mergePartials(partials, groupBy, aggs)
+	return MergePartials(partials, groupBy, aggs)
 }
 
-// mergePartials combines partial-aggregate rows into final results.
-func mergePartials(partials *relation.Relation, groupBy []string, aggs []AggSpec) (*relation.Relation, error) {
+// MergePartials combines partial-aggregate rows (the output of an
+// OpPartialAgg stage, any partitioning) into final results. Exported so
+// the differential harness can reduce partition-dependent partials to a
+// partition-independent relation before comparing executors.
+func MergePartials(partials *relation.Relation, groupBy []string, aggs []AggSpec) (*relation.Relation, error) {
 	s := partials.Schema
 	keyIdx := make([]int, len(groupBy))
 	for i, g := range groupBy {

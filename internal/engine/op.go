@@ -55,6 +55,14 @@ const (
 	// the partials. AggFirst/AggLast are order-dependent and therefore
 	// not distributable.
 	OpPartialAgg
+
+	// NumOpKinds is the number of operator kinds; it must stay
+	// immediately after the last kind so iota counts it. The
+	// differential-testing oracle (internal/oracle) pins itself to this
+	// value with a compile-time assertion: adding a kind here without a
+	// reference implementation there fails the build (see
+	// docs/TESTING.md).
+	NumOpKinds = int(iota)
 )
 
 // String returns the operator name.

@@ -1,0 +1,134 @@
+package oracle
+
+import (
+	"testing"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+)
+
+// The oracle is exercised exhaustively against the real executors by
+// internal/difftest; these tests pin a few hand-checkable results so a
+// bug cannot hide as "oracle and engine are wrong the same way".
+
+func testSchema() relation.Schema {
+	return relation.NewSchema(
+		relation.Column{Name: "k", Kind: relation.KindString},
+		relation.Column{Name: "v", Kind: relation.KindInt},
+	)
+}
+
+func testRows() []relation.Row {
+	return []relation.Row{
+		{relation.Str("a"), relation.Int(1)},
+		{relation.Str("b"), relation.Int(2)},
+		{relation.Str("a"), relation.Int(3)},
+		{relation.Str("b"), relation.Null()},
+	}
+}
+
+func TestRunPipelineFilterAddColumn(t *testing.T) {
+	ops := []engine.OpDesc{
+		engine.Filter(`v >= 2`),
+		engine.AddColumn("twice", relation.KindInt, `v * 2`),
+	}
+	s, rows, err := RunPipeline(testSchema(), testRows(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("schema = %v, want 3 columns", s)
+	}
+	// v >= 2 drops (a,1) and the null row (null comparison is not true).
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	ti := s.Index("twice")
+	if got := rows[0][ti].AsInt(); got != 4 {
+		t.Fatalf("twice[0] = %d, want 4", got)
+	}
+	if got := rows[1][ti].AsInt(); got != 6 {
+		t.Fatalf("twice[1] = %d, want 6", got)
+	}
+}
+
+func TestPartialAggThenFinalAggregate(t *testing.T) {
+	aggs := []engine.AggSpec{
+		{Fn: engine.AggCount, As: "n"},
+		{Fn: engine.AggSum, Col: "v", As: "total"},
+	}
+	op := engine.PartialAgg([]string{"k"}, aggs)
+
+	// Partial-aggregate the two halves separately and merge with the
+	// engine's driver-side merge; the result must match the oracle's
+	// single-pass FinalAggregate over the unpartitioned rows.
+	all := testRows()
+	s1, r1, err := ApplyOp(testSchema(), all[:2], op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2, err := ApplyOp(testSchema(), all[2:], op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials := relation.FromRows(s1, append(r1, r2...))
+	merged, err := engine.MergePartials(partials, []string{"k"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := FinalAggregate(testSchema(), all, []string{"k"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// count counts rows (including the null v); sum skips the null.
+	want := map[string][2]float64{"a": {2, 4}, "b": {2, 2}}
+	for _, rel := range []*relation.Relation{merged, final} {
+		if rel.NumRows() != 2 {
+			t.Fatalf("groups = %d, want 2", rel.NumRows())
+		}
+		ki := rel.Schema.Index("k")
+		ni := rel.Schema.Index("n")
+		ti := rel.Schema.Index("total")
+		seen := map[string]bool{}
+		for _, r := range rel.Rows() {
+			k := r[ki].AsString()
+			w, ok := want[k]
+			if !ok || seen[k] {
+				t.Fatalf("unexpected group %q", k)
+			}
+			seen[k] = true
+			if got := float64(r[ni].AsInt()); got != w[0] {
+				t.Errorf("group %q: n = %v, want %v", k, got, w[0])
+			}
+			if got := r[ti].AsFloat(); got != w[1] {
+				t.Errorf("group %q: total = %v, want %v", k, got, w[1])
+			}
+		}
+		if len(seen) != len(want) {
+			t.Fatalf("saw groups %v, want %d groups", seen, len(want))
+		}
+	}
+}
+
+func TestDedupConsecutive(t *testing.T) {
+	rows := []relation.Row{
+		{relation.Str("a"), relation.Int(1)},
+		{relation.Str("a"), relation.Int(1)},
+		{relation.Str("a"), relation.Int(2)},
+		{relation.Str("a"), relation.Int(2)},
+		{relation.Str("a"), relation.Int(1)},
+	}
+	_, got, err := ApplyOp(testSchema(), rows, engine.DedupConsecutive("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive dedup keeps the first of each run: 1, 2, 1.
+	if len(got) != 3 {
+		t.Fatalf("rows = %d, want 3", len(got))
+	}
+	for i, want := range []int64{1, 2, 1} {
+		if v := got[i][1].AsInt(); v != want {
+			t.Fatalf("row %d: v = %d, want %d", i, v, want)
+		}
+	}
+}
