@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench difftest fuzz-smoke
+.PHONY: all build test race vet vet-metrics check bench difftest fuzz-smoke
 
 all: check
 
@@ -19,9 +19,14 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Metric-catalogue gate: every engine.OpKind must have a registered
+# engine_op_seconds{op=...} latency series (see docs/OBSERVABILITY.md).
+vet-metrics:
+	$(GO) run ./cmd/vetmetrics
+
 # check is the pre-merge gate: nothing lands unless the module builds,
 # vets, tests and race-tests clean (see docs/TESTING.md).
-check: build vet test race
+check: build vet vet-metrics test race
 
 # Differential correctness run: DIFFTEST_N seeded workloads, each
 # executed on the oracle, the local executor and a real TCP cluster,
@@ -42,6 +47,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/protocol/dbc/ -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz '^FuzzPromWriter$$' -fuzztime $(FUZZTIME)
 
 # Codec, join-stage and cluster micro-benchmarks, then the wire
 # experiment (protocol v3 vs simulated v2 bytes per task), which writes

@@ -20,6 +20,7 @@ import (
 	"ivnt/internal/bench"
 	"ivnt/internal/cluster"
 	"ivnt/internal/engine"
+	"ivnt/internal/telemetry"
 )
 
 func main() {
@@ -35,9 +36,32 @@ func main() {
 		specFactor  = flag.Float64("speculation", 0, "cluster: straggler speculation factor k (0 = driver default, negative disables)")
 		wireRows    = flag.Int("wire-rows", 0, "wire: rows in the streamed relation (0 = default)")
 		wireOut     = flag.String("wire-out", "", "wire: also write results as JSON to this file (e.g. BENCH_engine.json)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON (load in Perfetto) of cluster task spans to this file")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /tasks, /trace and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	ctx := context.Background()
+
+	var tracer *telemetry.Tracer
+	if *traceOut != "" || *debugAddr != "" {
+		tracer = telemetry.NewTracer()
+	}
+	tasks := telemetry.NewTaskTable()
+	dbg, err := telemetry.StartDebugServer(*debugAddr, telemetry.NewDebugMux(telemetry.Default(), tracer, tasks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dbg != nil {
+		defer dbg.Close()
+		log.Printf("debug server on http://%s", dbg.Addr())
+	}
+	if *traceOut != "" {
+		defer func() {
+			if err := writeTrace(*traceOut, tracer); err != nil {
+				log.Printf("trace-out: %v", err)
+			}
+		}()
+	}
 
 	run := func(name string) {
 		switch name {
@@ -68,6 +92,8 @@ func main() {
 					SlotsPerExecutor:  2,
 					TaskTimeout:       *taskTimeout,
 					SpeculationFactor: *specFactor,
+					Tracer:            tracer,
+					Tasks:             tasks,
 				}
 			} else {
 				opts.Exec = engine.NewLocal(*workers)
@@ -97,7 +123,7 @@ func main() {
 			}
 			fmt.Print(bench.FormatReduction(rows))
 		case "wire":
-			if err := runWire(ctx, *wireRows, *wireOut); err != nil {
+			if err := runWire(ctx, *wireRows, *wireOut, tracer, tasks); err != nil {
 				log.Fatal(err)
 			}
 		case "storage":
@@ -126,11 +152,11 @@ func main() {
 // runWire measures protocol-v3 bytes per task against the simulated v2
 // baseline, with compression off and on, and optionally writes the
 // results (plus raw codec timings) as JSON.
-func runWire(ctx context.Context, rows int, outPath string) error {
+func runWire(ctx context.Context, rows int, outPath string, tracer *telemetry.Tracer, tasks *telemetry.TaskTable) error {
 	var results []*bench.WireResult
 	var codec []*bench.WireCodecResult
 	for _, compress := range []bool{false, true} {
-		opts := bench.WireOptions{Rows: rows, Compress: compress}
+		opts := bench.WireOptions{Rows: rows, Compress: compress, Tracer: tracer, Tasks: tasks}
 		r, err := bench.Wire(ctx, opts)
 		if err != nil {
 			return err
@@ -161,5 +187,24 @@ func runWire(ctx context.Context, rows int, outPath string) error {
 		return err
 	}
 	fmt.Printf("(wrote %s)\n", outPath)
+	return nil
+}
+
+// writeTrace exports every span recorded this run as a Chrome
+// trace_event document, ready to load in Perfetto / chrome://tracing.
+func writeTrace(path string, tracer *telemetry.Tracer) error {
+	spans := tracer.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d spans)", path, len(spans))
 	return nil
 }

@@ -19,17 +19,28 @@ import (
 	"time"
 
 	"ivnt/internal/cluster"
+	"ivnt/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("executor: ")
 	var (
-		listen   = flag.String("listen", ":7077", "TCP listen address")
-		capacity = flag.Int("capacity", 5, "advertised concurrent task capacity")
-		grace    = flag.Duration("grace", 30*time.Second, "drain window for in-flight tasks on shutdown")
+		listen    = flag.String("listen", ":7077", "TCP listen address")
+		capacity  = flag.Int("capacity", 5, "advertised concurrent task capacity")
+		grace     = flag.Duration("grace", 30*time.Second, "drain window for in-flight tasks on shutdown")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6061)")
 	)
 	flag.Parse()
+
+	dbg, err := telemetry.StartDebugServer(*debugAddr, telemetry.NewDebugMux(telemetry.Default(), nil, nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dbg != nil {
+		defer dbg.Close()
+		log.Printf("debug server on http://%s", dbg.Addr())
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -19,29 +19,39 @@ import (
 	"ivnt/internal/mining/motif"
 	"ivnt/internal/mining/transition"
 	"ivnt/internal/store"
+	"ivnt/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mine: ")
 	var (
-		storeDir = flag.String("store", "", "result-store directory; required")
-		domain   = flag.String("domain", "", "stored domain name; required (list with -domain '')")
-		app      = flag.String("app", "rules", "application: rules, graph, anomaly or motif")
-		signal   = flag.String("signal", "", "motif: which stored signal sequence to mine")
-		motifLen = flag.Int("motif-len", 3, "motif: pattern length")
-		minSup   = flag.Float64("minsup", 0.1, "rules: minimum support")
-		minConf  = flag.Float64("minconf", 0.8, "rules: minimum confidence")
-		maxItems = flag.Int("maxitems", 3, "rules: maximum item-set size")
-		top      = flag.Int("top", 10, "rules/anomaly: how many results to print")
-		rareN    = flag.Int("rare-count", 1, "graph: rare transition max count")
-		rareP    = flag.Float64("rare-prob", 0.5, "graph: rare transition max probability")
-		dotOut   = flag.String("dot", "", "graph: write Graphviz DOT to this file")
+		storeDir  = flag.String("store", "", "result-store directory; required")
+		domain    = flag.String("domain", "", "stored domain name; required (list with -domain '')")
+		app       = flag.String("app", "rules", "application: rules, graph, anomaly or motif")
+		signal    = flag.String("signal", "", "motif: which stored signal sequence to mine")
+		motifLen  = flag.Int("motif-len", 3, "motif: pattern length")
+		minSup    = flag.Float64("minsup", 0.1, "rules: minimum support")
+		minConf   = flag.Float64("minconf", 0.8, "rules: minimum confidence")
+		maxItems  = flag.Int("maxitems", 3, "rules: maximum item-set size")
+		top       = flag.Int("top", 10, "rules/anomaly: how many results to print")
+		rareN     = flag.Int("rare-count", 1, "graph: rare transition max count")
+		rareP     = flag.Float64("rare-prob", 0.5, "graph: rare transition max probability")
+		dotOut    = flag.String("dot", "", "graph: write Graphviz DOT to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6062)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	dbg, err := telemetry.StartDebugServer(*debugAddr, telemetry.NewDebugMux(telemetry.Default(), nil, nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dbg != nil {
+		defer dbg.Close()
+		log.Printf("debug server on http://%s", dbg.Addr())
 	}
 	db, err := store.Open(*storeDir)
 	if err != nil {

@@ -1,0 +1,23 @@
+// Command vetmetrics is the `make vet-metrics` gate: it fails the
+// build when an engine.OpKind exists without a registered per-kind
+// latency series in the telemetry registry — i.e. when someone adds an
+// operator but forgets its String() name or its metrics wiring. The
+// check runs against the same init()-time registration the production
+// binaries use, so passing here means every /metrics scrape carries
+// the full engine_op_seconds catalogue.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ivnt/internal/engine"
+)
+
+func main() {
+	if err := engine.VerifyOpMetrics(); err != nil {
+		fmt.Fprintf(os.Stderr, "vet-metrics: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("vet-metrics: ok (%d op kinds, each with a registered engine_op_seconds series)\n", engine.NumOpKinds)
+}

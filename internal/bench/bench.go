@@ -28,6 +28,7 @@ import (
 	"ivnt/internal/inhouse"
 	"ivnt/internal/interp"
 	"ivnt/internal/rules"
+	"ivnt/internal/telemetry"
 	"ivnt/internal/trace"
 )
 
@@ -228,7 +229,9 @@ func slope(pts [][2]float64) float64 {
 
 // Table6Row is one row of the paper's Table 6, plus the cluster
 // driver's fault-tolerance counters for the proposed side (all zero on
-// the local executor or a healthy cluster).
+// the local executor or a healthy cluster) and per-task latency
+// quantiles estimated from the telemetry task_seconds histogram delta
+// across this row's extractions.
 type Table6Row struct {
 	Journeys      int
 	TraceRows     int
@@ -241,6 +244,9 @@ type Table6Row struct {
 	Reconnects    int
 	Speculative   int
 	DeadlineHits  int
+	TaskP50Sec    float64
+	TaskP95Sec    float64
+	TaskP99Sec    float64
 }
 
 // Table6Options tune the comparison.
@@ -327,6 +333,7 @@ func Table6(ctx context.Context, opts Table6Options) ([]Table6Row, error) {
 			// The paper measures "interpretation followed by writing
 			// the results" for the proposed side (Sec. 5.1) — lines
 			// 3–6, not reduction — against the baseline's ingest.
+			taskHistBefore := telemetry.Default().HistogramData("task_seconds")
 			start := time.Now()
 			extracted := 0
 			var faults engine.Stats
@@ -340,6 +347,7 @@ func Table6(ctx context.Context, opts Table6Options) ([]Table6Row, error) {
 				faults.Add(exStats)
 			}
 			proposedSec := time.Since(start).Seconds()
+			taskHist := telemetry.Default().HistogramData("task_seconds").Sub(taskHistBefore)
 			row := Table6Row{
 				Journeys:      journeys,
 				TraceRows:     traceRows,
@@ -351,6 +359,9 @@ func Table6(ctx context.Context, opts Table6Options) ([]Table6Row, error) {
 				Reconnects:    faults.Reconnects,
 				Speculative:   faults.Speculative,
 				DeadlineHits:  faults.DeadlineHits,
+				TaskP50Sec:    taskHist.Quantile(0.5),
+				TaskP95Sec:    taskHist.Quantile(0.95),
+				TaskP99Sec:    taskHist.Quantile(0.99),
 			}
 			if proposedSec > 0 {
 				row.Speedup = inhouseSec / proposedSec
@@ -366,13 +377,15 @@ func FormatTable6(rows []Table6Row, opts Table6Options) string {
 	opts = opts.withDefaults()
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 6: signal extraction times (scale %g of paper rows; paper: 0.481e9 rows/journey)\n", opts.Scale)
-	fmt.Fprintf(&b, "%9s %12s %15s %10s %14s %14s %8s\n",
-		"journeys", "trace rows", "extracted rows", "# signals", "proposed [s]", "in-house [s]", "speedup")
+	fmt.Fprintf(&b, "%9s %12s %15s %10s %14s %14s %8s %9s %9s %9s\n",
+		"journeys", "trace rows", "extracted rows", "# signals", "proposed [s]", "in-house [s]", "speedup",
+		"p50[ms]", "p95[ms]", "p99[ms]")
 	var retries, reconnects, speculative, deadlineHits int
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%9d %12d %15d %10d %14.3f %14.3f %8.2f\n",
+		fmt.Fprintf(&b, "%9d %12d %15d %10d %14.3f %14.3f %8.2f %9.2f %9.2f %9.2f\n",
 			r.Journeys, r.TraceRows, r.ExtractedRows, r.Signals,
-			r.ProposedSec, r.InhouseSec, r.Speedup)
+			r.ProposedSec, r.InhouseSec, r.Speedup,
+			r.TaskP50Sec*1e3, r.TaskP95Sec*1e3, r.TaskP99Sec*1e3)
 		retries += r.Retries
 		reconnects += r.Reconnects
 		speculative += r.Speculative

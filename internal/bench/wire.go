@@ -12,6 +12,7 @@ import (
 	"ivnt/internal/colcodec"
 	"ivnt/internal/engine"
 	"ivnt/internal/relation"
+	"ivnt/internal/telemetry"
 )
 
 // WireOptions tune the wire-protocol experiment.
@@ -26,6 +27,10 @@ type WireOptions struct {
 	Executors, Slots int
 	// Compress turns on DEFLATE for v3 partition payloads.
 	Compress bool
+	// Tracer/Tasks, when set, are handed to the cluster driver so the
+	// run produces a task-level trace and a live /tasks view.
+	Tracer *telemetry.Tracer
+	Tasks  *telemetry.TaskTable
 }
 
 func (o WireOptions) withDefaults() WireOptions {
@@ -71,6 +76,10 @@ type WireResult struct {
 
 	// Driver-side codec cost, per input row.
 	EncodeNsPerRow, DecodeNsPerRow float64
+
+	// Task latency quantiles (seconds) from the telemetry task_seconds
+	// histogram delta across this run.
+	TaskP50Sec, TaskP95Sec, TaskP99Sec float64
 
 	WallSec float64
 }
@@ -153,13 +162,17 @@ func Wire(ctx context.Context, opts WireOptions) (*WireResult, error) {
 		Addrs:            addrs,
 		SlotsPerExecutor: opts.Slots,
 		Compress:         opts.Compress,
+		Tracer:           opts.Tracer,
+		Tasks:            opts.Tasks,
 	}
+	taskHistBefore := telemetry.Default().HistogramData("task_seconds")
 	start := time.Now()
 	out, st, err := drv.RunStage(ctx, rel, ops)
 	if err != nil {
 		return nil, err
 	}
 	wall := time.Since(start)
+	taskHist := telemetry.Default().HistogramData("task_seconds").Sub(taskHistBefore)
 
 	res := &WireResult{
 		Rows:          rel.NumRows(),
@@ -169,6 +182,9 @@ func Wire(ctx context.Context, opts WireOptions) (*WireResult, error) {
 		V3BytesSent:   st.BytesSent,
 		V3BytesRecv:   st.BytesRecv,
 		StagesShipped: st.StagesShipped,
+		TaskP50Sec:    taskHist.Quantile(0.5),
+		TaskP95Sec:    taskHist.Quantile(0.95),
+		TaskP99Sec:    taskHist.Quantile(0.99),
 		WallSec:       wall.Seconds(),
 	}
 	if st.Tasks > 0 {
@@ -254,12 +270,14 @@ func WireCodec(opts WireOptions) (*WireCodecResult, error) {
 func FormatWire(results []*WireResult) string {
 	var b strings.Builder
 	b.WriteString("Wire: protocol v3 (stage-once + columnar) vs simulated v2 (per-task gob), broadcast-join stage\n")
-	fmt.Fprintf(&b, "%9s %6s %9s %14s %14s %10s %8s %12s %12s\n",
-		"compress", "tasks", "stages", "v2 B/task", "v3 B/task", "reduction", "wall[s]", "enc ns/row", "dec ns/row")
+	fmt.Fprintf(&b, "%9s %6s %9s %14s %14s %10s %8s %12s %12s %9s %9s %9s\n",
+		"compress", "tasks", "stages", "v2 B/task", "v3 B/task", "reduction", "wall[s]", "enc ns/row", "dec ns/row",
+		"p50[ms]", "p95[ms]", "p99[ms]")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%9v %6d %9d %14.0f %14.0f %9.2fx %8.3f %12.1f %12.1f\n",
+		fmt.Fprintf(&b, "%9v %6d %9d %14.0f %14.0f %9.2fx %8.3f %12.1f %12.1f %9.2f %9.2f %9.2f\n",
 			r.Compress, r.Tasks, r.StagesShipped, r.V2BytesPerTask, r.V3BytesPerTask,
-			r.Reduction, r.WallSec, r.EncodeNsPerRow, r.DecodeNsPerRow)
+			r.Reduction, r.WallSec, r.EncodeNsPerRow, r.DecodeNsPerRow,
+			r.TaskP50Sec*1e3, r.TaskP95Sec*1e3, r.TaskP99Sec*1e3)
 	}
 	return b.String()
 }

@@ -8,11 +8,13 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ivnt/internal/colcodec"
 	"ivnt/internal/engine"
 	"ivnt/internal/relation"
+	"ivnt/internal/telemetry"
 )
 
 // Driver distributes engine stages across remote executors. It
@@ -73,6 +75,30 @@ type Driver struct {
 	// on loopback. Executors auto-detect the flag per payload and
 	// mirror it on results.
 	Compress bool
+	// Tracer, when set, records one span per stage plus one child span
+	// per task, with lifecycle events (queued, shipped, decoded,
+	// executed, merged) and fault events (task_retry, reconnect,
+	// speculation, deadline_hit). Nil disables tracing; every span
+	// operation on nil is a no-op.
+	Tracer *telemetry.Tracer
+	// Tasks, when set, mirrors per-task scheduling state into a live
+	// table — what the /tasks introspection endpoint serves. Nil
+	// disables it.
+	Tasks *telemetry.TaskTable
+
+	// live points at the stats collector of the most recent RunStage so
+	// introspection can snapshot counters while a stage is running.
+	live atomic.Pointer[engine.StatsCollector]
+}
+
+// LiveStats returns a point-in-time snapshot of the most recent
+// stage's counters — safe to call concurrently with RunStage. Zero
+// before the first stage starts.
+func (d *Driver) LiveStats() engine.Stats {
+	if c := d.live.Load(); c != nil {
+		return c.Snapshot()
+	}
+	return engine.Stats{}
 }
 
 // Name implements engine.Executor.
@@ -223,18 +249,30 @@ type stageRun struct {
 	// speculative copies reuse the bytes instead of re-encoding.
 	encParts [][]byte
 
-	retries       int
-	reconnects    int
-	speculative   int
-	deadlineHits  int
-	bytesSent     int64
-	bytesRecv     int64
-	stagesShipped int
-	encodeWall    time.Duration
-	decodeWall    time.Duration
+	// stats is the single accumulation point for this stage's counters:
+	// slots and the speculation monitor write through its atomics, the
+	// final engine.Stats is its snapshot, and Driver.LiveStats snapshots
+	// it mid-flight. No counter lives behind sr.mu.
+	stats *engine.StatsCollector
+
+	// stageSpan/spans carry the stage's trace; nil when tracing is off
+	// (all span operations on nil are no-ops). tasks mirrors scheduling
+	// state for /tasks; nil-safe the same way.
+	stageSpan *telemetry.Span
+	spans     []*telemetry.Span
+	tasks     *telemetry.TaskTable
 
 	firstErr error
 	cancel   context.CancelFunc
+}
+
+// spanFor returns the trace span of task pi, or nil when tracing is
+// off.
+func (sr *stageRun) spanFor(pi int) *telemetry.Span {
+	if sr.spans == nil {
+		return nil
+	}
+	return sr.spans[pi]
 }
 
 // closeWorkLocked closes the work channel exactly once; callers hold
@@ -262,37 +300,34 @@ func (sr *stageRun) fail(err error) {
 	sr.cancel()
 }
 
-func (sr *stageRun) noteReconnect() {
-	sr.mu.Lock()
-	sr.reconnects++
-	sr.mu.Unlock()
+func (sr *stageRun) noteReconnect(addr string) {
+	sr.stats.Reconnects.Add(1)
+	mReconnects.With(addr).Inc()
+	sr.stageSpan.Event("reconnect", telemetry.A("addr", addr))
 }
 
-func (sr *stageRun) noteDeadline() {
-	sr.mu.Lock()
-	sr.deadlineHits++
-	sr.mu.Unlock()
+func (sr *stageRun) noteDeadline(pi int) {
+	sr.stats.DeadlineHits.Add(1)
+	mDeadlineHits.Inc()
+	sr.spanFor(pi).Event("deadline_hit")
 }
 
 func (sr *stageRun) noteStageShipped() {
-	sr.mu.Lock()
-	sr.stagesShipped++
-	sr.mu.Unlock()
+	sr.stats.StagesShipped.Add(1)
+	mStagesShipped.Inc()
 }
 
 func (sr *stageRun) noteDecode(d time.Duration) {
-	sr.mu.Lock()
-	sr.decodeWall += d
-	sr.mu.Unlock()
+	sr.stats.DecodeNs.Add(int64(d))
 }
 
 // harvestBytes folds a connection's byte counters into the stage
 // totals; called exactly once per connection, when it is closed.
 func (sr *stageRun) harvestBytes(c *conn) {
-	sr.mu.Lock()
-	sr.bytesSent += c.count.written
-	sr.bytesRecv += c.count.read
-	sr.mu.Unlock()
+	sr.stats.BytesSent.Add(c.count.written)
+	sr.stats.BytesRecv.Add(c.count.read)
+	mBytesSent.Add(c.count.written)
+	mBytesRecv.Add(c.count.read)
 }
 
 // encodedPartition returns (caching) the columnar encoding of partition
@@ -309,8 +344,8 @@ func (sr *stageRun) encodedPartition(pi int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	sr.stats.EncodeNs.Add(int64(time.Since(start)))
 	sr.mu.Lock()
-	sr.encodeWall += time.Since(start)
 	if sr.encParts[pi] == nil {
 		sr.encParts[pi] = b
 	} else {
@@ -336,6 +371,7 @@ func (sr *stageRun) dispatch(pi int) (epoch int, ok bool) {
 	}
 	fl.n++
 	sr.inflight[pi] = fl
+	mInflight.Add(1)
 	return sr.epoch[pi], true
 }
 
@@ -359,6 +395,13 @@ func (sr *stageRun) commit(pi int, rows []relation.Row) {
 		sr.closeWorkLocked()
 	}
 	sr.mu.Unlock()
+	if !started.IsZero() {
+		engine.ObserveTask("cluster", time.Since(started))
+	}
+	sp := sr.spanFor(pi)
+	sp.Event("merged")
+	sp.End()
+	sr.tasks.Done(pi)
 	if finished {
 		// Unblock slots whose connections are mid-read (e.g. a stalled
 		// executor that lost the speculation race).
@@ -378,6 +421,7 @@ func (sr *stageRun) dropInflightLocked(pi int) time.Time {
 	} else {
 		sr.inflight[pi] = fl
 	}
+	mInflight.Add(-1)
 	return start
 }
 
@@ -392,7 +436,7 @@ func (sr *stageRun) abandon(pi, maxRetries int, cause error, addr string) {
 		return
 	}
 	sr.attempts[pi]++
-	sr.retries++
+	sr.stats.Retries.Add(1)
 	attempts := sr.attempts[pi]
 	tooMany := attempts > maxRetries
 	if !tooMany {
@@ -401,6 +445,10 @@ func (sr *stageRun) abandon(pi, maxRetries int, cause error, addr string) {
 		}
 	}
 	sr.mu.Unlock()
+	mRetries.Inc()
+	sr.spanFor(pi).Event("task_retry",
+		telemetry.A("attempt", attempts), telemetry.A("addr", addr), telemetry.A("cause", cause.Error()))
+	sr.tasks.Retrying(pi)
 	if tooMany {
 		sr.fail(fmt.Errorf("cluster: partition %d failed %d times (last on %s): %w", pi, attempts, addr, cause))
 	}
@@ -433,14 +481,21 @@ func (sr *stageRun) speculate(ctx context.Context, factor float64, min, interval
 			thr = min
 		}
 		now := time.Now()
+		var launched []int
 		for pi, fl := range sr.inflight {
 			if fl.n == 1 && !sr.done[pi] && sr.specs[pi] < maxPer && now.Sub(fl.start) > thr {
 				sr.specs[pi]++
-				sr.speculative++
+				sr.stats.Speculative.Add(1)
 				sr.work <- pi
+				launched = append(launched, pi)
 			}
 		}
 		sr.mu.Unlock()
+		for _, pi := range launched {
+			mSpeculative.Inc()
+			sr.stageSpan.Event("speculation", telemetry.A("task", pi))
+			sr.tasks.Speculative(pi)
+		}
 	}
 }
 
@@ -517,8 +572,23 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 		specs:    make([]int, nParts),
 		encParts: make([][]byte, nParts),
 		inflight: make(map[int]inflightInfo),
+		stats:    engine.NewStatsCollector(),
+		tasks:    d.Tasks,
 		cancel:   cancel,
 	}
+	d.live.Store(sr.stats)
+	fpHex := fmt.Sprintf("%016x", fp)
+	if d.Tracer.Enabled() {
+		sr.stageSpan = d.Tracer.StartSpan("stage "+fpHex,
+			telemetry.A("partitions", nParts), telemetry.A("executor", d.Name()))
+		sr.spans = make([]*telemetry.Span, nParts)
+		for pi := range sr.spans {
+			sr.spans[pi] = sr.stageSpan.Child(fmt.Sprintf("task %d", pi), telemetry.A("stage", fpHex))
+			sr.spans[pi].Event("queued")
+		}
+	}
+	defer sr.stageSpan.End()
+	d.Tasks.BeginStage(fpHex, d.Name(), nParts)
 	for pi := 0; pi < nParts; pi++ {
 		sr.work <- pi
 	}
@@ -544,18 +614,8 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 
 	sr.mu.Lock()
 	firstErr, pending := sr.firstErr, sr.pending
-	st := engine.Stats{
-		Retries:       sr.retries,
-		Reconnects:    sr.reconnects,
-		Speculative:   sr.speculative,
-		DeadlineHits:  sr.deadlineHits,
-		BytesSent:     sr.bytesSent,
-		BytesRecv:     sr.bytesRecv,
-		StagesShipped: sr.stagesShipped,
-		EncodeWall:    sr.encodeWall,
-		DecodeWall:    sr.decodeWall,
-	}
 	sr.mu.Unlock()
+	st := sr.stats.Snapshot()
 	// A user cancellation must surface as such, not as a transport
 	// failure or an "undeliverable" stage.
 	if ctx.Err() != nil {
@@ -573,6 +633,14 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 	st.Partitions = nParts
 	st.Wall = time.Since(start)
 	st.Tasks = nParts
+	// Fold the driver-computed fields back so LiveStats sees complete
+	// totals after the stage ends.
+	sr.stats.RowsIn.Store(int64(st.RowsIn))
+	sr.stats.RowsOut.Store(int64(st.RowsOut))
+	sr.stats.Partitions.Store(int64(st.Partitions))
+	sr.stats.WallNs.Store(int64(st.Wall))
+	sr.stats.Tasks.Store(int64(st.Tasks))
+	engine.ObserveStage("cluster", st)
 	return out, st, nil
 }
 
@@ -638,7 +706,7 @@ func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 			// in a read (stalled executor, stage already complete) wakes.
 			stopWatch = context.AfterFunc(ctx, func() { nc.close() })
 			if dialed || fails > 0 {
-				sr.noteReconnect()
+				sr.noteReconnect(addr)
 			}
 			dialed = true
 		}
@@ -656,6 +724,8 @@ func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 		if !ok {
 			continue
 		}
+		sr.spanFor(pi).Event("shipped", telemetry.A("addr", addr), telemetry.A("epoch", ep))
+		sr.tasks.Running(pi, addr, ep)
 		err := d.sendTask(c, sr, pi, ep)
 		if err == nil {
 			fails = 0
@@ -666,7 +736,7 @@ func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 			return
 		}
 		if isTimeout(err) {
-			sr.noteDeadline()
+			sr.noteDeadline(pi)
 		}
 		sr.abandon(pi, d.retries(), err, addr)
 		closeConn()
@@ -755,7 +825,7 @@ func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) error {
 		// Encoding is driver-local and deterministic: abort, don't retry.
 		return &taskFailure{taskErr: fmt.Errorf("cluster: task %d: encode partition: %w", pi, err)}
 	}
-	task := taskMsg{ID: uint64(pi), Epoch: uint64(epoch), Stage: sr.fp, Data: data}
+	task := taskMsg{ID: uint64(pi), Epoch: uint64(epoch), Stage: sr.fp, Span: sr.spanFor(pi).ID(), Data: data}
 	if err := c.enc.Encode(frameHdr{Kind: frameTask}); err != nil {
 		return &taskFailure{ioErr: err}
 	}
@@ -779,7 +849,18 @@ func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) error {
 		// wire corruption: retryable, like any broken frame.
 		return &taskFailure{ioErr: fmt.Errorf("cluster: task %d: decode result: %w", pi, err)}
 	}
-	sr.noteDecode(time.Since(dstart))
+	driverDecode := time.Since(dstart)
+	sr.noteDecode(driverDecode)
+	if sp := sr.spanFor(pi); sp != nil {
+		// The executor's timing breakdown (echoed in the result) places
+		// remote work on the driver's trace without clock agreement.
+		sp.Event("decoded",
+			telemetry.A("remote_decode_us", time.Duration(res.DecodeNs).Microseconds()),
+			telemetry.A("driver_decode_us", driverDecode.Microseconds()))
+		sp.Event("executed",
+			telemetry.A("exec_us", time.Duration(res.ExecNs).Microseconds()),
+			telemetry.A("remote_encode_us", time.Duration(res.EncodeNs).Microseconds()))
+	}
 	sr.commit(pi, rows)
 	return nil
 }

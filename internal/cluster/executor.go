@@ -226,6 +226,8 @@ func (s *ExecutorServer) handle(ctx context.Context, c *conn) {
 	defer c.close()
 	s.track(c)
 	defer s.untrack(c)
+	mExecConns.Add(1)
+	defer mExecConns.Add(-1)
 
 	if ht := s.handshakeTimeout(); ht > 0 {
 		_ = c.raw.SetReadDeadline(time.Now().Add(ht))
@@ -278,6 +280,7 @@ func (s *ExecutorServer) handle(ctx context.Context, c *conn) {
 			s.mu.Lock()
 			s.stagesRecv++
 			s.mu.Unlock()
+			mExecStages.Inc()
 			pipe, err := s.registerStage(&st, tables)
 			if err != nil {
 				// A stage that fails to materialize or compile is
@@ -353,27 +356,37 @@ func (s *ExecutorServer) runTask(stages map[uint64]*engine.StagePipeline, stageE
 	pipe, ok := stages[task.Stage]
 	if !ok {
 		if err := stageErrs[task.Stage]; err != nil {
-			return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()}, false
+			return resultMsg{ID: task.ID, Epoch: task.Epoch, Span: task.Span, Err: err.Error()}, false
 		}
-		return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: fmt.Sprintf("unknown stage %#x (driver sent task before stage)", task.Stage)}, false
+		return resultMsg{ID: task.ID, Epoch: task.Epoch, Span: task.Span, Err: fmt.Sprintf("unknown stage %#x (driver sent task before stage)", task.Stage)}, false
 	}
+	t0 := time.Now()
 	rows, err := colcodec.Decode(pipe.InputSchema(), task.Data)
 	if err != nil {
 		return resultMsg{}, true
 	}
-	out, err := pipe.Apply(rows)
+	decodeNs := time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	out, err := pipe.ApplyInstrumented(rows)
 	if err != nil {
-		return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()}, false
+		return resultMsg{ID: task.ID, Epoch: task.Epoch, Span: task.Span, Err: err.Error()}, false
 	}
+	execNs := time.Since(t1).Nanoseconds()
 	// Results mirror the task payload's compression choice.
+	t2 := time.Now()
 	data, err := colcodec.Encode(pipe.OutputSchema(), out, colcodec.Options{Compress: colcodec.IsCompressed(task.Data)})
 	if err != nil {
-		return resultMsg{ID: task.ID, Epoch: task.Epoch, Err: err.Error()}, false
+		return resultMsg{ID: task.ID, Epoch: task.Epoch, Span: task.Span, Err: err.Error()}, false
 	}
+	encodeNs := time.Since(t2).Nanoseconds()
 	s.mu.Lock()
 	s.tasksRun++
 	s.mu.Unlock()
-	return resultMsg{ID: task.ID, Epoch: task.Epoch, Data: data}, false
+	mExecTasks.Inc()
+	return resultMsg{
+		ID: task.ID, Epoch: task.Epoch, Span: task.Span, Data: data,
+		DecodeNs: decodeNs, ExecNs: execNs, EncodeNs: encodeNs,
+	}, false
 }
 
 // StartLocalCluster spins up n executor servers on loopback ports and

@@ -1,0 +1,35 @@
+package cluster
+
+import "ivnt/internal/telemetry"
+
+// Metric families on the process-wide registry. Driver-side families
+// mirror the fault-tolerance counters in engine.Stats but accumulate
+// across stages for the lifetime of the process — what /metrics
+// scrapes see. Executor-side families describe this process acting as
+// a worker; in-process test clusters feed both sets into the same
+// registry, which is fine: the names do not overlap.
+var (
+	mReconnects = telemetry.Default().CounterVec("cluster_reconnects_total",
+		"Re-established executor connections, by executor address.", "addr")
+	mRetries = telemetry.Default().Counter("cluster_task_retries_total",
+		"Task launches abandoned after a transport failure and requeued.")
+	mSpeculative = telemetry.Default().Counter("cluster_speculative_total",
+		"Speculative (straggler) task launches.")
+	mDeadlineHits = telemetry.Default().Counter("cluster_deadline_hits_total",
+		"Task round trips that exceeded the per-task deadline.")
+	mStagesShipped = telemetry.Default().Counter("cluster_stages_shipped_total",
+		"Stage shipments sent to executors (once per stage per connection).")
+	mBytesSent = telemetry.Default().Counter("cluster_bytes_sent_total",
+		"Bytes written to executor connections.")
+	mBytesRecv = telemetry.Default().Counter("cluster_bytes_recv_total",
+		"Bytes read from executor connections.")
+	mInflight = telemetry.Default().Gauge("cluster_inflight_tasks",
+		"Task launches currently in flight, including speculative copies.")
+
+	mExecTasks = telemetry.Default().Counter("executor_tasks_total",
+		"Tasks completed by this process's executor server.")
+	mExecStages = telemetry.Default().Counter("executor_stages_received_total",
+		"Stage shipments accepted by this process's executor server.")
+	mExecConns = telemetry.Default().Gauge("executor_connections",
+		"Driver connections currently open on this process's executor server.")
+)

@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ivnt/internal/cluster/faultproxy"
+	"ivnt/internal/telemetry"
+)
+
+// TestChaosObservability runs a two-executor stage where one executor's
+// connection is severed mid-result (kill+restart as the network sees
+// it) and asserts the full observability contract: the trace carries
+// reconnect and task_retry events, the Chrome trace_event export is
+// Perfetto-loadable, a /metrics scrape shows cluster_reconnects_total
+// advancing and non-zero latency histograms for every executed op
+// kind, and /tasks reports every task done.
+func TestChaosObservability(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	proxy, err := faultproxy.New(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	plan := faultproxy.Passthrough()
+	plan.SeverAfter = ackLen(t, 1) + 32 // die inside the first result frame
+	plan.Once = true                    // the "restarted" executor behaves
+	proxy.SetPlan(plan)
+
+	reg := telemetry.Default()
+	beforeReconnects := reg.CounterValue("cluster_reconnects_total")
+	beforeRetries := reg.CounterValue("cluster_task_retries_total")
+	beforeTasks := reg.HistogramData("task_seconds")
+	beforeOps := map[string]*telemetry.HistogramData{}
+	for _, op := range []string{"filter", "addcolumn"} {
+		beforeOps[op] = opHistogramData(t, reg, op)
+	}
+
+	tracer := telemetry.NewTracer()
+	table := telemetry.NewTaskTable()
+	// Heavy partitions keep the stage alive well past the severed
+	// slot's reconnect backoff, so the reconnect is observed in-stage.
+	rel := traceRel(60000, 12)
+	drv := &Driver{
+		Addrs:         []string{addrs[0], proxy.Addr()},
+		MaxRetries:    4,
+		ReconnectBase: 5 * time.Millisecond,
+		Tracer:        tracer,
+		Tasks:         table,
+	}
+	got, st, err := drv.RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchLocal(t, ctx, got, rel, stageOps())
+	if st.Reconnects == 0 || st.Retries == 0 {
+		t.Fatalf("chaos run must reconnect and retry, stats = %+v", st)
+	}
+
+	// Span events from the fault paths.
+	spans := tracer.Snapshot()
+	if !telemetry.HasEvent(spans, "reconnect") {
+		t.Fatal("trace missing reconnect event")
+	}
+	if !telemetry.HasEvent(spans, "task_retry") {
+		t.Fatal("trace missing task_retry event")
+	}
+	for _, ev := range []string{"queued", "shipped", "decoded", "executed", "merged"} {
+		if !telemetry.HasEvent(spans, ev) {
+			t.Fatalf("trace missing lifecycle event %q", ev)
+		}
+	}
+
+	// The exported trace must be a Perfetto-loadable trace_event doc.
+	traceFile := filepath.Join(t.TempDir(), "chaos.trace.json")
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(traceFile, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	var sawRetry bool
+	for _, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("trace event %v missing Perfetto field %q", ev, field)
+			}
+		}
+		if ev["name"] == "task_retry" {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatal("exported trace has no task_retry instant event")
+	}
+
+	// Registry counters advanced, and a live /metrics scrape agrees.
+	if d := reg.CounterValue("cluster_reconnects_total") - beforeReconnects; d < 1 {
+		t.Fatalf("cluster_reconnects_total advanced by %d, want >= 1", d)
+	}
+	if d := reg.CounterValue("cluster_task_retries_total") - beforeRetries; d < 1 {
+		t.Fatalf("cluster_task_retries_total advanced by %d, want >= 1", d)
+	}
+	srv, err := telemetry.StartDebugServer("127.0.0.1:0", telemetry.NewDebugMux(reg, tracer, table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := string(body)
+	if !strings.Contains(scrape, "cluster_reconnects_total{") {
+		t.Fatalf("/metrics scrape missing cluster_reconnects_total:\n%.2000s", scrape)
+	}
+	// Every op kind the stage executed must show a non-zero latency
+	// histogram (stage = filter + addcolumn; the executors share this
+	// process's registry).
+	for op, before := range beforeOps {
+		if d := opHistogramData(t, reg, op).Sub(before); d.Count < 1 {
+			t.Fatalf("engine_op_seconds{op=%q} did not advance", op)
+		}
+		if !strings.Contains(scrape, `engine_op_seconds_count{op="`+op+`"}`) {
+			t.Fatalf("/metrics scrape missing engine_op_seconds{op=%q}", op)
+		}
+	}
+	if d := reg.HistogramData("task_seconds").Sub(beforeTasks); d.Count < 12 {
+		t.Fatalf("task_seconds advanced by %d observations, want >= 12", d.Count)
+	}
+
+	// /tasks reports the stage fully drained.
+	resp, err = http.Get("http://" + srv.Addr() + "/tasks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.TasksSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/tasks not JSON: %v\n%s", err, body)
+	}
+	if snap.Pending != 0 || len(snap.Tasks) != 12 {
+		t.Fatalf("/tasks after stage = %+v", snap)
+	}
+	for _, ti := range snap.Tasks {
+		if ti.State != telemetry.TaskDone {
+			t.Fatalf("task %d not done: %+v", ti.ID, ti)
+		}
+	}
+}
+
+// opHistogramData snapshots one op's engine_op_seconds series via the
+// registry's merged family view filtered by label — enough for delta
+// assertions because tests in this package run sequentially.
+func opHistogramData(t *testing.T, reg *telemetry.Registry, op string) *telemetry.HistogramData {
+	t.Helper()
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != "engine_op_seconds" {
+			continue
+		}
+		for _, m := range fam.Metrics {
+			if len(m.LabelValues) == 1 && m.LabelValues[0] == op {
+				return m.Hist
+			}
+		}
+	}
+	t.Fatalf("engine_op_seconds{op=%q} not registered", op)
+	return nil
+}
+
+// TestSpeculationTraceEvents: a stalling executor forces the straggler
+// monitor to fire; the stage span must carry speculation events and
+// the task table must record the speculative launches.
+func TestSpeculationTraceEvents(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	proxy, err := faultproxy.New(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	plan := faultproxy.Passthrough()
+	plan.StallAfter = ackLen(t, 1)
+	proxy.SetPlan(plan)
+
+	tracer := telemetry.NewTracer()
+	table := telemetry.NewTaskTable()
+	rel := traceRel(60000, 12)
+	drv := &Driver{
+		Addrs:               []string{addrs[0], proxy.Addr()},
+		TaskTimeout:         -1, // disabled: only speculation can save the stage
+		SpeculationFactor:   2,
+		SpeculationMin:      20 * time.Millisecond,
+		SpeculationInterval: 5 * time.Millisecond,
+		Tracer:              tracer,
+		Tasks:               table,
+	}
+	got, st, err := drv.RunStage(ctx, rel, stageOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchLocal(t, ctx, got, rel, stageOps())
+	if st.Speculative == 0 {
+		t.Fatalf("expected speculative launches, stats = %+v", st)
+	}
+	spans := tracer.Snapshot()
+	if got := telemetry.CountEvents(spans, "speculation"); got < 1 {
+		t.Fatalf("speculation events = %d, want >= 1 (stats %+v)", got, st)
+	}
+	var specTasks int
+	for _, ti := range table.Snapshot().Tasks {
+		specTasks += ti.Speculative
+	}
+	if specTasks != st.Speculative {
+		t.Fatalf("task table records %d speculative launches, stats say %d", specTasks, st.Speculative)
+	}
+}
+
+// TestLiveStatsRaceSafety runs a cluster stage while hammering every
+// concurrent read surface — LiveStats, the registry snapshot, the
+// Prometheus writer, the tracer, and the task table — from other
+// goroutines. The assertions are light; the point is that `make race`
+// runs this with the race detector on and proves stats accumulation is
+// race-safe by construction.
+func TestLiveStatsRaceSafety(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrs, stop, err := StartLocalCluster(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	tracer := telemetry.NewTracer()
+	table := telemetry.NewTaskTable()
+	drv := &Driver{Addrs: addrs, SlotsPerExecutor: 2, Tracer: tracer, Tasks: table}
+	rel := traceRel(30000, 16)
+
+	stopSnap := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopSnap:
+					return
+				default:
+				}
+				_ = drv.LiveStats()
+				_ = telemetry.Default().WritePrometheus(io.Discard)
+				_ = tracer.Snapshot()
+				_ = table.Snapshot()
+			}
+		}()
+	}
+	got, st, err := drv.RunStage(ctx, rel, stageOps())
+	close(stopSnap)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchLocal(t, ctx, got, rel, stageOps())
+	if live := drv.LiveStats(); live.Tasks != st.Tasks || live.RowsOut != st.RowsOut {
+		t.Fatalf("post-stage LiveStats %+v disagrees with returned stats %+v", live, st)
+	}
+}

@@ -89,10 +89,17 @@ type stageMsg struct {
 // apply. Epoch distinguishes re-dispatches of the same task (retries
 // and speculative copies); executors echo it so the driver can discard
 // stale or desynchronized results.
+//
+// Span is the driver-side trace span ID of this task launch, echoed in
+// the result. It and the result's timing fields are additive within
+// protocol v3: gob zeroes fields a peer does not send and ignores
+// fields it does not know, so v3 binaries with and without them
+// interoperate — no version bump.
 type taskMsg struct {
 	ID    uint64
 	Epoch uint64
 	Stage uint64
+	Span  uint64
 	Data  []byte
 }
 
@@ -102,7 +109,14 @@ type taskMsg struct {
 type resultMsg struct {
 	ID    uint64
 	Epoch uint64
+	Span  uint64
 	Data  []byte
+	// DecodeNs/ExecNs/EncodeNs break down where the executor spent this
+	// task's time (partition decode, pipeline execution, result encode),
+	// so driver-side traces show remote time without clock agreement.
+	DecodeNs int64
+	ExecNs   int64
+	EncodeNs int64
 	// Err is a non-retryable task failure (e.g. a malformed rule); the
 	// driver aborts the stage rather than re-running elsewhere.
 	Err string

@@ -124,7 +124,9 @@ func (l *Local) RunStage(ctx context.Context, rel *relation.Relation, ops []OpDe
 					errs[pi] = cctx.Err()
 					continue
 				}
-				out, err := pipe.Apply(rel.Partitions[pi])
+				t0 := time.Now()
+				out, err := pipe.ApplyInstrumented(rel.Partitions[pi])
+				ObserveTask("local", time.Since(t0))
 				if err != nil {
 					errs[pi] = err
 					cancel()
@@ -153,5 +155,6 @@ func (l *Local) RunStage(ctx context.Context, rel *relation.Relation, ops []OpDe
 		Wall:       time.Since(start),
 		Tasks:      nParts,
 	}
+	ObserveStage("local", st)
 	return out, st, nil
 }

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ivnt/internal/relation"
+	"ivnt/internal/telemetry"
+)
+
+func TestVerifyOpMetrics(t *testing.T) {
+	if err := VerifyOpMetrics(); err != nil {
+		t.Fatalf("VerifyOpMetrics: %v", err)
+	}
+}
+
+func TestOpMetricsPreRegistered(t *testing.T) {
+	// Every op kind must expose a latency series before any stage runs,
+	// so a fresh process's /metrics already shows the full catalogue.
+	var sb strings.Builder
+	if err := telemetry.Default().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for k := 0; k < NumOpKinds; k++ {
+		want := `engine_op_seconds_count{op="` + OpKind(k).String() + `"}`
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestLocalRunStageFeedsRegistry(t *testing.T) {
+	reg := telemetry.Default()
+	beforeTasks := reg.HistogramData("task_seconds")
+	beforeFilter := opHist[OpFilter].Snapshot()
+
+	rel := testRelation(t, 64, 4)
+	ex := NewLocal(2)
+	out, st, err := ex.RunStage(context.Background(), rel, []OpDesc{Filter("mid >= 0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != st.RowsOut {
+		t.Fatalf("rows out mismatch: %d vs %d", out.NumRows(), st.RowsOut)
+	}
+	dTasks := reg.HistogramData("task_seconds").Sub(beforeTasks)
+	if dTasks.Count < 4 {
+		t.Fatalf("task_seconds delta = %d, want >= 4 (one per partition)", dTasks.Count)
+	}
+	dFilter := opHist[OpFilter].Snapshot().Sub(beforeFilter)
+	if dFilter.Count < 4 {
+		t.Fatalf("engine_op_seconds{op=filter} delta = %d, want >= 4", dFilter.Count)
+	}
+}
+
+func testRelation(t *testing.T, rows, parts int) *relation.Relation {
+	t.Helper()
+	sch := relation.Schema{Cols: []relation.Column{
+		{Name: "ts", Kind: relation.KindInt},
+		{Name: "mid", Kind: relation.KindInt},
+	}}
+	rel := &relation.Relation{Schema: sch, Partitions: make([][]relation.Row, parts)}
+	for i := 0; i < rows; i++ {
+		p := i % parts
+		rel.Partitions[p] = append(rel.Partitions[p],
+			relation.Row{relation.Int(int64(i)), relation.Int(int64(i % 7))})
+	}
+	return rel
+}
+
+func TestStatsCollectorSnapshotMatchesAdd(t *testing.T) {
+	samples := []Stats{
+		{RowsIn: 10, RowsOut: 7, Partitions: 2, Wall: 5 * time.Millisecond, Tasks: 2},
+		{RowsIn: 3, RowsOut: 3, Retries: 1, Reconnects: 2, Speculative: 1,
+			DeadlineHits: 1, BytesSent: 100, BytesRecv: 250, StagesShipped: 3,
+			EncodeWall: time.Millisecond, DecodeWall: 2 * time.Millisecond},
+	}
+	var want Stats
+	c := NewStatsCollector()
+	for _, s := range samples {
+		want.Add(s)
+		c.AddStats(s)
+	}
+	if got := c.Snapshot(); got != want {
+		t.Fatalf("collector snapshot diverged from sequential Add:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStatsCollectorConcurrent hammers one collector from many
+// goroutines while snapshotting — the race-safety contract (meaningful
+// under -race; make race runs the full module).
+func TestStatsCollectorConcurrent(t *testing.T) {
+	c := NewStatsCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Tasks.Add(1)
+				c.RowsIn.Add(3)
+				c.WallNs.Add(int64(time.Microsecond))
+				if i%100 == 0 {
+					_ = c.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := c.Snapshot()
+	if got.Tasks != 8*500 || got.RowsIn != 8*500*3 {
+		t.Fatalf("lost updates: %+v", got)
+	}
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteChromeTrace writes spans as Chrome trace_event JSON (the JSON
+// Array Format with a traceEvents wrapper), loadable in Perfetto and
+// chrome://tracing. The output is fully deterministic for a given span
+// set: hand-rolled serialization with fixed field order, timestamps in
+// microseconds relative to the earliest span start, spans as complete
+// ("X") events on tid = span id and events as instant ("i") events on
+// the owning span's tid. Golden-file tested.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	bw := &errWriter{w: w}
+	epoch := traceEpoch(spans)
+	bw.printf("{\"traceEvents\":[")
+	first := true
+	for _, s := range spans {
+		if !first {
+			bw.printf(",")
+		}
+		first = false
+		dur := s.Duration().Microseconds()
+		bw.printf("\n{\"name\":%s,\"cat\":\"span\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d,\"args\":%s}",
+			jsonString(s.Name), rel(epoch, s.Start), dur, s.ID, jsonArgs(s.Attrs, s.Parent))
+		for _, e := range s.Events {
+			bw.printf(",\n{\"name\":%s,\"cat\":\"event\",\"ph\":\"i\",\"ts\":%d,\"s\":\"t\",\"pid\":1,\"tid\":%d,\"args\":%s}",
+				jsonString(e.Name), rel(epoch, e.Time), s.ID, jsonArgs(e.Attrs, 0))
+		}
+	}
+	bw.printf("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.err
+}
+
+func traceEpoch(spans []SpanData) time.Time {
+	var epoch time.Time
+	for _, s := range spans {
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	return epoch
+}
+
+func rel(epoch, t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.Sub(epoch).Microseconds()
+}
+
+// jsonArgs renders attributes as a JSON object in recorded order (maps
+// would randomize it), with the parent span id appended when nonzero.
+func jsonArgs(attrs []Attr, parent uint64) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(jsonString(a.Key))
+		b.WriteByte(':')
+		b.WriteString(jsonString(a.Value))
+	}
+	if parent != 0 {
+		if len(attrs) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "\"parent\":\"%d\"", parent)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return `""`
+	}
+	return string(b)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// WriteTimeline renders spans as a compact fixed-width text timeline
+// for terminals: one line per span (start offset, duration, name,
+// attrs) with its events indented beneath.
+//
+//	+0.000ms    3.1ms  stage a1b2c3 partitions=8
+//	+0.120ms    1.2ms  └ task 0 addr=127.0.0.1:7077
+//	            +0.121ms · shipped
+//	            +0.640ms · task_retry attempt=1
+func WriteTimeline(w io.Writer, spans []SpanData) error {
+	bw := &errWriter{w: w}
+	epoch := traceEpoch(spans)
+	for _, s := range spans {
+		durMs := float64(s.Duration().Microseconds()) / 1000
+		durStr := fmt.Sprintf("%.1fms", durMs)
+		if s.End.IsZero() {
+			durStr = "open"
+		}
+		indent := ""
+		if s.Parent != 0 {
+			indent = "└ "
+		}
+		bw.printf("%+9.3fms %9s  %s%s%s\n",
+			float64(rel(epoch, s.Start))/1000, durStr, indent, s.Name, formatAttrs(s.Attrs))
+		for _, e := range s.Events {
+			bw.printf("            %+9.3fms · %s%s\n",
+				float64(rel(epoch, e.Time))/1000, e.Name, formatAttrs(e.Attrs))
+		}
+	}
+	return bw.err
+}
+
+func formatAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	return b.String()
+}

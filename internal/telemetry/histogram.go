@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets are the default latency buckets in seconds: 25µs up
+// to 10s in a 1–2.5–5 progression. Local partition tasks on bench-sized
+// inputs land in the tens of microseconds; chaos-test cluster tasks
+// with deliberate stalls land in the hundreds of milliseconds — both
+// ends need resolution.
+var DurationBuckets = []float64{
+	25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// SizeBuckets are the default byte-size buckets: 256B to 64MB.
+var SizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20,
+}
+
+// Histogram is a fixed-bucket histogram. Observations are two atomic
+// adds (bucket count, total count) plus a CAS on the float sum — no
+// locks, so hot paths (per-task, per-operator timing) can observe from
+// many goroutines.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; implicit +Inf after the last
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// NewHistogram builds a standalone (unregistered) histogram — tests and
+// ad-hoc aggregation use these.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy of the histogram's state.
+func (h *Histogram) Snapshot() *HistogramData {
+	d := &HistogramData{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		d.Counts[i] = h.counts[i].Load()
+	}
+	d.Count = h.count.Load()
+	d.Sum = math.Float64frombits(h.sumBits.Load())
+	return d
+}
+
+// HistogramData is an immutable histogram snapshot: per-bucket counts
+// (not cumulative; Counts has one more entry than Bounds for the +Inf
+// bucket), total count and sum.
+type HistogramData struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Merge adds o's counts into d. Bucket layouts must match (families
+// share bounds, so merging across label values is always safe).
+func (d *HistogramData) Merge(o *HistogramData) {
+	if o == nil {
+		return
+	}
+	for i := range d.Counts {
+		if i < len(o.Counts) {
+			d.Counts[i] += o.Counts[i]
+		}
+	}
+	d.Count += o.Count
+	d.Sum += o.Sum
+}
+
+// Sub returns d - prev, the observations recorded between two
+// snapshots of the same histogram.
+func (d *HistogramData) Sub(prev *HistogramData) *HistogramData {
+	out := &HistogramData{
+		Bounds: append([]float64(nil), d.Bounds...),
+		Counts: append([]int64(nil), d.Counts...),
+		Count:  d.Count,
+		Sum:    d.Sum,
+	}
+	if prev == nil {
+		return out
+	}
+	for i := range out.Counts {
+		if i < len(prev.Counts) {
+			out.Counts[i] -= prev.Counts[i]
+		}
+	}
+	out.Count -= prev.Count
+	out.Sum -= prev.Sum
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the containing bucket, the standard
+// histogram_quantile estimate. Returns 0 on an empty histogram. Values
+// in the +Inf bucket clamp to the highest finite bound.
+func (d *HistogramData) Quantile(q float64) float64 {
+	if d == nil || d.Count == 0 || len(d.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(d.Count)
+	var cum float64
+	for i, c := range d.Counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			if i >= len(d.Bounds) {
+				return d.Bounds[len(d.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = d.Bounds[i-1]
+			}
+			hi := d.Bounds[i]
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return d.Bounds[len(d.Bounds)-1]
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (d *HistogramData) Mean() float64 {
+	if d == nil || d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}

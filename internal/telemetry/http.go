@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewDebugMux builds the introspection mux served at -debug-addr:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/tasks        JSON snapshot of in-flight task states (tasks may be nil)
+//	/trace        Chrome trace_event JSON of tr's spans so far (tr may be nil)
+//	/timeline     text timeline of tr's spans so far
+//	/debug/pprof  stdlib profiling endpoints
+//
+// Any of reg/tr/tasks may be nil; the corresponding endpoint then
+// serves an empty document rather than 404ing, so scrapers stay happy
+// regardless of which pieces a binary wires up.
+func NewDebugMux(reg *Registry, tr *Tracer, tasks *TaskTable) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ivnt debug endpoints: /metrics /tasks /trace /timeline /debug/pprof/")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/tasks", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tasks.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, tr.Snapshot())
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteTimeline(w, tr.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running introspection HTTP server.
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+	done chan struct{}
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.addr
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests.
+func (d *DebugServer) Close() {
+	if d == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = d.srv.Shutdown(ctx)
+	<-d.done
+}
+
+// StartDebugServer binds addr and serves handler on a background
+// goroutine. An empty addr returns (nil, nil): the feature is opt-in
+// and "off" must be a zero-cost no-op for callers.
+func StartDebugServer(addr string, handler http.Handler) (*DebugServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug server listen %s: %w", addr, err)
+	}
+	d := &DebugServer{
+		srv:  &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second},
+		addr: l.Addr().String(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		_ = d.srv.Serve(l)
+	}()
+	return d, nil
+}

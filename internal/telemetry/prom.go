@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4), hand-rolled: families sorted by name, metrics
+// sorted by label values, histograms expanded into cumulative _bucket
+// series plus _sum and _count. Metric and label names are sanitized and
+// label values escaped, so the output is always parseable no matter
+// what strings were registered (the fuzz target holds the writer to
+// that).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Snapshot() {
+		writeFamily(bw, fam)
+	}
+	return bw.Flush()
+}
+
+func writeFamily(w *bufio.Writer, fam FamilySnapshot) {
+	name := SanitizeMetricName(fam.Name)
+	if fam.Help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(fam.Help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(name)
+	w.WriteByte(' ')
+	w.WriteString(fam.Type)
+	w.WriteByte('\n')
+
+	labels := make([]string, len(fam.Labels))
+	for i, l := range fam.Labels {
+		labels[i] = SanitizeLabelName(l)
+	}
+	for _, m := range fam.Metrics {
+		switch fam.Type {
+		case TypeHistogram:
+			writeHistogram(w, name, labels, m)
+		default:
+			writeSample(w, name, labels, m.LabelValues, "", "", formatValue(m.Value))
+		}
+	}
+}
+
+func writeHistogram(w *bufio.Writer, name string, labels []string, m MetricSnapshot) {
+	d := m.Hist
+	if d == nil {
+		return
+	}
+	var cum int64
+	for i, c := range d.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(d.Bounds) {
+			le = formatValue(d.Bounds[i])
+		}
+		writeSample(w, name+"_bucket", labels, m.LabelValues, "le", le, strconv.FormatInt(cum, 10))
+	}
+	writeSample(w, name+"_sum", labels, m.LabelValues, "", "", formatValue(d.Sum))
+	writeSample(w, name+"_count", labels, m.LabelValues, "", "", strconv.FormatInt(d.Count, 10))
+}
+
+// writeSample emits one exposition line; extraK/extraV append a
+// synthetic label (the histogram "le").
+func writeSample(w *bufio.Writer, name string, labels, values []string, extraK, extraV, val string) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraK != "" {
+		w.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(l)
+			w.WriteString(`="`)
+			v := ""
+			if i < len(values) {
+				v = values[i]
+			}
+			w.WriteString(escapeLabelValue(v))
+			w.WriteByte('"')
+		}
+		if extraK != "" {
+			if !first {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraK)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabelValue(extraV))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(val)
+	w.WriteByte('\n')
+}
+
+// formatValue renders a float the way Prometheus expects: integral
+// values without exponent noise, specials as +Inf/-Inf/NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SanitizeMetricName maps an arbitrary string onto the legal metric
+// name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*. Illegal runes become '_'; an
+// empty or digit-leading name gains a '_' prefix.
+func SanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			if c >= '0' && c <= '9' { // digit at position 0
+				b.WriteByte('_')
+				b.WriteByte(c)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// SanitizeLabelName is SanitizeMetricName without ':' (illegal in label
+// names).
+func SanitizeLabelName(s string) string {
+	return strings.ReplaceAll(SanitizeMetricName(s), ":", "_")
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Task lifecycle states as reported by /tasks. A task moves
+// queued → running → done, detouring through retrying when a transport
+// failure requeues it; "speculative" counts extra in-flight copies.
+const (
+	TaskQueued   = "queued"
+	TaskRunning  = "running"
+	TaskRetrying = "retrying"
+	TaskDone     = "done"
+)
+
+// TaskInfo is the live state of one task (one partition of the current
+// stage). JSON field names are the /tasks contract — see
+// docs/OBSERVABILITY.md for how states map to the FAULT_TOLERANCE.md
+// failure matrix.
+type TaskInfo struct {
+	ID          int       `json:"id"`
+	State       string    `json:"state"`
+	Addr        string    `json:"addr,omitempty"`
+	Epoch       int       `json:"epoch"`
+	Attempts    int       `json:"attempts"`
+	Speculative int       `json:"speculative"`
+	Started     time.Time `json:"started"`
+	Updated     time.Time `json:"updated"`
+}
+
+// TasksSnapshot is the /tasks JSON payload.
+type TasksSnapshot struct {
+	Stage    string     `json:"stage,omitempty"`
+	Executor string     `json:"executor,omitempty"`
+	Pending  int        `json:"pending"`
+	Tasks    []TaskInfo `json:"tasks"`
+}
+
+// TaskTable tracks the in-flight task states of the current (or most
+// recent) stage run. A nil *TaskTable is valid; every method no-ops, so
+// the driver updates it unconditionally. All methods are safe for
+// concurrent use — the debug server snapshots while the scheduler
+// mutates.
+type TaskTable struct {
+	mu       sync.Mutex
+	stage    string
+	executor string
+	tasks    map[int]*TaskInfo
+	now      func() time.Time
+}
+
+// NewTaskTable returns an empty table.
+func NewTaskTable() *TaskTable { return &TaskTable{now: time.Now} }
+
+// NewTaskTableAt injects the clock (deterministic tests).
+func NewTaskTableAt(now func() time.Time) *TaskTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &TaskTable{now: now}
+}
+
+// BeginStage resets the table for a new stage of n tasks, all queued.
+func (t *TaskTable) BeginStage(stage, executor string, n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stage, t.executor = stage, executor
+	t.tasks = make(map[int]*TaskInfo, n)
+	now := t.now()
+	for i := 0; i < n; i++ {
+		t.tasks[i] = &TaskInfo{ID: i, State: TaskQueued, Updated: now}
+	}
+}
+
+func (t *TaskTable) update(id int, f func(*TaskInfo)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ti, ok := t.tasks[id]
+	if !ok {
+		ti = &TaskInfo{ID: id, State: TaskQueued}
+		if t.tasks == nil {
+			t.tasks = map[int]*TaskInfo{}
+		}
+		t.tasks[id] = ti
+	}
+	f(ti)
+	ti.Updated = t.now()
+}
+
+// Running marks a dispatch of task id on addr at the given epoch.
+func (t *TaskTable) Running(id int, addr string, epoch int) {
+	t.update(id, func(ti *TaskInfo) {
+		if ti.State == TaskDone {
+			return // stale speculative dispatch; first result already won
+		}
+		ti.State = TaskRunning
+		ti.Addr = addr
+		ti.Epoch = epoch
+		ti.Attempts++
+		if ti.Started.IsZero() {
+			ti.Started = t.now()
+		}
+	})
+}
+
+// Retrying marks a transport failure requeue.
+func (t *TaskTable) Retrying(id int) {
+	t.update(id, func(ti *TaskInfo) {
+		if ti.State != TaskDone {
+			ti.State = TaskRetrying
+		}
+	})
+}
+
+// Speculative counts one speculative re-dispatch.
+func (t *TaskTable) Speculative(id int) {
+	t.update(id, func(ti *TaskInfo) { ti.Speculative++ })
+}
+
+// Done marks task completion (first result wins; later calls keep it
+// done).
+func (t *TaskTable) Done(id int) {
+	t.update(id, func(ti *TaskInfo) { ti.State = TaskDone })
+}
+
+// Snapshot returns the current table, tasks sorted by id.
+func (t *TaskTable) Snapshot() TasksSnapshot {
+	if t == nil {
+		return TasksSnapshot{Tasks: []TaskInfo{}}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TasksSnapshot{Stage: t.stage, Executor: t.executor, Tasks: make([]TaskInfo, 0, len(t.tasks))}
+	for _, ti := range t.tasks {
+		out.Tasks = append(out.Tasks, *ti)
+		if ti.State != TaskDone {
+			out.Pending++
+		}
+	}
+	sort.Slice(out.Tasks, func(i, j int) bool { return out.Tasks[i].ID < out.Tasks[j].ID })
+	return out
+}

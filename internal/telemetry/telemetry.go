@@ -1,0 +1,349 @@
+// Package telemetry is the cluster-wide observability layer: a
+// dependency-free metrics registry (atomic counters, gauges and
+// fixed-bucket histograms, optionally labeled), task-level tracing with
+// exporters (Chrome trace_event JSON for Perfetto, a compact text
+// timeline for terminals), a live table of in-flight task states, and
+// an opt-in debug HTTP server exposing /metrics (Prometheus text
+// exposition), /debug/pprof and /tasks.
+//
+// The paper's framework runs its evaluation on a 70-server Spark
+// deployment with per-stage runtime tables; this package is the moral
+// equivalent for our engine/cluster substrate — the single source of
+// truth behind engine.Stats, and the only way to watch a running
+// driver or executor instead of reading post-hoc counters.
+//
+// Everything here is stdlib-only and safe for concurrent use. Metric
+// registration is idempotent: asking for an existing family returns
+// the registered instance, so packages can declare their metrics in
+// var blocks without init-order choreography.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Family types, as exposed in the Prometheus exposition.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing integral counter. All mutation
+// is a single atomic add — safe from any number of goroutines, no
+// read-modify-write on shared structs.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down (queue depths,
+// in-flight tasks, connection counts).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metric is the union of the three primitive kinds inside a family.
+type metric struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// family is one named metric family: a type, a label-name list and one
+// primitive per distinct label-value tuple.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+	bounds []float64 // histograms only
+
+	mu      sync.RWMutex
+	order   []string // insertion order of keys, for stable label listing
+	metrics map[string]*metric
+}
+
+func (f *family) get(labelValues []string) *metric {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: family %q expects %d label values, got %d",
+			f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.RLock()
+	m, ok := f.metrics[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.metrics[key]; ok {
+		return m
+	}
+	m = &metric{labelValues: append([]string(nil), labelValues...)}
+	switch f.typ {
+	case TypeCounter:
+		m.counter = &Counter{}
+	case TypeGauge:
+		m.gauge = &Gauge{}
+	case TypeHistogram:
+		m.hist = newHistogram(f.bounds)
+	}
+	f.order = append(f.order, key)
+	f.metrics[key] = m
+	return m
+}
+
+// Registry holds metric families. The zero value is not usable; use
+// NewRegistry or the process-wide Default.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry (tests use private ones; the
+// engine and cluster register on Default).
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-wide registry, the one the debug server's
+// /metrics endpoint exposes.
+func Default() *Registry { return defaultRegistry }
+
+// familyFor returns the named family, creating it on first use.
+// Re-registration with a different type, label set or bucket layout is
+// a programming error and panics loudly rather than silently forking
+// the family.
+func (r *Registry) familyFor(name, help, typ string, bounds []float64, labels []string) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		f, ok = r.families[name]
+		if !ok {
+			f = &family{
+				name:    name,
+				help:    help,
+				typ:     typ,
+				labels:  append([]string(nil), labels...),
+				bounds:  append([]float64(nil), bounds...),
+				metrics: map[string]*metric{},
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("telemetry: family %q re-registered as %s%v (was %s%v)",
+			name, typ, labels, f.typ, f.labels))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("telemetry: family %q re-registered with labels %v (was %v)",
+				name, labels, f.labels))
+		}
+	}
+	return f
+}
+
+// Counter returns the unlabeled counter family's single counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.familyFor(name, help, TypeCounter, nil, nil).get(nil).counter
+}
+
+// Gauge returns the unlabeled gauge family's single gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.familyFor(name, help, TypeGauge, nil, nil).get(nil).gauge
+}
+
+// Histogram returns the unlabeled histogram family's single histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.familyFor(name, help, TypeHistogram, bounds, nil).get(nil).hist
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.familyFor(name, help, TypeCounter, nil, labels)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.get(labelValues).counter
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.familyFor(name, help, TypeGauge, nil, labels)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.get(labelValues).gauge
+}
+
+// HistogramVec is a labeled histogram family with shared buckets.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.familyFor(name, help, TypeHistogram, bounds, labels)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.get(labelValues).hist
+}
+
+// LabelValues lists the registered label-value tuples in first-use
+// order (the vet-metrics exhaustiveness check walks this).
+func (v *HistogramVec) LabelValues() [][]string {
+	v.f.mu.RLock()
+	defer v.f.mu.RUnlock()
+	out := make([][]string, 0, len(v.f.order))
+	for _, key := range v.f.order {
+		out = append(out, v.f.metrics[key].labelValues)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- snapshots
+
+// MetricSnapshot is one metric (one label-value tuple) at a point in
+// time.
+type MetricSnapshot struct {
+	LabelValues []string
+	Value       float64        // counter (as float) or gauge
+	Hist        *HistogramData // histograms only
+}
+
+// FamilySnapshot is a consistent point-in-time copy of one family.
+type FamilySnapshot struct {
+	Name    string
+	Help    string
+	Type    string
+	Labels  []string
+	Metrics []MetricSnapshot
+}
+
+// Snapshot copies every family, sorted by name with metrics sorted by
+// label values, so two identical registries snapshot identically.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ, Labels: f.labels}
+		f.mu.RLock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			m := f.metrics[key]
+			ms := MetricSnapshot{LabelValues: m.labelValues}
+			switch f.typ {
+			case TypeCounter:
+				ms.Value = float64(m.counter.Value())
+			case TypeGauge:
+				ms.Value = m.gauge.Value()
+			case TypeHistogram:
+				ms.Hist = m.hist.Snapshot()
+			}
+			fs.Metrics = append(fs.Metrics, ms)
+		}
+		f.mu.RUnlock()
+		out = append(out, fs)
+	}
+	return out
+}
+
+// HistogramData returns the merged data of every histogram in the named
+// family (all label values folded together), or nil if the family does
+// not exist or is not a histogram. The bench harness takes before/after
+// snapshots of task-latency families and reports quantiles of the
+// difference.
+func (r *Registry) HistogramData(name string) *HistogramData {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok || f.typ != TypeHistogram {
+		return nil
+	}
+	merged := &HistogramData{Bounds: append([]float64(nil), f.bounds...)}
+	merged.Counts = make([]int64, len(merged.Bounds)+1)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, m := range f.metrics {
+		merged.Merge(m.hist.Snapshot())
+	}
+	return merged
+}
+
+// CounterValue returns the summed value of every counter in the named
+// family, or 0 if absent (convenient for tests and the bench harness).
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok || f.typ != TypeCounter {
+		return 0
+	}
+	var sum int64
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, m := range f.metrics {
+		sum += m.counter.Value()
+	}
+	return sum
+}
+
+// Since is a convenience for observing an elapsed duration in seconds.
+func Since(h *Histogram, start time.Time) { h.Observe(time.Since(start).Seconds()) }

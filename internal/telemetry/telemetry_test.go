@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Idempotent registration returns the same instance.
+	if r.Counter("requests_total", "Requests.") != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("ops_total", "Ops.", "kind")
+	v.With("filter").Add(2)
+	v.With("project").Inc()
+	v.With("filter").Inc()
+	if got := v.With("filter").Value(); got != 3 {
+		t.Fatalf("filter = %d, want 3", got)
+	}
+	if got := r.CounterValue("ops_total"); got != 4 {
+		t.Fatalf("family sum = %d, want 4", got)
+	}
+	hv := r.HistogramVec("lat", "Latency.", DurationBuckets, "op")
+	hv.With("a").Observe(0.001)
+	hv.With("b").Observe(0.1)
+	lvs := hv.LabelValues()
+	if len(lvs) != 2 || lvs[0][0] != "a" || lvs[1][0] != "b" {
+		t.Fatalf("label values = %v", lvs)
+	}
+	merged := r.HistogramData("lat")
+	if merged.Count != 2 {
+		t.Fatalf("merged count = %d, want 2", merged.Count)
+	}
+}
+
+func TestVecRejectsWrongArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity must panic")
+		}
+	}()
+	NewRegistry().CounterVec("x", "", "a", "b").With("only-one")
+}
+
+func TestMismatchedReregistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type-mismatched re-registration must panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.6, 3, 5, 100} {
+		h.Observe(v)
+	}
+	d := h.Snapshot()
+	if d.Count != 6 {
+		t.Fatalf("count = %d, want 6", d.Count)
+	}
+	if math.Abs(d.Sum-111.6) > 1e-9 {
+		t.Fatalf("sum = %v, want 111.6", d.Sum)
+	}
+	// +Inf bucket holds the 100 observation.
+	if d.Counts[len(d.Counts)-1] != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", d.Counts[len(d.Counts)-1])
+	}
+	if q := d.Quantile(0.5); q <= 0 || q > 4 {
+		t.Fatalf("p50 = %v, want within (0, 4]", q)
+	}
+	// Quantiles clamp to the top finite bound for +Inf-bucket mass.
+	if q := d.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %v, want clamp to 8", q)
+	}
+	if d.Quantile(0.5) > d.Quantile(0.95) {
+		t.Fatal("quantiles must be monotonic")
+	}
+}
+
+func TestHistogramDataSubAndMerge(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	before := h.Snapshot()
+	h.Observe(5)
+	h.Observe(20)
+	delta := h.Snapshot().Sub(before)
+	if delta.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", delta.Count)
+	}
+	if delta.Counts[0] != 0 || delta.Counts[1] != 1 || delta.Counts[2] != 1 {
+		t.Fatalf("delta buckets = %v", delta.Counts)
+	}
+	merged := before.Sub(nil)
+	merged.Merge(delta)
+	if merged.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", merged.Count)
+	}
+}
+
+func TestEmptyHistogramQuantile(t *testing.T) {
+	var d *HistogramData
+	if d.Quantile(0.5) != 0 || d.Mean() != 0 {
+		t.Fatal("nil histogram data must report zeros")
+	}
+	if (&HistogramData{}).Quantile(0.99) != 0 {
+		t.Fatal("empty histogram data must report 0")
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// meaningful under -race (make race runs the full module).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := r.CounterVec("c", "", "w")
+			h := r.HistogramVec("h", "", DurationBuckets, "w")
+			for i := 0; i < 500; i++ {
+				v.With("shared").Inc()
+				h.With("shared").ObserveDuration(time.Duration(i))
+				if i%50 == 0 {
+					_ = r.Snapshot()
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.CounterValue("c"); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+}
+
+func TestTaskTableLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tt := NewTaskTableAt(func() time.Time { return now })
+	tt.BeginStage("deadbeef", "cluster[2x1]", 3)
+	tt.Running(0, "127.0.0.1:7077", 1)
+	tt.Retrying(0)
+	tt.Running(0, "127.0.0.1:7078", 2)
+	tt.Speculative(1)
+	tt.Done(0)
+	tt.Running(0, "127.0.0.1:9999", 3) // stale speculative dispatch
+	s := tt.Snapshot()
+	if s.Pending != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending)
+	}
+	t0 := s.Tasks[0]
+	if t0.State != TaskDone || t0.Attempts != 2 || t0.Addr != "127.0.0.1:7078" {
+		t.Fatalf("task 0 = %+v", t0)
+	}
+	if s.Tasks[1].Speculative != 1 {
+		t.Fatalf("task 1 = %+v", s.Tasks[1])
+	}
+	// nil table: all methods no-op, snapshot is empty but serviceable.
+	var nilTT *TaskTable
+	nilTT.BeginStage("x", "y", 1)
+	nilTT.Done(0)
+	if got := nilTT.Snapshot(); got.Pending != 0 || got.Tasks == nil {
+		t.Fatalf("nil snapshot = %+v", got)
+	}
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute on a span or event. Values are
+// strings; callers format numbers themselves so exporters stay trivial
+// and field ordering stays exactly as recorded.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A is a terse Attr constructor: telemetry.A("addr", addr).
+func A(key string, value any) Attr { return Attr{Key: key, Value: fmt.Sprint(value)} }
+
+// Tracer collects spans for one run. A nil *Tracer is valid and every
+// method on it (and on the nil *Span its StartSpan returns) is a no-op,
+// so instrumented code calls unconditionally — tracing off costs a nil
+// check, not a branch per call site.
+type Tracer struct {
+	now func() time.Time
+
+	mu     sync.Mutex
+	nextID uint64
+	spans  []*Span
+}
+
+// NewTracer returns a tracer on the real clock.
+func NewTracer() *Tracer { return NewTracerAt(time.Now) }
+
+// NewTracerAt injects the clock — the seam deterministic tests (and the
+// golden-file exporter test) use instead of wall time.
+func NewTracerAt(now func() time.Time) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{now: now}
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// StartSpan opens a root span.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	return t.startSpan(0, name, attrs)
+}
+
+func (t *Tracer) startSpan(parent uint64, name string, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{
+		tr:     t,
+		id:     t.nextID,
+		parent: parent,
+		name:   name,
+		start:  t.now(),
+		attrs:  append([]Attr(nil), attrs...),
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span is one timed operation (a stage, a task) with ordered events
+// marking its internal phases and its fault-path incidents.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu     sync.Mutex
+	end    time.Time
+	attrs  []Attr
+	events []EventData
+}
+
+// ID returns the span's tracer-unique id (0 for a nil span) — the value
+// carried in the wire protocol's task frames.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Child opens a sub-span.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.startSpan(s.id, name, attrs)
+}
+
+// Event records a named instant (queued, shipped, decoded, executed,
+// merged, reconnect, task_retry, speculation, deadline_hit, ...).
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	now := s.tr.now()
+	s.mu.Lock()
+	s.events = append(s.events, EventData{Name: name, Time: now, Attrs: append([]Attr(nil), attrs...)})
+	s.mu.Unlock()
+}
+
+// SetAttr appends an attribute after span start (e.g. the executor
+// address a task actually landed on).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, A(key, value))
+	s.mu.Unlock()
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tr.now()
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	s.mu.Unlock()
+}
+
+// EventData is one recorded instant.
+type EventData struct {
+	Name  string
+	Time  time.Time
+	Attrs []Attr
+}
+
+// SpanData is an immutable span snapshot.
+type SpanData struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  time.Time
+	End    time.Time // zero while still open
+	Attrs  []Attr
+	Events []EventData
+}
+
+// Duration returns End-Start, or 0 while the span is open.
+func (d SpanData) Duration() time.Duration {
+	if d.End.IsZero() {
+		return 0
+	}
+	return d.End.Sub(d.Start)
+}
+
+// Snapshot copies every span recorded so far, ordered by start time
+// (ties by id), including still-open spans.
+func (t *Tracer) Snapshot() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := make([]SpanData, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		out = append(out, SpanData{
+			ID:     s.id,
+			Parent: s.parent,
+			Name:   s.name,
+			Start:  s.start,
+			End:    s.end,
+			Attrs:  append([]Attr(nil), s.attrs...),
+			Events: append([]EventData(nil), s.events...),
+		})
+		s.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// HasEvent reports whether any snapshot span carries an event with the
+// given name — chaos tests assert fault-path events this way.
+func HasEvent(spans []SpanData, name string) bool {
+	return CountEvents(spans, name) > 0
+}
+
+// CountEvents counts events with the given name across spans.
+func CountEvents(spans []SpanData, name string) int {
+	n := 0
+	for _, s := range spans {
+		for _, e := range s.Events {
+			if e.Name == name {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock is the injected monotonic clock: every reading advances by
+// a fixed step, so span layouts are fully deterministic (the same seam
+// the colcodec golden tests use instead of wall time).
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(step)
+		return t
+	}
+}
+
+// buildSampleTrace records the span shapes the cluster driver emits:
+// a stage span, task children with lifecycle events, and fault-path
+// events (task_retry, reconnect, speculation).
+func buildSampleTrace() []SpanData {
+	tr := NewTracerAt(fakeClock(250 * time.Microsecond))
+	stage := tr.StartSpan("stage a1b2c3d4", A("partitions", 2), A("executor", "cluster[2 executors x 1 slots]"))
+	t0 := stage.Child("task 0", A("stage", "a1b2c3d4"))
+	t0.Event("queued")
+	t0.Event("shipped", A("addr", "127.0.0.1:7077"), A("epoch", 1))
+	t1 := stage.Child("task 1", A("stage", "a1b2c3d4"))
+	t1.Event("queued")
+	t1.Event("shipped", A("addr", "127.0.0.1:7078"), A("epoch", 1))
+	t1.Event("task_retry", A("attempt", 1), A("cause", "EOF"))
+	stage.Event("reconnect", A("addr", "127.0.0.1:7078"))
+	t1.Event("shipped", A("addr", "127.0.0.1:7078"), A("epoch", 2))
+	t0.Event("decoded", A("decode_us", 120))
+	t0.Event("executed", A("exec_us", 800))
+	t0.Event("merged")
+	t0.End()
+	stage.Event("speculation", A("task", 1))
+	t1.Event("merged")
+	t1.End()
+	stage.End()
+	return tr.Snapshot()
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, buildSampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// The golden file must stay a valid trace_event document: a JSON
+	// object with a traceEvents array whose entries carry the Perfetto
+	// contract fields.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	for _, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %v missing field %q", ev, field)
+			}
+		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, buildSampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, buildSampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical traces must export byte-identically")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, buildSampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"stage a1b2c3d4", "task 0", "task_retry", "reconnect", "merged"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must report disabled")
+	}
+	s := tr.StartSpan("x", A("k", "v"))
+	s.Event("e")
+	s.SetAttr("a", 1)
+	c := s.Child("y")
+	c.Event("z")
+	c.End()
+	s.End()
+	if s.ID() != 0 {
+		t.Fatal("nil span must have id 0")
+	}
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v, want nil", got)
+	}
+}
+
+func TestSpanEventsAndHasEvent(t *testing.T) {
+	tr := NewTracerAt(fakeClock(time.Millisecond))
+	s := tr.StartSpan("root")
+	s.Event("reconnect", A("addr", "a"))
+	s.Event("reconnect", A("addr", "b"))
+	s.End()
+	spans := tr.Snapshot()
+	if !HasEvent(spans, "reconnect") || HasEvent(spans, "nope") {
+		t.Fatal("HasEvent misreported")
+	}
+	if got := CountEvents(spans, "reconnect"); got != 2 {
+		t.Fatalf("CountEvents = %d, want 2", got)
+	}
+	if spans[0].Duration() <= 0 {
+		t.Fatal("ended span must have positive duration")
+	}
+}
+
+// TestTracerConcurrency exercises concurrent span/event recording and
+// snapshotting; meaningful under -race.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := root.Child("task", A("w", w))
+				s.Event("queued")
+				s.Event("merged")
+				s.End()
+				if i%50 == 0 {
+					_ = tr.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Snapshot()); got != 1+8*200 {
+		t.Fatalf("spans = %d, want %d", got, 1+8*200)
+	}
+}
