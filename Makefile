@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-metrics check bench difftest fuzz-smoke
+.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest fuzz-smoke
 
 all: check
 
@@ -49,11 +49,24 @@ fuzz-smoke:
 	$(GO) test ./internal/protocol/dbc/ -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz '^FuzzPromWriter$$' -fuzztime $(FUZZTIME)
 
-# Codec, join-stage and cluster micro-benchmarks, then the wire
-# experiment (protocol v3 vs simulated v2 bytes per task), which writes
-# BENCH_engine.json.
+# Codec, join-stage and cluster micro-benchmarks, then the wire and
+# pipeline experiments, which refresh their sections of
+# BENCH_engine.json (the writer merges, so neither clobbers the other).
 bench: build
 	$(GO) test -run NONE -bench 'BenchmarkEncode|BenchmarkDecode' -benchtime 0.5s ./internal/colcodec/
 	$(GO) test -run NONE -bench 'BenchmarkBroadcastJoinStage|BenchmarkRuleCacheParallel|BenchmarkEvalRuleParallel' -benchtime 0.5s ./internal/engine/
+	$(GO) test -run NONE -bench 'BenchmarkFusedPipeline|BenchmarkBroadcastJoinRows|BenchmarkBroadcastJoinVec|BenchmarkSortWithin' -benchtime 0.5s ./internal/engine/
 	$(GO) test -run NONE -bench 'BenchmarkClusterStage' -benchtime 0.5s ./internal/cluster/
 	$(GO) run ./cmd/benchmark -exp wire -wire-out BENCH_engine.json
+	$(GO) run ./cmd/benchmark -exp pipeline -pipeline-out BENCH_engine.json
+
+# One-iteration pass over every benchmark in the module: catches
+# bit-rotted benchmark code in CI without paying measurement time.
+bench-smoke: build
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# CPU + heap profiles of the vectorized pipeline experiment; inspect
+# with `go tool pprof cpu.prof` / `go tool pprof mem.prof` (see
+# docs/PERFORMANCE.md).
+profile: build
+	$(GO) run ./cmd/benchmark -exp pipeline -cpuprofile cpu.prof -memprofile mem.prof

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ivnt/internal/bench"
@@ -27,7 +29,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchmark: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire or all")
+		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire, pipeline or all")
 		scale       = flag.Float64("scale", 0, "scale factor vs paper row counts (0 = per-experiment default)")
 		workers     = flag.Int("workers", 0, "local executor workers (0 = all cores)")
 		steps       = flag.Int("steps", 8, "fig5: sweep steps per data set")
@@ -35,12 +37,47 @@ func main() {
 		taskTimeout = flag.Duration("task-timeout", 0, "cluster: per-task deadline (0 = driver default, negative disables)")
 		specFactor  = flag.Float64("speculation", 0, "cluster: straggler speculation factor k (0 = driver default, negative disables)")
 		wireRows    = flag.Int("wire-rows", 0, "wire: rows in the streamed relation (0 = default)")
-		wireOut     = flag.String("wire-out", "", "wire: also write results as JSON to this file (e.g. BENCH_engine.json)")
+		wireOut     = flag.String("wire-out", "", "wire: also write results into this JSON file's \"wire\"/\"codec\" sections (e.g. BENCH_engine.json)")
+		pipeRows    = flag.Int("pipeline-rows", 0, "pipeline: rows in the measured partition (0 = default)")
+		pipeOut     = flag.String("pipeline-out", "", "pipeline: also write results into this JSON file's \"pipeline\" section (e.g. BENCH_engine.json)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON (load in Perfetto) of cluster task spans to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /tasks, /trace and /debug/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 	ctx := context.Background()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			log.Printf("wrote %s", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			log.Printf("wrote %s", *memProfile)
+		}()
+	}
 
 	var tracer *telemetry.Tracer
 	if *traceOut != "" || *debugAddr != "" {
@@ -126,6 +163,18 @@ func main() {
 			if err := runWire(ctx, *wireRows, *wireOut, tracer, tasks); err != nil {
 				log.Fatal(err)
 			}
+		case "pipeline":
+			results, err := bench.Pipeline(bench.PipelineOptions{Rows: *pipeRows})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatPipeline(results))
+			if *pipeOut != "" {
+				if err := writeJSONSections(*pipeOut, map[string]any{"pipeline": results}); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("(wrote %s)\n", *pipeOut)
+			}
 		case "storage":
 			rows, err := bench.AblationStorage(*scale)
 			if err != nil {
@@ -141,7 +190,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire"} {
+		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire", "pipeline"} {
 			run(name)
 		}
 		return
@@ -176,18 +225,38 @@ func runWire(ctx context.Context, rows int, outPath string, tracer *telemetry.Tr
 	if outPath == "" {
 		return nil
 	}
-	blob, err := json.MarshalIndent(struct {
-		Wire  []*bench.WireResult      `json:"wire"`
-		Codec []*bench.WireCodecResult `json:"codec"`
-	}{results, codec}, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+	if err := writeJSONSections(outPath, map[string]any{"wire": results, "codec": codec}); err != nil {
 		return err
 	}
 	fmt.Printf("(wrote %s)\n", outPath)
 	return nil
+}
+
+// writeJSONSections merges the given top-level sections into the JSON
+// object at path, preserving any other sections already present — so
+// the wire and pipeline experiments can each refresh their part of
+// BENCH_engine.json without clobbering the other's numbers.
+func writeJSONSections(path string, sections map[string]any) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: existing content is not a JSON object: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for name, v := range sections {
+		blob, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		doc[name] = blob
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // writeTrace exports every span recorded this run as a Chrome

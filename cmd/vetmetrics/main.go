@@ -1,10 +1,11 @@
 // Command vetmetrics is the `make vet-metrics` gate: it fails the
 // build when an engine.OpKind exists without a registered per-kind
-// latency series in the telemetry registry — i.e. when someone adds an
-// operator but forgets its String() name or its metrics wiring. The
-// check runs against the same init()-time registration the production
-// binaries use, so passing here means every /metrics scrape carries
-// the full engine_op_seconds catalogue.
+// latency series and fused-step counter in the telemetry registry —
+// i.e. when someone adds an operator but forgets its String() name or
+// its metrics wiring. The check runs against the same init()-time
+// registration the production binaries use, so passing here means
+// every /metrics scrape carries the full engine_op_seconds and
+// engine_fused_steps_total catalogue.
 package main
 
 import (
@@ -19,5 +20,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vet-metrics: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("vet-metrics: ok (%d op kinds, each with a registered engine_op_seconds series)\n", engine.NumOpKinds)
+	fmt.Printf("vet-metrics: ok (%d op kinds, each with registered engine_op_seconds and engine_fused_steps_total series)\n", engine.NumOpKinds)
 }

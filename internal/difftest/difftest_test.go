@@ -15,14 +15,20 @@ var (
 	flagN    = flag.Int("difftest.n", 25, "number of seeded workloads to run")
 	flagSeed = flag.Int64("difftest.seed", 0, "replay exactly one workload seed (0 = run difftest.n seeds)")
 	flagBase = flag.Int64("difftest.base", 1, "first workload seed when difftest.seed is 0")
+	flagVec  = flag.Bool("difftest.vectorize", true, "run executors on the vectorized engine path (set false to replay a failure on the row-at-a-time path)")
 )
 
 // TestDifferential is the main differential run: every seeded workload
 // executes on the oracle, the local executor and a real TCP cluster,
 // and is then pushed through the five metamorphic invariants. Any
 // mismatch prints a seed + op-tree report; replay a failure with
-// -difftest.seed=<seed>.
+// -difftest.seed=<seed>, and flip -difftest.vectorize to bisect
+// whether it lives in the vectorized kernels or the shared row logic.
 func TestDifferential(t *testing.T) {
+	prev := engine.Vectorize.Load()
+	engine.Vectorize.Store(*flagVec)
+	defer engine.Vectorize.Store(prev)
+
 	ctx := context.Background()
 	env, err := NewEnv(ctx)
 	if err != nil {
@@ -157,5 +163,63 @@ func TestDifferentialCatchesInjectedDedupBug(t *testing.T) {
 	}
 	if !caught {
 		t.Fatalf("off-by-one dedup bug was never detected across 500 seeds")
+	}
+}
+
+// TestDifferentialCatchesInjectedFusionBug demonstrates the harness
+// guards the vectorized kernels themselves: a selection-vector bug
+// injected through engine.DebugMutateSelection (each fused filter
+// batch silently drops its last surviving row) must be caught by the
+// oracle-vs-ApplyVectorized comparison with a readable seed + op-tree
+// report. This is the acceptance criterion for the engine-path
+// invariant added to CheckWorkload.
+func TestDifferentialCatchesInjectedFusionBug(t *testing.T) {
+	engine.DebugMutateSelection = func(sel []int32) []int32 {
+		if len(sel) > 0 {
+			return sel[:len(sel)-1]
+		}
+		return sel
+	}
+	defer func() { engine.DebugMutateSelection = nil }()
+
+	caught := false
+	for seed := int64(1); seed <= 500 && !caught; seed++ {
+		w := Generate(seed)
+		if len(w.Rows) == 0 {
+			continue
+		}
+		pipe, err := engine.NewStagePipeline(w.Schema, w.Ops)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		ref, err := oracle.RunStage(w.rel(3), w.Ops)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		rel := w.rel(3)
+		parts := make([][]relation.Row, len(rel.Partitions))
+		for pi, part := range rel.Partitions {
+			rows, err := pipe.ApplyVectorized(part)
+			if err != nil {
+				t.Fatalf("seed %d: vectorized: %v", seed, err)
+			}
+			parts[pi] = rows
+		}
+		got := &relation.Relation{Schema: pipe.OutputSchema(), Partitions: parts}
+		d := DiffExact(ref, got)
+		if d == "" {
+			continue
+		}
+		caught = true
+		rep := Report(w, "injected-fusion-bug", d)
+		for _, want := range []string{"seed:", "-difftest.seed=", "partition"} {
+			if !strings.Contains(rep, want) {
+				t.Errorf("report missing %q:\n%s", want, rep)
+			}
+		}
+		t.Logf("injected selection-vector bug caught at seed %d:\n%s", seed, rep)
+	}
+	if !caught {
+		t.Fatalf("selection-vector fusion bug was never detected across 500 seeds")
 	}
 }

@@ -148,6 +148,35 @@ func (e *Env) CheckWorkload(ctx context.Context, w *Workload) []string {
 		fail("local", d)
 	}
 
+	// Engine-path invariant: the row-at-a-time reference path and the
+	// vectorized batch path are both held bitwise-equal to the oracle,
+	// regardless of where the process-wide Vectorize toggle happens to
+	// point. This is the third differential subject — it pins the fused
+	// kernels, the selection-vector compaction and the slab
+	// materialization directly, without an executor in between.
+	if pipe, err := engine.NewStagePipeline(w.Schema, w.Ops); err != nil {
+		fail("engine-compile", err.Error())
+	} else {
+		in := w.rel(nparts)
+		runPath := func(name string, apply func([]relation.Row) ([]relation.Row, error)) {
+			parts := make([][]relation.Row, len(in.Partitions))
+			for pi, part := range in.Partitions {
+				rows, err := apply(part)
+				if err != nil {
+					fail(name, err.Error())
+					return
+				}
+				parts[pi] = rows
+			}
+			got := &relation.Relation{Schema: pipe.OutputSchema(), Partitions: parts}
+			if d := DiffExact(ref, got); d != "" {
+				fail(name, d)
+			}
+		}
+		runPath("row-path", pipe.ApplyRows)
+		runPath("vectorized", pipe.ApplyVectorized)
+	}
+
 	// Oracle vs real TCP cluster.
 	cres, _, err := e.driver().RunStage(ctx, w.rel(nparts), w.Ops)
 	if err != nil {

@@ -16,6 +16,7 @@ type StagePipeline struct {
 	in    relation.Schema
 	out   relation.Schema
 	steps []compiledOp
+	vec   []vecSegment // vectorized execution plan (see vectorize.go)
 }
 
 type compiledOp struct {
@@ -24,13 +25,24 @@ type compiledOp struct {
 	out  relation.Schema
 	prog *expr.Program // OpFilter, OpAddColumn
 	// broadcast hash table for OpBroadcastJoin
-	hash     map[uint64][]relation.Row
+	hash     map[uint64]*joinBucket
 	rightIdx []int // key column indexes in the broadcast table
 	leftIdx  []int
 	keepIdx  []int // non-key broadcast columns appended to output
 	colIdx   []int // resolved op.Cols
 	ruleIdx  int   // OpEvalRule rule column
 	rules    *ruleCache
+	less     func(cp []relation.Row) func(a, b int) bool // OpSortWithin, precompiled
+}
+
+// joinBucket is one build-side hash bucket. uniform means every build
+// row in the bucket carries the same key tuple, so a probe row that
+// matches the first row matches them all — the batch join kernel then
+// skips the per-candidate keysEqual re-checks that only a 64-bit hash
+// collision could need.
+type joinBucket struct {
+	rows    []relation.Row
+	uniform bool
 }
 
 // NewStagePipeline validates and compiles ops against the input schema.
@@ -68,15 +80,25 @@ func NewStagePipeline(in relation.Schema, ops []OpDesc) (*StagePipeline, error) 
 					st.keepIdx = append(st.keepIdx, ci)
 				}
 			}
-			st.hash = make(map[uint64][]relation.Row, len(j.Rows))
+			st.hash = make(map[uint64]*joinBucket, len(j.Rows))
 			for _, r := range j.Rows {
 				h := r.Hash(st.rightIdx...)
-				st.hash[h] = append(st.hash[h], r)
+				b := st.hash[h]
+				if b == nil {
+					b = &joinBucket{uniform: true}
+					st.hash[h] = b
+				} else if b.uniform && !keysEqual(r, b.rows[0], st.rightIdx, st.rightIdx) {
+					b.uniform = false
+				}
+				b.rows = append(b.rows, r)
 			}
 		case OpProject, OpDedupConsecutive, OpSortWithin:
 			st.colIdx = make([]int, len(op.Cols))
 			for k, name := range op.Cols {
 				st.colIdx[k] = cur.MustIndex(name)
+			}
+			if op.Kind == OpSortWithin {
+				st.less = compileComparator(st.colIdx)
 			}
 		}
 		if err != nil {
@@ -86,7 +108,49 @@ func NewStagePipeline(in relation.Schema, ops []OpDesc) (*StagePipeline, error) 
 		cur = next
 	}
 	p.out = cur
+	p.buildVecPlan()
 	return p, nil
+}
+
+// compileComparator builds the OpSortWithin comparator factory once at
+// pipeline compile time, with unrolled shapes for the common one- and
+// two-key sorts. The factory closes directly over the row slice being
+// sorted, so each sort.SliceStable comparison is a single call with no
+// per-comparison column-index loop setup.
+func compileComparator(colIdx []int) func(cp []relation.Row) func(a, b int) bool {
+	switch len(colIdx) {
+	case 0:
+		return func([]relation.Row) func(a, b int) bool {
+			return func(a, b int) bool { return false }
+		}
+	case 1:
+		c0 := colIdx[0]
+		return func(cp []relation.Row) func(a, b int) bool {
+			return func(a, b int) bool { return cp[a][c0].Compare(cp[b][c0]) < 0 }
+		}
+	case 2:
+		c0, c1 := colIdx[0], colIdx[1]
+		return func(cp []relation.Row) func(a, b int) bool {
+			return func(a, b int) bool {
+				if c := cp[a][c0].Compare(cp[b][c0]); c != 0 {
+					return c < 0
+				}
+				return cp[a][c1].Compare(cp[b][c1]) < 0
+			}
+		}
+	default:
+		idx := colIdx
+		return func(cp []relation.Row) func(a, b int) bool {
+			return func(a, b int) bool {
+				for _, ci := range idx {
+					if c := cp[a][ci].Compare(cp[b][ci]); c != 0 {
+						return c < 0
+					}
+				}
+				return false
+			}
+		}
+	}
 }
 
 // InputSchema returns the schema the pipeline consumes.
@@ -96,8 +160,19 @@ func (p *StagePipeline) InputSchema() relation.Schema { return p.in }
 func (p *StagePipeline) OutputSchema() relation.Schema { return p.out }
 
 // Apply runs the pipeline over one partition and returns the produced
-// rows. The input slice is never mutated.
+// rows, on the vectorized path unless the Vectorize toggle is off. The
+// input slice is never mutated.
 func (p *StagePipeline) Apply(part []relation.Row) ([]relation.Row, error) {
+	if Vectorize.Load() {
+		return p.applyVec(part, false)
+	}
+	return p.ApplyRows(part)
+}
+
+// ApplyRows runs the pipeline row-at-a-time regardless of the
+// Vectorize toggle. This is the reference path the differential
+// harness holds the vectorized path bitwise-equal to.
+func (p *StagePipeline) ApplyRows(part []relation.Row) ([]relation.Row, error) {
 	rows := part
 	for i := range p.steps {
 		var err error
@@ -170,7 +245,11 @@ func (st *compiledOp) apply(rows []relation.Row) ([]relation.Row, error) {
 		var out []relation.Row
 		for _, r := range rows {
 			h := r.Hash(st.leftIdx...)
-			for _, cand := range st.hash[h] {
+			b := st.hash[h]
+			if b == nil {
+				continue
+			}
+			for _, cand := range b.rows {
 				if !keysEqual(r, cand, st.leftIdx, st.rightIdx) {
 					continue
 				}
@@ -197,14 +276,7 @@ func (st *compiledOp) apply(rows []relation.Row) ([]relation.Row, error) {
 	case OpSortWithin:
 		cp := make([]relation.Row, len(rows))
 		copy(cp, rows)
-		sort.SliceStable(cp, func(a, b int) bool {
-			for _, ci := range st.colIdx {
-				if c := cp[a][ci].Compare(cp[b][ci]); c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
+		sort.SliceStable(cp, st.less(cp))
 		return cp, nil
 
 	case OpPartialAgg:

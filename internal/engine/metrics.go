@@ -35,17 +35,33 @@ var (
 	stagesVec = telemetry.Default().CounterVec(
 		"engine_stages_total", "Stage executions.", "executor")
 
+	// vectorizedBatchesCtr counts batches processed by the vectorized
+	// kernels (fused runs, the batch join, and the whole-partition
+	// window/rule kernels). The cluster tests read it to prove remote
+	// executors run the vectorized path.
+	vectorizedBatchesCtr = telemetry.Default().Counter(
+		"engine_vectorized_batches_total",
+		"Row batches processed by the vectorized execution kernels.")
+	fusedStepsVec = telemetry.Default().CounterVec(
+		"engine_fused_steps_total",
+		"Operators executed as part of a fused vectorized run, by operator kind.",
+		"op")
+
 	// opHist pre-resolves one histogram per operator kind so the hot
 	// apply path does no map lookup or key join. Filling it for every
 	// kind up front also guarantees /metrics exposes the full per-op
 	// latency family before any work runs — which is the invariant
 	// `make vet-metrics` (VerifyOpMetrics) enforces.
 	opHist [NumOpKinds]*telemetry.Histogram
+	// fusedStepsCtr is the same pre-registration for the fused-step
+	// counters, also enforced by VerifyOpMetrics.
+	fusedStepsCtr [NumOpKinds]*telemetry.Counter
 )
 
 func init() {
 	for k := 0; k < NumOpKinds; k++ {
 		opHist[k] = opSecondsVec.With(OpKind(k).String())
+		fusedStepsCtr[k] = fusedStepsVec.With(OpKind(k).String())
 	}
 }
 
@@ -85,6 +101,12 @@ func VerifyOpMetrics() error {
 			registered[lv[0]] = true
 		}
 	}
+	fused := make(map[string]bool)
+	for _, lv := range fusedStepsVec.LabelValues() {
+		if len(lv) == 1 {
+			fused[lv[0]] = true
+		}
+	}
 	for k := 0; k < NumOpKinds; k++ {
 		name := OpKind(k).String()
 		if strings.HasPrefix(name, "op(") {
@@ -93,6 +115,9 @@ func VerifyOpMetrics() error {
 		if !registered[name] {
 			return fmt.Errorf("OpKind %q has no engine_op_seconds{op=%q} series registered", name, name)
 		}
+		if !fused[name] {
+			return fmt.Errorf("OpKind %q has no engine_fused_steps_total{op=%q} series registered", name, name)
+		}
 	}
 	return nil
 }
@@ -100,8 +125,13 @@ func VerifyOpMetrics() error {
 // ApplyInstrumented runs the pipeline over one partition exactly like
 // Apply while timing each operator into engine_op_seconds. Executors
 // use this; Apply stays unobserved for the differential oracle and for
-// microbenchmarks that must not measure clock reads.
+// microbenchmarks that must not measure clock reads. On the vectorized
+// path a fused run is one timed pass: each constituent operator kind
+// is observed with the run's duration.
 func (p *StagePipeline) ApplyInstrumented(part []relation.Row) ([]relation.Row, error) {
+	if Vectorize.Load() {
+		return p.applyVec(part, true)
+	}
 	rows := part
 	for i := range p.steps {
 		t0 := time.Now()

@@ -2,8 +2,8 @@ package expr
 
 import (
 	"fmt"
-	"math"
 	"strings"
+	"sync"
 
 	"ivnt/internal/relation"
 )
@@ -24,6 +24,9 @@ type Program struct {
 	root   Node
 	cols   map[string]int
 	window bool
+
+	flatOnce sync.Once
+	flat     *FlatProgram
 }
 
 // Compile parses src and resolves all column references against the
@@ -154,14 +157,7 @@ func (p *Program) eval(n Node, env Env) relation.Value {
 		v := p.eval(x.X, env)
 		switch x.Op {
 		case "-":
-			switch v.K {
-			case relation.KindInt:
-				return relation.Int(-v.I)
-			case relation.KindFloat:
-				return relation.Float(-v.F)
-			default:
-				return relation.Null()
-			}
+			return EvalNeg(v)
 		case "!":
 			return relation.Bool(!v.AsBool())
 		}
@@ -183,6 +179,14 @@ func bothInt(a, b relation.Value) bool {
 	return a.K == relation.KindInt && b.K == relation.KindInt
 }
 
+// binOpByName maps source-level operator spellings to BinOp codes;
+// && and || are absent because they short-circuit (see EvalBinary).
+var binOpByName = map[string]BinOp{
+	"==": BinEq, "!=": BinNe, "<": BinLt, "<=": BinLe, ">": BinGt,
+	">=": BinGe, "+": BinAdd, "-": BinSub, "*": BinMul, "/": BinDiv,
+	"%": BinMod,
+}
+
 func (p *Program) evalBinary(x *Binary, env Env) relation.Value {
 	// Short-circuit boolean connectives.
 	switch x.Op {
@@ -199,70 +203,11 @@ func (p *Program) evalBinary(x *Binary, env Env) relation.Value {
 	}
 	a := p.eval(x.L, env)
 	b := p.eval(x.R, env)
-	switch x.Op {
-	case "==":
-		return relation.Bool(a.Equal(b))
-	case "!=":
-		return relation.Bool(!a.Equal(b))
-	case "<", "<=", ">", ">=":
-		if a.IsNull() || b.IsNull() {
-			return relation.Bool(false)
-		}
-		c := compareForOrder(a, b)
-		switch x.Op {
-		case "<":
-			return relation.Bool(c < 0)
-		case "<=":
-			return relation.Bool(c <= 0)
-		case ">":
-			return relation.Bool(c > 0)
-		default:
-			return relation.Bool(c >= 0)
-		}
-	}
-	// Arithmetic.
-	if a.IsNull() || b.IsNull() {
+	op, ok := binOpByName[x.Op]
+	if !ok {
 		return relation.Null()
 	}
-	if x.Op == "+" && (a.K == relation.KindString || b.K == relation.KindString) {
-		return relation.Str(a.AsString() + b.AsString())
-	}
-	switch x.Op {
-	case "+":
-		if bothInt(a, b) {
-			return relation.Int(a.I + b.I)
-		}
-		return relation.Float(a.AsFloat() + b.AsFloat())
-	case "-":
-		if bothInt(a, b) {
-			return relation.Int(a.I - b.I)
-		}
-		return relation.Float(a.AsFloat() - b.AsFloat())
-	case "*":
-		if bothInt(a, b) {
-			return relation.Int(a.I * b.I)
-		}
-		return relation.Float(a.AsFloat() * b.AsFloat())
-	case "/":
-		f := b.AsFloat()
-		if f == 0 {
-			return relation.Null()
-		}
-		return relation.Float(a.AsFloat() / f)
-	case "%":
-		if bothInt(a, b) {
-			if b.I == 0 {
-				return relation.Null()
-			}
-			return relation.Int(a.I % b.I)
-		}
-		f := b.AsFloat()
-		if f == 0 {
-			return relation.Null()
-		}
-		return relation.Float(math.Mod(a.AsFloat(), f))
-	}
-	return relation.Null()
+	return EvalBinary(op, a, b)
 }
 
 // compareForOrder compares numerically when both sides are numeric
@@ -308,86 +253,15 @@ func (p *Program) evalCall(x *Call, env Env) relation.Value {
 		}
 		return relation.Null()
 	}
+	b, ok := builtinByName[fn]
+	if !ok {
+		return relation.Null()
+	}
 	args := make([]relation.Value, len(x.Args))
 	for i, a := range x.Args {
 		args[i] = p.eval(a, env)
 	}
-	switch fn {
-	case "abs":
-		if args[0].K == relation.KindInt {
-			if args[0].I < 0 {
-				return relation.Int(-args[0].I)
-			}
-			return args[0]
-		}
-		return relation.Float(math.Abs(args[0].AsFloat()))
-	case "min", "max":
-		out := args[0]
-		for _, v := range args[1:] {
-			c := compareForOrder(v, out)
-			if (fn == "min" && c < 0) || (fn == "max" && c > 0) {
-				out = v
-			}
-		}
-		return out
-	case "floor":
-		return relation.Float(math.Floor(args[0].AsFloat()))
-	case "ceil":
-		return relation.Float(math.Ceil(args[0].AsFloat()))
-	case "round":
-		return relation.Float(math.Round(args[0].AsFloat()))
-	case "sqrt":
-		return relation.Float(math.Sqrt(args[0].AsFloat()))
-	case "pow":
-		return relation.Float(math.Pow(args[0].AsFloat(), args[1].AsFloat()))
-	case "log":
-		return relation.Float(math.Log(args[0].AsFloat()))
-	case "exp":
-		return relation.Float(math.Exp(args[0].AsFloat()))
-	case "int":
-		return relation.Int(args[0].AsInt())
-	case "float":
-		return relation.Float(args[0].AsFloat())
-	case "str":
-		return relation.Str(args[0].AsString())
-	case "contains":
-		return relation.Bool(strings.Contains(args[0].AsString(), args[1].AsString()))
-	case "startswith":
-		return relation.Bool(strings.HasPrefix(args[0].AsString(), args[1].AsString()))
-	case "endswith":
-		return relation.Bool(strings.HasSuffix(args[0].AsString(), args[1].AsString()))
-	case "lower":
-		return relation.Str(strings.ToLower(args[0].AsString()))
-	case "upper":
-		return relation.Str(strings.ToUpper(args[0].AsString()))
-	case "strlen":
-		return relation.Int(int64(len(args[0].AsString())))
-	case "isnull":
-		return relation.Bool(args[0].IsNull())
-	case "byteat":
-		b := args[0].B
-		i := int(args[1].AsInt())
-		if args[0].K != relation.KindBytes || i < 0 || i >= len(b) {
-			return relation.Null()
-		}
-		return relation.Int(int64(b[i]))
-	case "paylen":
-		if args[0].K != relation.KindBytes {
-			return relation.Null()
-		}
-		return relation.Int(int64(len(args[0].B)))
-	case "ubits", "sbits":
-		return extractBits(args[0], int(args[1].AsInt()), int(args[2].AsInt()), fn == "sbits")
-	case "ulbits", "slbits":
-		return extractBitsLE(args[0], int(args[1].AsInt()), int(args[2].AsInt()), fn == "slbits")
-	case "ube", "ule":
-		return extractBytes(args[0], int(args[1].AsInt()), int(args[2].AsInt()), fn == "ule")
-	case "lookup":
-		return lookupTable(args[0], args[1].AsString())
-	case "slice":
-		return slicePayload(args[0], int(args[1].AsInt()), int(args[2].AsInt()))
-	}
-	return relation.Null()
+	return CallBuiltin(b, args)
 }
 
 // lookupTable translates a raw value through a "k=v;k=v" table — the

@@ -8,7 +8,8 @@ import (
 
 // FuzzParseAndEval hardens the rule parser and evaluator: arbitrary
 // rule text must parse-or-error without panicking, and whatever parses
-// must evaluate without panicking on an arbitrary row.
+// must evaluate without panicking on an arbitrary row — identically on
+// the recursive tree walker and the flat bytecode machine.
 func FuzzParseAndEval(f *testing.F) {
 	seeds := []string{
 		"0.5 * ube(lrel, 0, 2)",
@@ -41,9 +42,16 @@ func FuzzParseAndEval(f *testing.F) {
 			relation.Bytes(payload), relation.Bytes(payload),
 		}
 		_ = p.Eval(SingleRowEnv{Row: row})
-		// Window path too.
-		env := &RowEnv{Rows: []relation.Row{row, row}}
-		env.Idx = 1
-		_ = p.Eval(env)
+		// Window path too, cross-checked against the flat machine.
+		rows := []relation.Row{row, row}
+		fp := p.Flatten()
+		var m Machine
+		for idx := range rows {
+			want := p.Eval(&RowEnv{Rows: rows, Idx: idx})
+			got := m.EvalAt(fp, rows, idx)
+			if !valuesBitEqual(got, want) {
+				t.Fatalf("flat/tree divergence on %q at row %d: flat=%v tree=%v", src, idx, got, want)
+			}
+		}
 	})
 }

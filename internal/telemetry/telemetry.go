@@ -212,6 +212,18 @@ func (v *CounterVec) With(labelValues ...string) *Counter {
 	return v.f.get(labelValues).counter
 }
 
+// LabelValues lists the registered label-value tuples in first-use
+// order (the vet-metrics exhaustiveness check walks this).
+func (v *CounterVec) LabelValues() [][]string {
+	v.f.mu.RLock()
+	defer v.f.mu.RUnlock()
+	out := make([][]string, 0, len(v.f.order))
+	for _, key := range v.f.order {
+		out = append(out, v.f.metrics[key].labelValues)
+	}
+	return out
+}
+
 // GaugeVec is a labeled gauge family.
 type GaugeVec struct{ f *family }
 
