@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest fuzz-smoke
+.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest difftest-spill fuzz-smoke
 
 all: check
 
@@ -37,6 +37,14 @@ DIFFTEST_N ?= 25
 difftest:
 	$(GO) test ./internal/difftest/ -run Differential -v -difftest.n=$(DIFFTEST_N)
 
+# Differential run under a memory budget small enough that every sort
+# and aggregation takes the external (spill-to-disk) path, on both the
+# row and vectorized engines — results must stay bitwise identical to
+# the ungoverned oracle (see docs/MEMORY.md).
+SPILL_BUDGET ?= 4096
+difftest-spill:
+	$(GO) test -race ./internal/difftest/ -run 'DifferentialSpill|Differential$$' -v -difftest.n=$(DIFFTEST_N) -difftest.membudget=$(SPILL_BUDGET)
+
 # Short fuzz pass over every fuzz target, seeded from the checked-in
 # corpora under */testdata/fuzz/.
 FUZZTIME ?= 10s
@@ -59,6 +67,7 @@ bench: build
 	$(GO) test -run NONE -bench 'BenchmarkClusterStage' -benchtime 0.5s ./internal/cluster/
 	$(GO) run ./cmd/benchmark -exp wire -wire-out BENCH_engine.json
 	$(GO) run ./cmd/benchmark -exp pipeline -pipeline-out BENCH_engine.json
+	$(GO) run ./cmd/benchmark -exp spill -spill-out BENCH_engine.json
 
 # One-iteration pass over every benchmark in the module: catches
 # bit-rotted benchmark code in CI without paying measurement time.

@@ -22,6 +22,7 @@ import (
 	"ivnt/internal/bench"
 	"ivnt/internal/cluster"
 	"ivnt/internal/engine"
+	"ivnt/internal/memgov"
 	"ivnt/internal/telemetry"
 )
 
@@ -29,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchmark: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire, pipeline or all")
+		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire, pipeline, spill or all")
 		scale       = flag.Float64("scale", 0, "scale factor vs paper row counts (0 = per-experiment default)")
 		workers     = flag.Int("workers", 0, "local executor workers (0 = all cores)")
 		steps       = flag.Int("steps", 8, "fig5: sweep steps per data set")
@@ -40,6 +41,9 @@ func main() {
 		wireOut     = flag.String("wire-out", "", "wire: also write results into this JSON file's \"wire\"/\"codec\" sections (e.g. BENCH_engine.json)")
 		pipeRows    = flag.Int("pipeline-rows", 0, "pipeline: rows in the measured partition (0 = default)")
 		pipeOut     = flag.String("pipeline-out", "", "pipeline: also write results into this JSON file's \"pipeline\" section (e.g. BENCH_engine.json)")
+		spillRows   = flag.Int("spill-rows", 0, "spill: rows in the measured partition (0 = default)")
+		spillBudget = flag.String("spill-budget", "", "spill: memory budget for the governed run (e.g. 1MiB; empty = footprint/4)")
+		spillOut    = flag.String("spill-out", "", "spill: also write results into this JSON file's \"spill\" section (e.g. BENCH_engine.json)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON (load in Perfetto) of cluster task spans to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /tasks, /trace and /debug/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
@@ -175,6 +179,26 @@ func main() {
 				}
 				fmt.Printf("(wrote %s)\n", *pipeOut)
 			}
+		case "spill":
+			opts := bench.SpillOptions{Rows: *spillRows}
+			if *spillBudget != "" {
+				b, err := memgov.ParseBytes(*spillBudget)
+				if err != nil {
+					log.Fatal(err)
+				}
+				opts.Budget = b
+			}
+			results, err := bench.Spill(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatSpill(results))
+			if *spillOut != "" {
+				if err := writeJSONSections(*spillOut, map[string]any{"spill": results}); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("(wrote %s)\n", *spillOut)
+			}
 		case "storage":
 			rows, err := bench.AblationStorage(*scale)
 			if err != nil {
@@ -190,7 +214,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire", "pipeline"} {
+		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire", "pipeline", "spill"} {
 			run(name)
 		}
 		return

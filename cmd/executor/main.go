@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ivnt/internal/cluster"
+	"ivnt/internal/memgov"
 	"ivnt/internal/telemetry"
 )
 
@@ -30,8 +31,25 @@ func main() {
 		capacity  = flag.Int("capacity", 5, "advertised concurrent task capacity")
 		grace     = flag.Duration("grace", 30*time.Second, "drain window for in-flight tasks on shutdown")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6061)")
+		memBudget = flag.String("mem-budget", "", "task memory budget (e.g. 512MiB); sorts and aggregations spill to disk instead of exceeding it; empty = unlimited")
 	)
 	flag.Parse()
+
+	if *memBudget != "" {
+		budget, err := memgov.ParseBytes(*memBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		memgov.Default().SetBudget(budget)
+		memgov.Default().OnPressure(0.85, func(pressured bool) {
+			if pressured {
+				log.Printf("memory pressure: reservations above 85%% of %s budget (operators will spill)", *memBudget)
+			} else {
+				log.Printf("memory pressure cleared")
+			}
+		})
+		log.Printf("memory budget %d bytes (%s)", budget, *memBudget)
+	}
 
 	dbg, err := telemetry.StartDebugServer(*debugAddr, telemetry.NewDebugMux(telemetry.Default(), nil, nil))
 	if err != nil {

@@ -2,10 +2,12 @@
 // build when an engine.OpKind exists without a registered per-kind
 // latency series and fused-step counter in the telemetry registry —
 // i.e. when someone adds an operator but forgets its String() name or
-// its metrics wiring. The check runs against the same init()-time
-// registration the production binaries use, so passing here means
-// every /metrics scrape carries the full engine_op_seconds and
-// engine_fused_steps_total catalogue.
+// its metrics wiring — and when the memory-governance catalogue (the
+// engine spill counters and the memgov governor gauges) is incomplete.
+// The check runs against the same init()-time registration the
+// production binaries use, so passing here means every /metrics scrape
+// carries the full engine_op_seconds, engine_fused_steps_total,
+// engine_spills_total/engine_spill_bytes_total and memgov_* catalogue.
 package main
 
 import (
@@ -13,12 +15,22 @@ import (
 	"os"
 
 	"ivnt/internal/engine"
+	"ivnt/internal/memgov"
 )
 
 func main() {
-	if err := engine.VerifyOpMetrics(); err != nil {
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "vet-metrics: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("vet-metrics: ok (%d op kinds, each with registered engine_op_seconds and engine_fused_steps_total series)\n", engine.NumOpKinds)
+	if err := engine.VerifyOpMetrics(); err != nil {
+		fail(err)
+	}
+	if err := engine.VerifySpillMetrics(); err != nil {
+		fail(err)
+	}
+	if err := memgov.VerifyMetrics(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("vet-metrics: ok (%d op kinds with engine_op_seconds and engine_fused_steps_total series; spill and memgov families registered)\n", engine.NumOpKinds)
 }

@@ -69,6 +69,20 @@ type Driver struct {
 	SpeculationInterval time.Duration
 	// MaxSpeculation bounds speculative launches per task. Default 2.
 	MaxSpeculation int
+	// PanicRetryLimit is how many contained executor panics one task
+	// tolerates before the driver quarantines it as poisoned and fails
+	// the stage with a diagnostic (a deterministic panic must not burn
+	// the whole retry budget executor by executor). Default 2.
+	PanicRetryLimit int
+	// AdmissionThreshold is the executor memory pressure (used/budget,
+	// reported in result frames) above which the driver defers further
+	// dispatch on that slot by AdmissionPause, letting the executor
+	// drain instead of piling on. 0 means the 0.85 default; negative
+	// disables admission control.
+	AdmissionThreshold float64
+	// AdmissionPause is how long a pressured slot waits before taking
+	// its next task. Default 20ms.
+	AdmissionPause time.Duration
 	// Compress runs columnar partition and broadcast-table payloads
 	// through DEFLATE (stdlib flate) before they hit the wire. Worth it
 	// for string-heavy traces crossing real networks; pure CPU overhead
@@ -191,6 +205,31 @@ func (d *Driver) maxSpeculation() int {
 	return 2
 }
 
+func (d *Driver) panicRetryLimit() int {
+	if d.PanicRetryLimit > 0 {
+		return d.PanicRetryLimit
+	}
+	return 2
+}
+
+func (d *Driver) admissionThreshold() float64 {
+	switch {
+	case d.AdmissionThreshold > 0:
+		return d.AdmissionThreshold
+	case d.AdmissionThreshold < 0:
+		return 0
+	default:
+		return 0.85
+	}
+}
+
+func (d *Driver) admissionPause() time.Duration {
+	if d.AdmissionPause > 0 {
+		return d.AdmissionPause
+	}
+	return 20 * time.Millisecond
+}
+
 // backoff returns the sleep before reconnection attempt number fails
 // (1-based): capped exponential with ±50% jitter.
 func (d *Driver) backoff(fails int) time.Duration {
@@ -243,6 +282,7 @@ type stageRun struct {
 	attempts  []int
 	epoch     []int
 	specs     []int
+	panics    []int
 	inflight  map[int]inflightInfo
 	durations []time.Duration
 	// encParts caches each partition's columnar encoding so retries and
@@ -315,6 +355,26 @@ func (sr *stageRun) noteDeadline(pi int) {
 func (sr *stageRun) noteStageShipped() {
 	sr.stats.StagesShipped.Add(1)
 	mStagesShipped.Inc()
+}
+
+// notePanic counts a contained executor panic against task pi and
+// returns the new total; the slot quarantines the task once it reaches
+// the driver's panic retry limit.
+func (sr *stageRun) notePanic(pi int) int {
+	sr.mu.Lock()
+	sr.panics[pi]++
+	n := sr.panics[pi]
+	sr.mu.Unlock()
+	mTaskPanics.Inc()
+	sr.spanFor(pi).Event("task_panic", telemetry.A("count", n))
+	return n
+}
+
+// noteAdmissionDeferral records one pressure-induced dispatch pause.
+func (sr *stageRun) noteAdmissionDeferral(addr string) {
+	sr.stats.AdmissionDeferrals.Add(1)
+	mAdmissionDeferrals.Inc()
+	sr.stageSpan.Event("admission_deferral", telemetry.A("addr", addr))
 }
 
 func (sr *stageRun) noteDecode(d time.Duration) {
@@ -570,6 +630,7 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 		attempts: make([]int, nParts),
 		epoch:    make([]int, nParts),
 		specs:    make([]int, nParts),
+		panics:   make([]int, nParts),
 		encParts: make([][]byte, nParts),
 		inflight: make(map[int]inflightInfo),
 		stats:    engine.NewStatsCollector(),
@@ -726,14 +787,45 @@ func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 		}
 		sr.spanFor(pi).Event("shipped", telemetry.A("addr", addr), telemetry.A("epoch", ep))
 		sr.tasks.Running(pi, addr, ep)
-		err := d.sendTask(c, sr, pi, ep)
+		pressured, err := d.sendTask(c, sr, pi, ep)
 		if err == nil {
 			fails = 0
+			if pressured {
+				// Admission control: the executor reported memory
+				// pressure in the result frame, so this slot backs off
+				// before taking more work instead of piling on.
+				sr.noteAdmissionDeferral(addr)
+				if !sleepCtx(ctx, d.admissionPause()) {
+					return
+				}
+			}
 			continue
 		}
 		if tf, isTF := err.(*taskFailure); isTF && tf.taskErr != nil {
-			sr.fail(tf.taskErr)
-			return
+			// The transport round-trip succeeded; the task itself failed.
+			// The connection stays healthy either way.
+			fails = 0
+			switch {
+			case tf.panicked:
+				// A contained executor panic is worth a bounded number
+				// of retries (it may be machine-local), but a task that
+				// panics everywhere is poisoned: quarantine it with a
+				// diagnostic instead of retrying forever.
+				if n := sr.notePanic(pi); n >= d.panicRetryLimit() {
+					sr.fail(fmt.Errorf("cluster: partition %d poisoned: %d contained panic(s), last on %s: %w",
+						pi, n, addr, tf.taskErr))
+					return
+				}
+				sr.abandon(pi, d.retries(), tf.taskErr, addr)
+			case tf.retryable:
+				// Environmental task failure (e.g. disk full during
+				// spill): requeue like a transport failure.
+				sr.abandon(pi, d.retries(), tf.taskErr, addr)
+			default:
+				sr.fail(tf.taskErr)
+				return
+			}
+			continue
 		}
 		if isTimeout(err) {
 			sr.noteDeadline(pi)
@@ -770,11 +862,17 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// taskFailure distinguishes deterministic task errors (abort) from
-// transport errors (retry elsewhere).
+// taskFailure distinguishes task errors (the executor ran the task and
+// reported failure) from transport errors (retry elsewhere). Task
+// errors are further classified by the executor's result flags:
+// retryable (environmental, e.g. spill I/O — requeue) and panicked (a
+// contained panic — retry up to the panic limit, then quarantine);
+// unflagged task errors are deterministic and abort the stage.
 type taskFailure struct {
-	taskErr error // non-retryable
-	ioErr   error // retryable
+	taskErr   error // executor-reported task failure
+	ioErr     error // transport failure
+	retryable bool
+	panicked  bool
 }
 
 // Error implements error.
@@ -792,7 +890,11 @@ func (t *taskFailure) Unwrap() error {
 	return t.ioErr
 }
 
-func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) error {
+// sendTask runs one task round trip on c. It returns pressured=true
+// when the executor's result frame reported memory pressure at or
+// above the admission threshold (the slot then defers its next
+// dispatch).
+func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) (pressured bool, err error) {
 	if tt := d.taskTimeout(); tt > 0 {
 		_ = c.raw.SetDeadline(time.Now().Add(tt))
 		defer func() { _ = c.raw.SetDeadline(time.Time{}) }()
@@ -809,10 +911,10 @@ func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) error {
 			}
 		}
 		if err := c.enc.Encode(frameHdr{Kind: frameStage}); err != nil {
-			return &taskFailure{ioErr: err}
+			return false, &taskFailure{ioErr: err}
 		}
 		if err := c.enc.Encode(msg); err != nil {
-			return &taskFailure{ioErr: err}
+			return false, &taskFailure{ioErr: err}
 		}
 		c.sentStages[sr.fp] = true
 		for _, tbl := range msg.Tables {
@@ -823,31 +925,41 @@ func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) error {
 	data, err := sr.encodedPartition(pi)
 	if err != nil {
 		// Encoding is driver-local and deterministic: abort, don't retry.
-		return &taskFailure{taskErr: fmt.Errorf("cluster: task %d: encode partition: %w", pi, err)}
+		return false, &taskFailure{taskErr: fmt.Errorf("cluster: task %d: encode partition: %w", pi, err)}
 	}
 	task := taskMsg{ID: uint64(pi), Epoch: uint64(epoch), Stage: sr.fp, Span: sr.spanFor(pi).ID(), Data: data}
 	if err := c.enc.Encode(frameHdr{Kind: frameTask}); err != nil {
-		return &taskFailure{ioErr: err}
+		return false, &taskFailure{ioErr: err}
 	}
 	if err := c.enc.Encode(task); err != nil {
-		return &taskFailure{ioErr: err}
+		return false, &taskFailure{ioErr: err}
 	}
 	var res resultMsg
 	if err := c.dec.Decode(&res); err != nil {
-		return &taskFailure{ioErr: err}
+		return false, &taskFailure{ioErr: err}
+	}
+	// Memory pressure rides on every result frame, success or failure
+	// (gob-additive v3 fields; old executors leave them zero, which
+	// reads as "no budget configured" and disables admission control).
+	if thr := d.admissionThreshold(); thr > 0 && res.MemBudget > 0 {
+		pressured = float64(res.MemUsed) >= thr*float64(res.MemBudget)
 	}
 	if res.Err != "" {
-		return &taskFailure{taskErr: fmt.Errorf("cluster: task %d: %s", pi, res.Err)}
+		return pressured, &taskFailure{
+			taskErr:   fmt.Errorf("cluster: task %d: %s", pi, res.Err),
+			retryable: res.Retryable,
+			panicked:  res.Panicked,
+		}
 	}
 	if res.ID != uint64(pi) || res.Epoch != uint64(epoch) {
-		return &taskFailure{ioErr: fmt.Errorf("cluster: task id/epoch mismatch: sent %d/%d got %d/%d", pi, epoch, res.ID, res.Epoch)}
+		return pressured, &taskFailure{ioErr: fmt.Errorf("cluster: task id/epoch mismatch: sent %d/%d got %d/%d", pi, epoch, res.ID, res.Epoch)}
 	}
 	dstart := time.Now()
 	rows, err := colcodec.Decode(sr.outSchema, res.Data)
 	if err != nil {
 		// A payload that gob-decoded but fails the columnar codec is
 		// wire corruption: retryable, like any broken frame.
-		return &taskFailure{ioErr: fmt.Errorf("cluster: task %d: decode result: %w", pi, err)}
+		return pressured, &taskFailure{ioErr: fmt.Errorf("cluster: task %d: decode result: %w", pi, err)}
 	}
 	driverDecode := time.Since(dstart)
 	sr.noteDecode(driverDecode)
@@ -862,5 +974,5 @@ func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) error {
 			telemetry.A("remote_encode_us", time.Duration(res.EncodeNs).Microseconds()))
 	}
 	sr.commit(pi, rows)
-	return nil
+	return pressured, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"ivnt/internal/colcodec"
 	"ivnt/internal/engine"
+	"ivnt/internal/memgov"
 	"ivnt/internal/relation"
 )
 
@@ -351,14 +352,27 @@ func (s *ExecutorServer) registerStage(st *stageMsg, tables map[uint64][]relatio
 // runTask applies the cached stage pipeline to one columnar partition.
 // fatal=true means the partition payload itself was undecodable and the
 // connection should be dropped (retryable corruption); every other
-// failure is reported as a deterministic task error.
-func (s *ExecutorServer) runTask(stages map[uint64]*engine.StagePipeline, stageErrs map[uint64]error, task *taskMsg) (resultMsg, bool) {
+// failure is reported as a task error, classified for the driver:
+// retryable (spill I/O faults), panicked (a recovered op panic), or
+// deterministic (everything else, aborts the stage). Every result also
+// snapshots the memory governor so the driver sees executor pressure.
+func (s *ExecutorServer) runTask(stages map[uint64]*engine.StagePipeline, stageErrs map[uint64]error, task *taskMsg) (res resultMsg, fatal bool) {
+	defer func() {
+		g := memgov.Default()
+		res.MemUsed, res.MemBudget = g.Used(), g.Budget()
+	}()
+	fail := func(err error) resultMsg {
+		return resultMsg{
+			ID: task.ID, Epoch: task.Epoch, Span: task.Span, Err: err.Error(),
+			Retryable: engine.IsRetryable(err), Panicked: engine.IsPanic(err),
+		}
+	}
 	pipe, ok := stages[task.Stage]
 	if !ok {
 		if err := stageErrs[task.Stage]; err != nil {
-			return resultMsg{ID: task.ID, Epoch: task.Epoch, Span: task.Span, Err: err.Error()}, false
+			return fail(err), false
 		}
-		return resultMsg{ID: task.ID, Epoch: task.Epoch, Span: task.Span, Err: fmt.Sprintf("unknown stage %#x (driver sent task before stage)", task.Stage)}, false
+		return fail(fmt.Errorf("unknown stage %#x (driver sent task before stage)", task.Stage)), false
 	}
 	t0 := time.Now()
 	rows, err := colcodec.Decode(pipe.InputSchema(), task.Data)
@@ -366,17 +380,30 @@ func (s *ExecutorServer) runTask(stages map[uint64]*engine.StagePipeline, stageE
 		return resultMsg{}, true
 	}
 	decodeNs := time.Since(t0).Nanoseconds()
+	// The decoded partition is this task's resident input; reserving it
+	// with the governor makes spilling operators see honest pressure
+	// when several slot connections run tasks concurrently.
+	var gr *memgov.Grant
+	if g := memgov.Default(); !g.Unlimited() {
+		gr = g.ForceGrant(engine.RowsFootprint(rows))
+	}
 	t1 := time.Now()
-	out, err := pipe.ApplyInstrumented(rows)
+	out, err := pipe.ApplyContained(rows)
 	if err != nil {
-		return resultMsg{ID: task.ID, Epoch: task.Epoch, Span: task.Span, Err: err.Error()}, false
+		gr.Release()
+		if engine.IsPanic(err) {
+			mExecPanics.Inc()
+			s.logf("cluster executor: task %d: contained panic: %v", task.ID, err)
+		}
+		return fail(err), false
 	}
 	execNs := time.Since(t1).Nanoseconds()
 	// Results mirror the task payload's compression choice.
 	t2 := time.Now()
 	data, err := colcodec.Encode(pipe.OutputSchema(), out, colcodec.Options{Compress: colcodec.IsCompressed(task.Data)})
+	gr.Release()
 	if err != nil {
-		return resultMsg{ID: task.ID, Epoch: task.Epoch, Span: task.Span, Err: err.Error()}, false
+		return fail(err), false
 	}
 	encodeNs := time.Since(t2).Nanoseconds()
 	s.mu.Lock()

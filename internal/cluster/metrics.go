@@ -25,6 +25,10 @@ var (
 		"Bytes read from executor connections.")
 	mInflight = telemetry.Default().Gauge("cluster_inflight_tasks",
 		"Task launches currently in flight, including speculative copies.")
+	mAdmissionDeferrals = telemetry.Default().Counter("cluster_admission_deferrals_total",
+		"Dispatch pauses inserted because an executor reported memory pressure.")
+	mTaskPanics = telemetry.Default().Counter("cluster_task_panics_total",
+		"Task results carrying a contained executor panic, observed by the driver.")
 
 	mExecTasks = telemetry.Default().Counter("executor_tasks_total",
 		"Tasks completed by this process's executor server.")
@@ -32,4 +36,6 @@ var (
 		"Stage shipments accepted by this process's executor server.")
 	mExecConns = telemetry.Default().Gauge("executor_connections",
 		"Driver connections currently open on this process's executor server.")
+	mExecPanics = telemetry.Default().Counter("executor_task_panics_total",
+		"Panics recovered during task execution by this process's executor server.")
 )

@@ -117,9 +117,22 @@ type resultMsg struct {
 	DecodeNs int64
 	ExecNs   int64
 	EncodeNs int64
-	// Err is a non-retryable task failure (e.g. a malformed rule); the
-	// driver aborts the stage rather than re-running elsewhere.
+	// Err is a task failure (e.g. a malformed rule); unless flagged
+	// Retryable, the driver aborts the stage rather than re-running
+	// elsewhere.
 	Err string
+	// Retryable marks Err as environmental (disk full during spill, a
+	// truncated spill file): the work is sound, so the driver requeues
+	// the task instead of failing the stage. Panicked marks Err as a
+	// recovered panic (Err carries the stack); the driver retries but
+	// quarantines the task as poisoned after repeated panics. MemUsed
+	// and MemBudget snapshot the executor's memory governor after the
+	// task, feeding driver-side admission control. All four are
+	// gob-additive within protocol v3, like Span and the timing fields.
+	Retryable bool
+	Panicked  bool
+	MemUsed   int64
+	MemBudget int64
 }
 
 // countingRW wraps the raw connection and counts bytes in both

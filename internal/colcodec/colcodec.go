@@ -58,6 +58,16 @@ const (
 // the paper's scale are a few hundred thousand rows.
 const maxDecodeRows = 1 << 28
 
+// maxZeroColRows bounds the row count when the schema has no columns:
+// with zero cells per row there is no body to size the claim against,
+// so a tighter cap stands in for the plausibility check.
+const maxZeroColRows = 1 << 20
+
+// flateMaxRatio caps decompression: DEFLATE tops out near 1032:1, so a
+// body claiming to inflate past ~1040x the wire bytes is a decompression
+// bomb, not trace data.
+const flateMaxRatio = 1040
+
 // Options tune encoding.
 type Options struct {
 	// Compress runs the column body through DEFLATE (stdlib flate,
@@ -292,17 +302,37 @@ func Decode(s relation.Schema, data []byte) ([]relation.Row, error) {
 	if int(ncols) != s.Len() {
 		return nil, fmt.Errorf("colcodec: payload has %d columns, schema has %d", ncols, s.Len())
 	}
+	if ncols == 0 && nrows > maxZeroColRows {
+		return nil, fmt.Errorf("colcodec: %d rows claimed with no columns", nrows)
+	}
 	if flags&flagCompressed != 0 {
+		// Decompress under a hard output cap so a tiny adversarial
+		// payload cannot inflate into gigabytes before any column-level
+		// bounds check runs.
+		limit := int64(len(data))*flateMaxRatio + 4096
 		fr := flate.NewReader(bytes.NewReader(rd.rest()))
-		body, err := io.ReadAll(fr)
+		body, err := io.ReadAll(io.LimitReader(fr, limit))
 		if err != nil {
 			return nil, fmt.Errorf("colcodec: decompress: %w", err)
 		}
 		_ = fr.Close()
+		if int64(len(body)) >= limit {
+			return nil, fmt.Errorf("colcodec: decompressed body exceeds %dx input", flateMaxRatio)
+		}
 		rd = &reader{buf: body}
 	}
 
 	n := int(nrows)
+	// Plausibility gate before the big allocation: every well-formed
+	// column costs at least one tag byte plus either a null bitmap or a
+	// denser payload, so a body shorter than ncols*(1+ceil(n/8)) bytes
+	// cannot be describing n rows — reject it before make() does.
+	if n > 0 {
+		minBody := int64(ncols) * int64(1+(n+7)/8)
+		if int64(len(rd.rest())) < minBody {
+			return nil, fmt.Errorf("colcodec: body has %d bytes, %d rows need at least %d", len(rd.rest()), n, minBody)
+		}
+	}
 	rows := make([]relation.Row, n)
 	cells := make([]relation.Value, n*int(ncols)) // one backing array
 	for i := range rows {
@@ -342,6 +372,12 @@ func decodeColumn(rd *reader, rows []relation.Row, ci, n int) error {
 	}
 
 	if kind == byte(relation.KindNull) {
+		// The encoder always writes a null bitmap for an all-null column
+		// of one or more rows; its absence is a crafted stream trying to
+		// claim many rows for one tag byte.
+		if !hasNulls && n > 0 {
+			return fmt.Errorf("all-null column without null bitmap")
+		}
 		return nil // all cells stay the zero (null) Value
 	}
 

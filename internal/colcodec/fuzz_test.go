@@ -78,6 +78,15 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{magic0, magic1, 0, 3, 2})
 	f.Add([]byte{magic0, magic1, flagCompressed, 1, 1, 0xDE, 0xAD})
 	f.Add([]byte{})
+	// Malicious shapes the hardening gates must hold against: a header
+	// claiming 2^27 rows over a 3-byte body, an all-null column with the
+	// bitmap bit cleared, a cell length overclaiming a terabyte, and a
+	// zero-column payload claiming rows with no body to back them.
+	f.Add(craft(1<<27, uint64(s.Len()), false, []byte{0, 0, 0}))
+	f.Add(craft(1<<27, uint64(s.Len()), true, []byte{0, 0, 0}))
+	f.Add(craft(64, uint64(s.Len()), false, append([]byte{0}, make([]byte, 64)...)))
+	f.Add(craft(8, uint64(s.Len()), false, append([]byte{byte(relation.KindString), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, make([]byte, 32)...)))
+	f.Add(craft(1<<21, 0, false, nil))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rows, err := Decode(s, data)
 		if err == nil {

@@ -1,0 +1,138 @@
+package colcodec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+
+	"ivnt/internal/relation"
+)
+
+// craft builds a raw payload from a header claim and a body, the shape
+// an adversary (or a corrupted disk block) hands the decoder.
+func craft(nrows, ncols uint64, compress bool, body []byte) []byte {
+	out := []byte{magic0, magic1, 0}
+	if compress {
+		out[2] = flagCompressed
+	}
+	out = binary.AppendUvarint(out, nrows)
+	out = binary.AppendUvarint(out, ncols)
+	if compress {
+		var cb bytes.Buffer
+		fw, _ := flate.NewWriter(&cb, flate.BestSpeed)
+		_, _ = fw.Write(body)
+		_ = fw.Close()
+		return append(out, cb.Bytes()...)
+	}
+	return append(out, body...)
+}
+
+// TestDecodeRejectsHugeRowClaim: a header claiming 2^27 rows over a
+// 3-byte body must be rejected by the plausibility gate before the row
+// allocation, not during column decode — and quickly.
+func TestDecodeRejectsHugeRowClaim(t *testing.T) {
+	s := kitchenSinkSchema()
+	for _, compress := range []bool{false, true} {
+		start := time.Now()
+		data := craft(1<<27, uint64(s.Len()), compress, []byte{0, 0, 0})
+		_, err := Decode(s, data)
+		if err == nil {
+			t.Fatalf("compress=%v: 2^27-row claim over 3 bytes decoded", compress)
+		}
+		if !strings.Contains(err.Error(), "need at least") {
+			t.Fatalf("compress=%v: wrong rejection: %v", compress, err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("compress=%v: rejection took %v — allocation happened first", compress, d)
+		}
+	}
+}
+
+// TestDecodeRejectsAllNullWithoutBitmap: the one-tag-byte trick for
+// claiming n rows (an all-null column with the bitmap bit cleared) must
+// be rejected; the real encoder always writes the bitmap.
+func TestDecodeRejectsAllNullWithoutBitmap(t *testing.T) {
+	s := relation.NewSchema(relation.Column{Name: "a", Kind: relation.KindInt})
+	// Body padded past the plausibility gate so the column check itself
+	// is what fires.
+	body := make([]byte, 1+8)
+	body[0] = byte(relation.KindNull) // tag: all-null, no bitmap bit
+	_, err := Decode(s, craft(64, 1, false, body))
+	if err == nil || !strings.Contains(err.Error(), "without null bitmap") {
+		t.Fatalf("all-null column without bitmap: err = %v", err)
+	}
+
+	// The legitimate all-null encoding still round-trips.
+	rows := make([]relation.Row, 64)
+	for i := range rows {
+		rows[i] = relation.Row{relation.Null()}
+	}
+	data, err := Encode(s, rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 || !got[0][0].IsNull() {
+		t.Fatalf("all-null round trip broke: %d rows", len(got))
+	}
+}
+
+// TestDecodeZeroColumnRowCap: with no columns there is no body to size
+// the row claim against, so the decoder enforces a fixed cap.
+func TestDecodeZeroColumnRowCap(t *testing.T) {
+	s := relation.NewSchema()
+	if _, err := Decode(s, craft(maxZeroColRows+1, 0, false, nil)); err == nil {
+		t.Fatal("zero-column payload claiming rows above the cap decoded")
+	}
+	got, err := Decode(s, craft(16, 0, false, nil))
+	if err != nil {
+		t.Fatalf("small zero-column payload must decode: %v", err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("rows = %d, want 16", len(got))
+	}
+}
+
+// TestDecodeRejectsOverclaimedCellLength: a string cell length larger
+// than the remaining buffer must fail before any arena allocation.
+func TestDecodeRejectsOverclaimedCellLength(t *testing.T) {
+	s := relation.NewSchema(relation.Column{Name: "b", Kind: relation.KindString})
+	var body []byte
+	body = append(body, byte(relation.KindString))
+	body = binary.AppendUvarint(body, 1<<40) // one cell claiming a terabyte
+	body = append(body, make([]byte, 16)...)
+	_, err := Decode(s, craft(8, 1, false, body))
+	if err == nil || !strings.Contains(err.Error(), "exceeds remaining") {
+		t.Fatalf("overclaimed cell length: err = %v", err)
+	}
+}
+
+// TestDecodeTruncatedEverywhere re-encodes a kitchen-sink partition and
+// asserts every prefix either errors cleanly or decodes schema-shaped
+// rows — no panics, no partial-row results.
+func TestDecodeTruncatedEverywhere(t *testing.T) {
+	s := kitchenSinkSchema()
+	for _, compress := range []bool{false, true} {
+		data, err := Encode(s, kitchenSinkRows(), Options{Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(data); cut++ {
+			rows, err := Decode(s, data[:cut])
+			if err != nil {
+				continue
+			}
+			for _, r := range rows {
+				if len(r) != s.Len() {
+					t.Fatalf("compress=%v cut=%d: row width %d", compress, cut, len(r))
+				}
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ func TestDifferential(t *testing.T) {
 	prev := engine.Vectorize.Load()
 	engine.Vectorize.Store(*flagVec)
 	defer engine.Vectorize.Store(prev)
+	armBudget(t) // -difftest.membudget forces the run under a governor budget
 
 	ctx := context.Background()
 	env, err := NewEnv(ctx)

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"ivnt/internal/memgov"
 	"ivnt/internal/relation"
 )
 
@@ -307,8 +308,65 @@ func AggregateDistributed(ctx context.Context, exec Executor, rel *relation.Rela
 // OpPartialAgg stage, any partitioning) into final results. Exported so
 // the differential harness can reduce partition-dependent partials to a
 // partition-independent relation before comparing executors.
+//
+// The merge is governed: when the accumulator working set does not fit
+// the process memory budget, it degrades to grace hash aggregation
+// (shard the partials through disk, merge each shard in memory — see
+// spill.go) with bitwise-identical results.
 func MergePartials(partials *relation.Relation, groupBy []string, aggs []AggSpec) (*relation.Relation, error) {
+	g := memgov.Default()
+	if !DebugForceSpill.Load() {
+		if g.Unlimited() {
+			return mergePartialParts(partials.Schema, partials.Partitions, groupBy, aggs)
+		}
+		var need int64
+		for _, p := range partials.Partitions {
+			need += RowsFootprint(p)
+		}
+		if gr := g.TryGrant(2 * need); gr != nil {
+			defer gr.Release()
+			return mergePartialParts(partials.Schema, partials.Partitions, groupBy, aggs)
+		}
+	}
+	return externalMergePartials(g, partials, groupBy, aggs)
+}
+
+// externalMergePartials is the spilling FinalAggregate path: shard the
+// partial rows by group key, reduce each shard with the in-memory
+// merge, and stitch the key-ordered shard outputs back together.
+func externalMergePartials(g *memgov.Governor, partials *relation.Relation, groupBy []string, aggs []AggSpec) (*relation.Relation, error) {
 	s := partials.Schema
+	keyIdx := make([]int, len(groupBy))
+	for i, c := range groupBy {
+		ki := s.Index(c)
+		if ki < 0 {
+			return nil, fmt.Errorf("engine: merge partials: no group column %q", c)
+		}
+		keyIdx[i] = ki
+	}
+	// An empty merge yields the output schema without touching disk,
+	// and serves as the schema template for the spilled result.
+	empty, err := mergePartialParts(s, nil, groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := externalGroupReduce(g, s, partials.Partitions, keyIdx, len(groupBy),
+		func(shard []relation.Row) ([]relation.Row, error) {
+			out, rerr := mergePartialParts(s, [][]relation.Row{shard}, groupBy, aggs)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return out.Rows(), nil
+		}, "finalagg")
+	if err != nil {
+		return nil, err
+	}
+	return relation.FromRows(empty.Schema, merged), nil
+}
+
+// mergePartialParts is the in-memory merge core over raw partition row
+// slices, shared by the direct and the spilling path.
+func mergePartialParts(s relation.Schema, parts [][]relation.Row, groupBy []string, aggs []AggSpec) (*relation.Relation, error) {
 	keyIdx := make([]int, len(groupBy))
 	for i, g := range groupBy {
 		keyIdx[i] = s.MustIndex(g)
@@ -323,7 +381,7 @@ func MergePartials(partials *relation.Relation, groupBy []string, aggs []AggSpec
 	}
 	groups := map[string]*accum{}
 	var order []string
-	for _, p := range partials.Partitions {
+	for _, p := range parts {
 		for _, r := range p {
 			kb := make([]byte, 0, 32)
 			for _, ki := range keyIdx {

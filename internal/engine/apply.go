@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"ivnt/internal/expr"
 	"ivnt/internal/relation"
@@ -274,13 +273,14 @@ func (st *compiledOp) apply(rows []relation.Row) ([]relation.Row, error) {
 		return out, nil
 
 	case OpSortWithin:
-		cp := make([]relation.Row, len(rows))
-		copy(cp, rows)
-		sort.SliceStable(cp, st.less(cp))
-		return cp, nil
+		// Governed: in-memory sort.SliceStable when the working set fits
+		// the memory budget, external merge sort otherwise (spill.go).
+		return st.applySort(rows)
 
 	case OpPartialAgg:
-		return applyPartialAgg(st.in, rows, st.desc.GroupBy, st.desc.Aggs)
+		// Governed: in-memory hash aggregation when it fits, grace hash
+		// aggregation through disk otherwise (spill.go).
+		return st.applyAgg(rows)
 	}
 	return nil, fmt.Errorf("engine: unknown op kind %v", st.desc.Kind)
 }

@@ -148,13 +148,15 @@ func (d *Dataset) Shuffle(ctx context.Context, n int, keys ...string) (*Dataset,
 }
 
 // SortGlobal materializes and totally orders the dataset by cols,
-// restoring determinism after shuffles.
+// restoring determinism after shuffles. The sort is governed: it
+// degrades to an external merge sort when the memory budget denies the
+// in-memory working set.
 func (d *Dataset) SortGlobal(ctx context.Context, cols ...string) (*Dataset, error) {
 	m, err := d.materialize(ctx)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := m.rel.SortBy(true, cols...)
+	rel, err := SortRelation(m.rel, cols...)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ivnt/internal/memgov"
 	"ivnt/internal/relation"
 )
 
@@ -38,6 +39,10 @@ type Stats struct {
 	StagesShipped int
 	EncodeWall    time.Duration
 	DecodeWall    time.Duration
+	// AdmissionDeferrals counts dispatch pauses the cluster driver
+	// inserted because an executor reported memory pressure in its
+	// result frames (admission control; see docs/MEMORY.md).
+	AdmissionDeferrals int
 }
 
 // Add accumulates another stage's stats.
@@ -56,6 +61,7 @@ func (s *Stats) Add(o Stats) {
 	s.StagesShipped += o.StagesShipped
 	s.EncodeWall += o.EncodeWall
 	s.DecodeWall += o.DecodeWall
+	s.AdmissionDeferrals += o.AdmissionDeferrals
 }
 
 // Executor runs a stage — a narrow-operator pipeline over every
@@ -125,7 +131,16 @@ func (l *Local) RunStage(ctx context.Context, rel *relation.Relation, ops []OpDe
 					continue
 				}
 				t0 := time.Now()
-				out, err := pipe.ApplyInstrumented(rel.Partitions[pi])
+				// Input partitions are already resident; record their
+				// footprint with the governor so spilling operators see
+				// honest pressure, and contain panics so one poisoned
+				// partition fails the stage instead of the process.
+				var gr *memgov.Grant
+				if g := memgov.Default(); !g.Unlimited() {
+					gr = g.ForceGrant(RowsFootprint(rel.Partitions[pi]))
+				}
+				out, err := pipe.ApplyContained(rel.Partitions[pi])
+				gr.Release()
 				ObserveTask("local", time.Since(t0))
 				if err != nil {
 					errs[pi] = err

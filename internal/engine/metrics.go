@@ -47,6 +47,20 @@ var (
 		"Operators executed as part of a fused vectorized run, by operator kind.",
 		"op")
 
+	// Spill families: how often governed operators took the external
+	// path and how much they wrote. Labels are pre-registered for every
+	// governed operator (spillOps) so /metrics exposes the full matrix
+	// before any pressure occurs; VerifySpillMetrics gates that in
+	// `make vet-metrics`.
+	mSpills = telemetry.Default().CounterVec(
+		"engine_spills_total",
+		"Governed operator executions that degraded to the external (spill-to-disk) path, by operator.",
+		"op")
+	mSpillBytes = telemetry.Default().CounterVec(
+		"engine_spill_bytes_total",
+		"Bytes written to spill run files, by operator.",
+		"op")
+
 	// opHist pre-resolves one histogram per operator kind so the hot
 	// apply path does no map lookup or key join. Filling it for every
 	// kind up front also guarantees /metrics exposes the full per-op
@@ -58,10 +72,18 @@ var (
 	fusedStepsCtr [NumOpKinds]*telemetry.Counter
 )
 
+// spillOps lists every governed operator label the spill families must
+// carry from process start.
+var spillOps = []string{"sortwithin", "sortglobal", "partialagg", "finalagg"}
+
 func init() {
 	for k := 0; k < NumOpKinds; k++ {
 		opHist[k] = opSecondsVec.With(OpKind(k).String())
 		fusedStepsCtr[k] = fusedStepsVec.With(OpKind(k).String())
+	}
+	for _, op := range spillOps {
+		mSpills.With(op)
+		mSpillBytes.With(op)
 	}
 }
 
@@ -122,6 +144,33 @@ func VerifyOpMetrics() error {
 	return nil
 }
 
+// VerifySpillMetrics checks that every governed operator has its
+// engine_spills_total and engine_spill_bytes_total series registered
+// up front, like VerifyOpMetrics does for the per-op latency family.
+// Part of the `make vet-metrics` catalogue gate.
+func VerifySpillMetrics() error {
+	for _, vec := range []struct {
+		name string
+		v    *telemetry.CounterVec
+	}{
+		{"engine_spills_total", mSpills},
+		{"engine_spill_bytes_total", mSpillBytes},
+	} {
+		registered := make(map[string]bool)
+		for _, lv := range vec.v.LabelValues() {
+			if len(lv) == 1 {
+				registered[lv[0]] = true
+			}
+		}
+		for _, op := range spillOps {
+			if !registered[op] {
+				return fmt.Errorf("governed operator %q has no %s{op=%q} series registered", op, vec.name, op)
+			}
+		}
+	}
+	return nil
+}
+
 // ApplyInstrumented runs the pipeline over one partition exactly like
 // Apply while timing each operator into engine_op_seconds. Executors
 // use this; Apply stays unobserved for the differential oracle and for
@@ -156,6 +205,7 @@ type StatsCollector struct {
 	Reconnects, Speculative, DeadlineHits       atomic.Int64
 	BytesSent, BytesRecv, StagesShipped         atomic.Int64
 	WallNs, EncodeNs, DecodeNs                  atomic.Int64
+	AdmissionDeferrals                          atomic.Int64
 }
 
 // NewStatsCollector returns an empty collector.
@@ -176,9 +226,10 @@ func (c *StatsCollector) Snapshot() Stats {
 		DeadlineHits:  int(c.DeadlineHits.Load()),
 		BytesSent:     c.BytesSent.Load(),
 		BytesRecv:     c.BytesRecv.Load(),
-		StagesShipped: int(c.StagesShipped.Load()),
-		EncodeWall:    time.Duration(c.EncodeNs.Load()),
-		DecodeWall:    time.Duration(c.DecodeNs.Load()),
+		StagesShipped:      int(c.StagesShipped.Load()),
+		EncodeWall:         time.Duration(c.EncodeNs.Load()),
+		DecodeWall:         time.Duration(c.DecodeNs.Load()),
+		AdmissionDeferrals: int(c.AdmissionDeferrals.Load()),
 	}
 }
 
@@ -198,4 +249,5 @@ func (c *StatsCollector) AddStats(s Stats) {
 	c.StagesShipped.Add(int64(s.StagesShipped))
 	c.EncodeNs.Add(int64(s.EncodeWall))
 	c.DecodeNs.Add(int64(s.DecodeWall))
+	c.AdmissionDeferrals.Add(int64(s.AdmissionDeferrals))
 }

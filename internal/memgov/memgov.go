@@ -1,0 +1,377 @@
+// Package memgov is the process-wide memory governor: a reservation
+// accountant that operators ask before building large in-memory state
+// (sort copies, aggregation hash tables, decoded partitions). It does
+// not measure the Go heap — it tracks declared working-set bytes, the
+// way Spark's execution-memory pool tracks task reservations — so a
+// denial is a *policy* signal ("stay within budget, spill to disk"),
+// not an allocator failure.
+//
+// The paper's pipeline survives 1.5 TB/day on Spark because operators
+// degrade to external algorithms when their working set exceeds the
+// executor's memory fraction; memgov is the accounting half of that
+// contract for our engine. The spill half lives in internal/engine
+// (external sort and grace hash aggregation), which consults
+// Default() on every governed operator.
+//
+// A Governor is safe for concurrent use. The zero budget means
+// "unlimited": every grant succeeds and nothing is tracked, so
+// ungoverned processes pay no estimation cost.
+package memgov
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ivnt/internal/telemetry"
+)
+
+// Metric families for the default governor, pre-registered so
+// /metrics exposes the reservation state before any work runs (the
+// vet-metrics gate checks their presence; see VerifyMetrics).
+var (
+	mBudget = telemetry.Default().Gauge("memgov_budget_bytes",
+		"Configured memory budget of the default governor (0 = unlimited).")
+	mUsed = telemetry.Default().Gauge("memgov_used_bytes",
+		"Bytes currently reserved from the default governor.")
+	mHighWater = telemetry.Default().Gauge("memgov_highwater_bytes",
+		"Largest reservation total the default governor has seen.")
+	mGrants = telemetry.Default().Counter("memgov_grants_total",
+		"Reservations granted by the default governor.")
+	mDenials = telemetry.Default().Counter("memgov_denials_total",
+		"Reservations denied by the default governor (operators spill on denial).")
+	mWaits = telemetry.Default().Counter("memgov_waits_total",
+		"Blocking Acquire calls that had to wait for released memory.")
+)
+
+// pressureSub is one registered pressure callback with its own
+// hysteresis state, so transitions fire exactly once per crossing.
+type pressureSub struct {
+	threshold float64
+	fn        func(pressured bool)
+	state     bool
+}
+
+// Governor is a reservation-based memory accountant: an atomic budget,
+// atomic usage, a high-water mark, and waiter wake-ups for the
+// blocking acquire path.
+type Governor struct {
+	budget atomic.Int64 // bytes; 0 or negative = unlimited
+	used   atomic.Int64
+	high   atomic.Int64
+
+	grants  atomic.Int64
+	denials atomic.Int64
+	waits   atomic.Int64
+
+	// observe mirrors this governor's state into the memgov_* metric
+	// families; only the process default does, so private governors in
+	// tests do not pollute /metrics.
+	observe bool
+
+	mu      sync.Mutex
+	waiters map[chan struct{}]struct{}
+	subs    []*pressureSub
+}
+
+// New returns a governor with the given budget in bytes (<= 0 means
+// unlimited).
+func New(budget int64) *Governor {
+	g := &Governor{waiters: map[chan struct{}]struct{}{}}
+	g.budget.Store(budget)
+	return g
+}
+
+// def is the process-wide governor every governed operator consults.
+// It starts unlimited; cmd flags (-mem-budget) and tests set a budget.
+var def = func() *Governor {
+	g := New(0)
+	g.observe = true
+	return g
+}()
+
+// Default returns the process-wide governor.
+func Default() *Governor { return def }
+
+// SetBudget replaces the budget (<= 0 means unlimited). Raising the
+// budget wakes blocked acquirers. Lowering it never evicts existing
+// reservations; usage drains as grants release.
+func (g *Governor) SetBudget(budget int64) {
+	g.budget.Store(budget)
+	if g.observe {
+		mBudget.Set(float64(budget))
+	}
+	g.wake()
+	g.checkPressure()
+}
+
+// Budget returns the configured budget (0 = unlimited).
+func (g *Governor) Budget() int64 {
+	b := g.budget.Load()
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Unlimited reports whether no budget is configured.
+func (g *Governor) Unlimited() bool { return g.budget.Load() <= 0 }
+
+// Used returns the bytes currently reserved.
+func (g *Governor) Used() int64 { return g.used.Load() }
+
+// HighWater returns the largest reservation total ever observed.
+func (g *Governor) HighWater() int64 { return g.high.Load() }
+
+// Grants returns how many reservations have been granted.
+func (g *Governor) Grants() int64 { return g.grants.Load() }
+
+// Denials returns how many TryGrant calls were denied.
+func (g *Governor) Denials() int64 { return g.denials.Load() }
+
+// Pressure returns used/budget, or 0 when unlimited. Values above 1
+// are possible: ForceGrant admits unconditionally and reports the
+// overshoot here instead of hiding it.
+func (g *Governor) Pressure() float64 {
+	b := g.budget.Load()
+	if b <= 0 {
+		return 0
+	}
+	return float64(g.used.Load()) / float64(b)
+}
+
+// ResetHighWater clears the high-water mark down to current usage
+// (tests isolate per-phase peaks with it).
+func (g *Governor) ResetHighWater() { g.high.Store(g.used.Load()) }
+
+// Grant is one live reservation. Release is idempotent and nil-safe,
+// so call sites can unconditionally defer it.
+type Grant struct {
+	g        *Governor
+	n        int64
+	released atomic.Bool
+}
+
+// Bytes returns the reserved size.
+func (gr *Grant) Bytes() int64 {
+	if gr == nil {
+		return 0
+	}
+	return gr.n
+}
+
+// Release returns the reservation to the governor.
+func (gr *Grant) Release() {
+	if gr == nil || gr.g == nil || gr.released.Swap(true) {
+		return
+	}
+	gr.g.release(gr.n)
+}
+
+// TryGrant reserves n bytes if they fit in the budget, returning nil
+// on denial. n <= 0 and unlimited governors always succeed.
+func (g *Governor) TryGrant(n int64) *Grant {
+	if n <= 0 {
+		return &Grant{g: g}
+	}
+	for {
+		b := g.budget.Load()
+		u := g.used.Load()
+		if b > 0 && u+n > b {
+			g.denials.Add(1)
+			if g.observe {
+				mDenials.Inc()
+			}
+			return nil
+		}
+		if g.used.CompareAndSwap(u, u+n) {
+			g.granted(n, u+n)
+			return &Grant{g: g, n: n}
+		}
+	}
+}
+
+// ForceGrant reserves n bytes unconditionally, even past the budget.
+// Operators use it for the bounded minimum working set they cannot do
+// without (a spill run buffer, one decoded merge block): forward
+// progress beats a deadlock, and the overshoot is visible as
+// Pressure() > 1 rather than hidden.
+func (g *Governor) ForceGrant(n int64) *Grant {
+	if n <= 0 {
+		return &Grant{g: g}
+	}
+	u := g.used.Add(n)
+	g.granted(n, u)
+	return &Grant{g: g, n: n}
+}
+
+// Acquire blocks until n bytes fit in the budget or ctx is cancelled.
+// It is the coordination primitive for callers that must not proceed
+// degraded (e.g. admission of whole tasks); spilling operators use
+// TryGrant instead.
+func (g *Governor) Acquire(ctx context.Context, n int64) (*Grant, error) {
+	if gr := g.TryGrant(n); gr != nil {
+		return gr, nil
+	}
+	if b := g.Budget(); b > 0 && n > b {
+		return nil, fmt.Errorf("memgov: acquire of %d bytes can never fit budget %d", n, b)
+	}
+	g.waits.Add(1)
+	if g.observe {
+		mWaits.Inc()
+	}
+	ch := make(chan struct{}, 1)
+	g.mu.Lock()
+	g.waiters[ch] = struct{}{}
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.waiters, ch)
+		g.mu.Unlock()
+	}()
+	for {
+		if gr := g.TryGrant(n); gr != nil {
+			return gr, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+func (g *Governor) granted(n, newUsed int64) {
+	g.grants.Add(1)
+	for {
+		h := g.high.Load()
+		if newUsed <= h || g.high.CompareAndSwap(h, newUsed) {
+			break
+		}
+	}
+	if g.observe {
+		mGrants.Inc()
+		mUsed.Set(float64(newUsed))
+		mHighWater.Set(float64(g.high.Load()))
+	}
+	g.checkPressure()
+}
+
+func (g *Governor) release(n int64) {
+	u := g.used.Add(-n)
+	if g.observe {
+		mUsed.Set(float64(u))
+	}
+	g.wake()
+	g.checkPressure()
+}
+
+// wake signals every blocked Acquire to re-check the budget.
+func (g *Governor) wake() {
+	g.mu.Lock()
+	for ch := range g.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	g.mu.Unlock()
+}
+
+// OnPressure registers fn to be called with true when used/budget
+// crosses above threshold and with false when it falls back below.
+// Callbacks run synchronously on the goroutine that crossed the
+// threshold; keep them cheap (set a flag, log a line).
+func (g *Governor) OnPressure(threshold float64, fn func(pressured bool)) {
+	g.mu.Lock()
+	g.subs = append(g.subs, &pressureSub{threshold: threshold, fn: fn})
+	g.mu.Unlock()
+	g.checkPressure()
+}
+
+func (g *Governor) checkPressure() {
+	g.mu.Lock()
+	if len(g.subs) == 0 {
+		g.mu.Unlock()
+		return
+	}
+	p := g.Pressure()
+	var fire []func()
+	for _, s := range g.subs {
+		next := p >= s.threshold && s.threshold > 0
+		if next != s.state {
+			s.state = next
+			fn, v := s.fn, next
+			fire = append(fire, func() { fn(v) })
+		}
+	}
+	g.mu.Unlock()
+	for _, f := range fire {
+		f()
+	}
+}
+
+// ParseBytes parses a human byte size: a plain integer is bytes;
+// suffixes KB/MB/GB/TB are decimal, KiB/MiB/GiB/TiB (or bare K/M/G/T)
+// are binary. "0" means unlimited. Flag parsing (-mem-budget) uses it.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("memgov: empty size")
+	}
+	upper := strings.ToUpper(t)
+	mult := int64(1)
+	for _, suf := range []struct {
+		tag string
+		n   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30}, {"TIB", 1 << 40},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"T", 1 << 40},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.tag) {
+			mult = suf.n
+			upper = strings.TrimSuffix(upper, suf.tag)
+			break
+		}
+	}
+	num := strings.TrimSpace(upper)
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("memgov: bad size %q", s)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("memgov: negative size %q", s)
+	}
+	return int64(f * float64(mult)), nil
+}
+
+// VerifyMetrics checks that every memgov metric family is registered
+// on the process-wide telemetry registry with the expected type. It is
+// part of the `make vet-metrics` catalogue gate.
+func VerifyMetrics() error {
+	want := map[string]string{
+		"memgov_budget_bytes":    telemetry.TypeGauge,
+		"memgov_used_bytes":      telemetry.TypeGauge,
+		"memgov_highwater_bytes": telemetry.TypeGauge,
+		"memgov_grants_total":    telemetry.TypeCounter,
+		"memgov_denials_total":   telemetry.TypeCounter,
+		"memgov_waits_total":     telemetry.TypeCounter,
+	}
+	for _, fam := range telemetry.Default().Snapshot() {
+		if typ, ok := want[fam.Name]; ok {
+			if fam.Type != typ {
+				return fmt.Errorf("memgov: family %q registered as %s, want %s", fam.Name, fam.Type, typ)
+			}
+			delete(want, fam.Name)
+		}
+	}
+	for name := range want {
+		return fmt.Errorf("memgov: metric family %q not registered", name)
+	}
+	return nil
+}
