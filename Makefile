@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest difftest-spill fuzz-smoke
+.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest difftest-spill difftest-shuffle fuzz-smoke
 
 all: check
 
@@ -45,6 +45,15 @@ SPILL_BUDGET ?= 4096
 difftest-spill:
 	$(GO) test -race ./internal/difftest/ -run 'DifferentialSpill|Differential$$' -v -difftest.n=$(DIFFTEST_N) -difftest.membudget=$(SPILL_BUDGET)
 
+# Shuffle-exchange differential run, race-checked: every seeded
+# workload's shuffle materialization / join / aggregation plan is
+# compared bitwise against PartitionByKey and the broadcast funnel,
+# in-process and over a real TCP cluster (see docs/SHUFFLE.md).
+# Reproduce a reported seed with:
+#   go test ./internal/difftest/ -run ShuffleDifferential -difftest.shuffle -difftest.seed=<seed> -v
+difftest-shuffle:
+	$(GO) test -race ./internal/difftest/ -run ShuffleDifferential -v -difftest.n=$(DIFFTEST_N)
+
 # Short fuzz pass over every fuzz target, seeded from the checked-in
 # corpora under */testdata/fuzz/.
 FUZZTIME ?= 10s
@@ -57,9 +66,9 @@ fuzz-smoke:
 	$(GO) test ./internal/protocol/dbc/ -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz '^FuzzPromWriter$$' -fuzztime $(FUZZTIME)
 
-# Codec, join-stage and cluster micro-benchmarks, then the wire and
-# pipeline experiments, which refresh their sections of
-# BENCH_engine.json (the writer merges, so neither clobbers the other).
+# Codec, join-stage and cluster micro-benchmarks, then the wire,
+# pipeline, spill and shuffle experiments, which refresh their sections
+# of BENCH_engine.json (the writer merges, so none clobbers another's).
 bench: build
 	$(GO) test -run NONE -bench 'BenchmarkEncode|BenchmarkDecode' -benchtime 0.5s ./internal/colcodec/
 	$(GO) test -run NONE -bench 'BenchmarkBroadcastJoinStage|BenchmarkRuleCacheParallel|BenchmarkEvalRuleParallel' -benchtime 0.5s ./internal/engine/
@@ -68,6 +77,7 @@ bench: build
 	$(GO) run ./cmd/benchmark -exp wire -wire-out BENCH_engine.json
 	$(GO) run ./cmd/benchmark -exp pipeline -pipeline-out BENCH_engine.json
 	$(GO) run ./cmd/benchmark -exp spill -spill-out BENCH_engine.json
+	$(GO) run ./cmd/benchmark -exp shuffle -shuffle-out BENCH_engine.json
 
 # One-iteration pass over every benchmark in the module: catches
 # bit-rotted benchmark code in CI without paying measurement time.

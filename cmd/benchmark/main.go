@@ -30,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchmark: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire, pipeline, spill or all")
+		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire, pipeline, spill, shuffle or all")
 		scale       = flag.Float64("scale", 0, "scale factor vs paper row counts (0 = per-experiment default)")
 		workers     = flag.Int("workers", 0, "local executor workers (0 = all cores)")
 		steps       = flag.Int("steps", 8, "fig5: sweep steps per data set")
@@ -44,6 +44,10 @@ func main() {
 		spillRows   = flag.Int("spill-rows", 0, "spill: rows in the measured partition (0 = default)")
 		spillBudget = flag.String("spill-budget", "", "spill: memory budget for the governed run (e.g. 1MiB; empty = footprint/4)")
 		spillOut    = flag.String("spill-out", "", "spill: also write results into this JSON file's \"spill\" section (e.g. BENCH_engine.json)")
+		shufRows    = flag.Int("shuffle-rows", 0, "shuffle: probe-side rows (0 = default)")
+		shufParts   = flag.Int("shuffle-parts", 0, "shuffle: exchange fan-out (0 = 2x executors)")
+		shufKeyCard = flag.Int("shuffle-keycard", 0, "shuffle: join-key cardinality = build-side rows (0 = default)")
+		shufOut     = flag.String("shuffle-out", "", "shuffle: also write results into this JSON file's \"shuffle\" section (e.g. BENCH_engine.json)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON (load in Perfetto) of cluster task spans to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /tasks, /trace and /debug/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
@@ -199,6 +203,20 @@ func main() {
 				}
 				fmt.Printf("(wrote %s)\n", *spillOut)
 			}
+		case "shuffle":
+			results, err := bench.Shuffle(ctx, bench.ShuffleOptions{
+				Rows: *shufRows, Parts: *shufParts, KeyCard: *shufKeyCard,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatShuffle(results))
+			if *shufOut != "" {
+				if err := writeJSONSections(*shufOut, map[string]any{"shuffle": results}); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("(wrote %s)\n", *shufOut)
+			}
 		case "storage":
 			rows, err := bench.AblationStorage(*scale)
 			if err != nil {
@@ -214,7 +232,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire", "pipeline", "spill"} {
+		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire", "pipeline", "spill", "shuffle"} {
 			run(name)
 		}
 		return

@@ -2,8 +2,10 @@
 // build when an engine.OpKind exists without a registered per-kind
 // latency series and fused-step counter in the telemetry registry —
 // i.e. when someone adds an operator but forgets its String() name or
-// its metrics wiring — and when the memory-governance catalogue (the
-// engine spill counters and the memgov governor gauges) is incomplete.
+// its metrics wiring — when the memory-governance catalogue (the
+// engine spill counters and the memgov governor gauges) is incomplete,
+// and when the shuffle-exchange families (engine_shuffle_* and
+// cluster_shuffle_*) are missing from the registry.
 // The check runs against the same init()-time registration the
 // production binaries use, so passing here means every /metrics scrape
 // carries the full engine_op_seconds, engine_fused_steps_total,
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"ivnt/internal/cluster"
 	"ivnt/internal/engine"
 	"ivnt/internal/memgov"
 )
@@ -32,5 +35,11 @@ func main() {
 	if err := memgov.VerifyMetrics(); err != nil {
 		fail(err)
 	}
-	fmt.Printf("vet-metrics: ok (%d op kinds with engine_op_seconds and engine_fused_steps_total series; spill and memgov families registered)\n", engine.NumOpKinds)
+	if err := engine.VerifyShuffleMetrics(); err != nil {
+		fail(err)
+	}
+	if err := cluster.VerifyShuffleMetrics(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("vet-metrics: ok (%d op kinds with engine_op_seconds and engine_fused_steps_total series; spill, memgov and shuffle families registered)\n", engine.NumOpKinds)
 }

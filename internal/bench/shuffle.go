@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"ivnt/internal/cluster"
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+	"ivnt/internal/telemetry"
+)
+
+// ShuffleOptions tune the shuffle-vs-broadcast join experiment.
+type ShuffleOptions struct {
+	// Rows in the probe-side trace relation; default 40000.
+	Rows int
+	// Partitions of the probe relation (= map tasks); default 16.
+	Partitions int
+	// KeyCard is the join-key cardinality — the build-side dimension
+	// table has exactly one row per distinct key; default 16384. The
+	// broadcast plan ships this table once per connection (executors ×
+	// slots), the shuffle plan moves each row once.
+	KeyCard int
+	// Parts is the shuffle fan-out; default 2× executors.
+	Parts int
+	// Executors and slots per executor for the loopback cluster.
+	Executors, Slots int
+	// Compress turns on DEFLATE for partition payloads.
+	Compress bool
+}
+
+func (o ShuffleOptions) withDefaults() ShuffleOptions {
+	if o.Rows <= 0 {
+		o.Rows = 40000
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 16
+	}
+	if o.KeyCard <= 0 {
+		o.KeyCard = 16384
+	}
+	if o.Executors <= 0 {
+		o.Executors = 4
+	}
+	if o.Slots <= 0 {
+		o.Slots = 2
+	}
+	if o.Parts <= 0 {
+		o.Parts = 2 * o.Executors
+	}
+	return o
+}
+
+// ShuffleResult is one plan's measurement of the same distributed join.
+// BytesOnWire is the total driver-visible traffic plus (for the shuffle
+// plan) the executor-to-executor partition pushes the driver's byte
+// counters cannot see.
+type ShuffleResult struct {
+	Plan string
+
+	Rows, BuildRows, Partitions, Parts int
+	Executors, Tasks, OutRows          int
+
+	BytesSent, BytesRecv, BytesPushed int64
+	BytesOnWire                       int64
+	// Reduction = broadcast BytesOnWire / this plan's BytesOnWire
+	// (1.0 on the broadcast row itself).
+	Reduction float64
+
+	// Task latency quantiles (seconds) from the telemetry task_seconds
+	// histogram delta across this plan's run.
+	TaskP50Sec, TaskP99Sec float64
+	// Driver wall time spent blocked on the shuffle barrier (zero for
+	// the broadcast plan).
+	BarrierWallSec float64
+
+	WallSec float64
+}
+
+// shuffleStage builds the join inputs: a wide probe-side trace keyed
+// uniformly over KeyCard distinct message IDs, and a build-side
+// dimension table with one padded row per key. The build side is what
+// separates the plans: broadcast ships it once per connection
+// (executors × slots), the shuffle exchange pushes each of its rows to
+// exactly one partition owner.
+func shuffleStage(opts ShuffleOptions) (probe, build *relation.Relation) {
+	probeSchema := relation.NewSchema(
+		relation.Column{Name: "t", Kind: relation.KindFloat},
+		relation.Column{Name: "mid", Kind: relation.KindInt},
+		relation.Column{Name: "x", Kind: relation.KindInt},
+	)
+	rows := make([]relation.Row, opts.Rows)
+	for i := range rows {
+		rows[i] = relation.Row{
+			relation.Float(float64(i) * 0.01),
+			relation.Int(int64(i % opts.KeyCard)),
+			relation.Int(int64(i%4096) - 2048),
+		}
+	}
+	probe = relation.FromRows(probeSchema, rows).Repartition(opts.Partitions)
+
+	buildSchema := relation.NewSchema(
+		relation.Column{Name: "mid", Kind: relation.KindInt},
+		relation.Column{Name: "name", Kind: relation.KindString},
+		relation.Column{Name: "desc", Kind: relation.KindString},
+	)
+	trows := make([]relation.Row, opts.KeyCard)
+	for i := range trows {
+		trows[i] = relation.Row{
+			relation.Int(int64(i)),
+			relation.Str(fmt.Sprintf("unit-%05d/signal-channel-%d", i, i%7)),
+			relation.Str(fmt.Sprintf("dbc entry %06d: scaled channel, raw*%d/128 offset %d, bounds [-%d, %d]",
+				i, i%13+1, i%29, i%200, i%300)),
+		}
+	}
+	build = relation.FromRows(buildSchema, trows).Repartition(opts.Partitions)
+	return probe, build
+}
+
+// Shuffle runs the same distributed hash join under both physical plans
+// on one loopback cluster — broadcast (build table shipped to every
+// connection) and shuffle (both sides hash-partitioned executor to
+// executor) — and reports bytes-on-wire and task latency for each.
+// The returned slice is [broadcast, shuffle].
+func Shuffle(ctx context.Context, opts ShuffleOptions) ([]*ShuffleResult, error) {
+	opts = opts.withDefaults()
+	probe, build := shuffleStage(opts)
+
+	addrs, stop, err := cluster.StartLocalCluster(ctx, opts.Executors)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	drv := &cluster.Driver{
+		Addrs:            addrs,
+		SlotsPerExecutor: opts.Slots,
+		Compress:         opts.Compress,
+		ShuffleParts:     opts.Parts,
+	}
+
+	measure := func(plan string, run func() (*relation.Relation, engine.Stats, error)) (*ShuffleResult, error) {
+		before := telemetry.Default().HistogramData("task_seconds")
+		start := time.Now()
+		out, st, err := run()
+		if err != nil {
+			return nil, fmt.Errorf("shuffle bench: %s plan: %w", plan, err)
+		}
+		wall := time.Since(start)
+		hist := telemetry.Default().HistogramData("task_seconds").Sub(before)
+		res := &ShuffleResult{
+			Plan:           plan,
+			Rows:           probe.NumRows(),
+			BuildRows:      build.NumRows(),
+			Partitions:     probe.NumPartitions(),
+			Parts:          opts.Parts,
+			Executors:      opts.Executors,
+			Tasks:          st.Tasks,
+			OutRows:        out.NumRows(),
+			BytesSent:      st.BytesSent,
+			BytesRecv:      st.BytesRecv,
+			BytesPushed:    st.ShuffleBytesPushed,
+			BytesOnWire:    st.BytesSent + st.BytesRecv + st.ShuffleBytesPushed,
+			TaskP50Sec:     hist.Quantile(0.5),
+			TaskP99Sec:     hist.Quantile(0.99),
+			BarrierWallSec: st.ShuffleBarrierWall.Seconds(),
+			WallSec:        wall.Seconds(),
+		}
+		return res, nil
+	}
+
+	bcast, err := measure("broadcast", func() (*relation.Relation, engine.Stats, error) {
+		ops := []engine.OpDesc{engine.BroadcastJoin(build, []string{"mid"}, []string{"mid"})}
+		return drv.RunStage(ctx, probe, ops)
+	})
+	if err != nil {
+		return nil, err
+	}
+	shuf, err := measure("shuffle", func() (*relation.Relation, engine.Stats, error) {
+		return drv.ShuffleJoin(ctx, probe, build, []string{"mid"}, []string{"mid"}, opts.Parts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if bcast.OutRows != shuf.OutRows {
+		return nil, fmt.Errorf("shuffle bench: plans disagree: broadcast produced %d rows, shuffle %d",
+			bcast.OutRows, shuf.OutRows)
+	}
+	bcast.Reduction = 1
+	if shuf.BytesOnWire > 0 {
+		shuf.Reduction = float64(bcast.BytesOnWire) / float64(shuf.BytesOnWire)
+	}
+	return []*ShuffleResult{bcast, shuf}, nil
+}
+
+// FormatShuffle renders the plan comparison as an aligned table.
+func FormatShuffle(results []*ShuffleResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %9s %9s %6s %6s %12s %12s %12s %12s %7s %10s %10s %9s\n",
+		"plan", "rows", "build", "parts", "tasks",
+		"sent_B", "recv_B", "pushed_B", "wire_B", "reduce",
+		"p50_ms", "p99_ms", "wall_ms")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %9d %9d %6d %6d %12d %12d %12d %12d %6.2fx %10.3f %10.3f %9.1f\n",
+			r.Plan, r.Rows, r.BuildRows, r.Parts, r.Tasks,
+			r.BytesSent, r.BytesRecv, r.BytesPushed, r.BytesOnWire, r.Reduction,
+			r.TaskP50Sec*1e3, r.TaskP99Sec*1e3, r.WallSec*1e3)
+	}
+	return b.String()
+}

@@ -100,6 +100,20 @@ type Driver struct {
 	// disables it.
 	Tasks *telemetry.TaskTable
 
+	// ShufflePeers overrides the endpoint map executors use for
+	// executor-to-executor shuffle pushes (protocol v4). Entry i is how
+	// peers reach the executor at Addrs[i]; default is Addrs itself.
+	// Chaos tests point entries at fault proxies so only peer links see
+	// injected faults while driver connections stay clean.
+	ShufflePeers []string
+	// ShufflePushTimeout bounds one peer push round trip on the map
+	// side, distributed to executors in shuffle begin frames. 0 leaves
+	// the executors' own default (30s).
+	ShufflePushTimeout time.Duration
+	// ShuffleParts is the default shuffle fan-out when a plan does not
+	// pick one. 0 means 2× the executor count (at least 2).
+	ShuffleParts int
+
 	// live points at the stats collector of the most recent RunStage so
 	// introspection can snapshot counters while a stage is running.
 	live atomic.Pointer[engine.StatsCollector]
@@ -587,28 +601,9 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 	// broadcast tables out of the pipeline (they ship separately, keyed
 	// by content hash, at most once per connection), and columnar-encode
 	// each distinct table a single time for the whole stage.
-	fp := engine.StageFingerprint(rel.Schema, ops)
-	opsWire := make([]engine.OpDesc, len(ops))
-	var tables []tableMsg
-	seenTables := map[uint64]bool{}
-	for i, op := range ops {
-		opsWire[i] = op
-		if op.Kind != engine.OpBroadcastJoin || op.Join == nil {
-			continue
-		}
-		th := engine.TableFingerprint(op.Join.Schema, op.Join.Rows)
-		j := *op.Join
-		j.Rows = nil
-		j.TableHash = th
-		opsWire[i].Join = &j
-		if !seenTables[th] {
-			seenTables[th] = true
-			data, err := colcodec.Encode(op.Join.Schema, op.Join.Rows, colcodec.Options{Compress: d.Compress})
-			if err != nil {
-				return nil, engine.Stats{}, fmt.Errorf("cluster: encode broadcast table: %w", err)
-			}
-			tables = append(tables, tableMsg{Hash: th, Schema: op.Join.Schema, Data: data})
-		}
+	fp, opsWire, tables, err := d.stageWire(rel.Schema, ops)
+	if err != nil {
+		return nil, engine.Stats{}, err
 	}
 
 	nParts := len(rel.Partitions)
@@ -703,6 +698,36 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 	sr.stats.Tasks.Store(int64(st.Tasks))
 	engine.ObserveStage("cluster", st)
 	return out, st, nil
+}
+
+// stageWire prepares one stage's v3 shipment: the content fingerprint,
+// the pipeline with broadcast-table rows stripped (replaced by
+// content-hash references), and each distinct table columnar-encoded
+// once. Both RunStage and the shuffle map phase ship stages this way.
+func (d *Driver) stageWire(schema relation.Schema, ops []engine.OpDesc) (fp uint64, opsWire []engine.OpDesc, tables []tableMsg, err error) {
+	fp = engine.StageFingerprint(schema, ops)
+	opsWire = make([]engine.OpDesc, len(ops))
+	seenTables := map[uint64]bool{}
+	for i, op := range ops {
+		opsWire[i] = op
+		if op.Kind != engine.OpBroadcastJoin || op.Join == nil {
+			continue
+		}
+		th := engine.TableFingerprint(op.Join.Schema, op.Join.Rows)
+		j := *op.Join
+		j.Rows = nil
+		j.TableHash = th
+		opsWire[i].Join = &j
+		if !seenTables[th] {
+			seenTables[th] = true
+			data, err := colcodec.Encode(op.Join.Schema, op.Join.Rows, colcodec.Options{Compress: d.Compress})
+			if err != nil {
+				return 0, nil, nil, fmt.Errorf("cluster: encode broadcast table: %w", err)
+			}
+			tables = append(tables, tableMsg{Hash: th, Schema: op.Join.Schema, Data: data})
+		}
+	}
+	return fp, opsWire, tables, nil
 }
 
 // connect dials and handshakes one executor connection.

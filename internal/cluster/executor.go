@@ -28,6 +28,15 @@ type ExecutorServer struct {
 	// WriteTimeout bounds sending one result back to the driver. 0 means
 	// the 1m default; negative disables.
 	WriteTimeout time.Duration
+	// PushTimeout bounds one shuffle peer push round trip (chunk write +
+	// ack read) when the driver's shuffleBeginMsg does not set one. 0
+	// means the 30s default.
+	PushTimeout time.Duration
+
+	// shuffles holds this executor's open shuffles (protocol v4); peers
+	// pools its outgoing executor-to-executor connections.
+	shuffles shuffleStore
+	peers    peerPool
 
 	mu         sync.Mutex
 	listener   net.Listener
@@ -92,6 +101,13 @@ func (s *ExecutorServer) writeTimeout() time.Duration {
 	}
 }
 
+func (s *ExecutorServer) pushTimeout() time.Duration {
+	if s.PushTimeout > 0 {
+		return s.PushTimeout
+	}
+	return defaultPushTimeout
+}
+
 // ListenAndServe binds addr (e.g. ":7077" or "127.0.0.1:0") and serves
 // until ctx is cancelled.
 func (s *ExecutorServer) ListenAndServe(ctx context.Context, addr string) error {
@@ -121,6 +137,10 @@ func (s *ExecutorServer) Serve(ctx context.Context, l net.Listener) error {
 	})
 	defer stop()
 	defer s.handlers.Wait()
+	// Outgoing peer connections and shuffle state die with the server:
+	// grants release, spill files unlink.
+	defer s.peers.closeAll()
+	defer s.shuffles.freeAll()
 	for {
 		raw, err := l.Accept()
 		if err != nil {
@@ -264,6 +284,25 @@ func (s *ExecutorServer) handle(ctx context.Context, c *conn) {
 	stages := map[uint64]*engine.StagePipeline{}
 	stageErrs := map[uint64]error{}
 	tables := map[uint64][]relation.Row{}
+	// In-flight shuffle push streams on this connection (protocol v4).
+	// Scoped to the connection like the stage caches: a dropped peer
+	// connection drops its partial streams and the retried map task
+	// starts a fresh sequence.
+	pend := map[pushKey]*pendingRun{}
+
+	// reply sends one response frame under the write timeout.
+	reply := func(what string, v any) bool {
+		if wt := s.writeTimeout(); wt > 0 {
+			_ = c.raw.SetWriteDeadline(time.Now().Add(wt))
+		}
+		err := c.enc.Encode(v)
+		_ = c.raw.SetWriteDeadline(time.Time{})
+		if err != nil {
+			s.logf("cluster executor: send %s: %v", what, err)
+			return false
+		}
+		return true
+	}
 
 	for ctx.Err() == nil && !s.isDraining() {
 		var hdr frameHdr
@@ -304,13 +343,71 @@ func (s *ExecutorServer) handle(ctx context.Context, c *conn) {
 				s.logf("cluster executor: task %d: corrupt partition payload", task.ID)
 				return
 			}
-			if wt := s.writeTimeout(); wt > 0 {
-				_ = c.raw.SetWriteDeadline(time.Now().Add(wt))
+			if !reply(fmt.Sprintf("result %d", task.ID), res) {
+				return
 			}
-			err := c.enc.Encode(res)
-			_ = c.raw.SetWriteDeadline(time.Time{})
-			if err != nil {
-				s.logf("cluster executor: send result %d: %v", task.ID, err)
+		case frameShuffleBegin:
+			var msg shuffleBeginMsg
+			if err := c.dec.Decode(&msg); err != nil {
+				return
+			}
+			var ack shuffleBeginAck
+			if _, err := s.shuffles.begin(&msg, s.pushTimeout()); err != nil {
+				ack.Err = err.Error()
+			}
+			if !reply("shuffle begin ack", ack) {
+				return
+			}
+		case frameShuffleMap:
+			var task shuffleMapMsg
+			if err := c.dec.Decode(&task); err != nil {
+				return
+			}
+			ack, fatal := s.runShuffleMap(stages, stageErrs, &task)
+			if fatal {
+				s.logf("cluster executor: shuffle map %d: corrupt partition payload", task.ID)
+				return
+			}
+			if !reply(fmt.Sprintf("shuffle map ack %d", task.ID), ack) {
+				return
+			}
+		case frameShufflePush:
+			var msg shufflePushMsg
+			if err := c.dec.Decode(&msg); err != nil {
+				return
+			}
+			if !reply("shuffle push ack", s.handleShufflePush(pend, &msg)) {
+				return
+			}
+		case frameShuffleBarrier:
+			var msg shuffleBarrierMsg
+			if err := c.dec.Decode(&msg); err != nil {
+				return
+			}
+			var ack shuffleBarrierAck
+			if st := s.shuffles.get(msg.Shuffle); st == nil {
+				ack.Err = fmt.Sprintf("unknown shuffle %#x", msg.Shuffle)
+			} else {
+				ack.Missing, ack.Rows, ack.Bytes = st.missing(msg.Sources)
+			}
+			if !reply("shuffle barrier ack", ack) {
+				return
+			}
+		case frameShuffleReduce:
+			var msg shuffleReduceMsg
+			if err := c.dec.Decode(&msg); err != nil {
+				return
+			}
+			if !reply(fmt.Sprintf("shuffle reduce ack %d", msg.Part), s.runShuffleReduce(&msg)) {
+				return
+			}
+		case frameShuffleFree:
+			var msg shuffleFreeMsg
+			if err := c.dec.Decode(&msg); err != nil {
+				return
+			}
+			s.shuffles.free(msg.Shuffles)
+			if !reply("shuffle free ack", shuffleFreeAck{}) {
 				return
 			}
 		default:

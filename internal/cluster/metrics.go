@@ -30,6 +30,29 @@ var (
 	mTaskPanics = telemetry.Default().Counter("cluster_task_panics_total",
 		"Task results carrying a contained executor panic, observed by the driver.")
 
+	// Shuffle families (protocol v4, docs/SHUFFLE.md). Sent/received and
+	// bytes describe this process's executor server acting as a shuffle
+	// peer; barrier wait and spills describe driver- and receiver-side
+	// behaviour of the exchange. All are pre-registered here so
+	// /metrics carries the full shuffle catalogue from process start —
+	// `make vet-metrics` gates that via VerifyShuffleMetrics.
+	mShufflePartsSent = telemetry.Default().Counter("cluster_shuffle_partitions_sent_total",
+		"Shuffle bucket runs pushed to peer executors (or self-committed) by map tasks.")
+	mShufflePartsRecv = telemetry.Default().Counter("cluster_shuffle_partitions_received_total",
+		"Shuffle bucket runs committed by this process's executor server.")
+	mShuffleBytesSent = telemetry.Default().Counter("cluster_shuffle_bytes_sent_total",
+		"Shuffle partition payload bytes pushed to peer executors.")
+	mShuffleBytesRecv = telemetry.Default().Counter("cluster_shuffle_bytes_recv_total",
+		"Shuffle partition payload bytes received from peer executors.")
+	mShufflePeerReconnects = telemetry.Default().Counter("cluster_shuffle_peer_reconnects_total",
+		"Re-established executor-to-executor shuffle connections.")
+	mShuffleBarrierWait = telemetry.Default().Counter("cluster_shuffle_barrier_wait_ns_total",
+		"Nanoseconds drivers spent in shuffle barrier rounds waiting for materialization.")
+	mShuffleSpills = telemetry.Default().Counter("cluster_shuffle_spills_total",
+		"Shuffle partition runs spilled to disk by receiving executors under memory pressure.")
+	mShuffleSpillBytes = telemetry.Default().Counter("cluster_shuffle_spill_bytes_total",
+		"Bytes written to shuffle spill files by receiving executors.")
+
 	mExecTasks = telemetry.Default().Counter("executor_tasks_total",
 		"Tasks completed by this process's executor server.")
 	mExecStages = telemetry.Default().Counter("executor_stages_received_total",
@@ -39,3 +62,19 @@ var (
 	mExecPanics = telemetry.Default().Counter("executor_task_panics_total",
 		"Panics recovered during task execution by this process's executor server.")
 )
+
+// VerifyShuffleMetrics checks the cluster_shuffle_* catalogue is
+// registered with the expected types — part of the `make vet-metrics`
+// gate, alongside the engine-side engine.VerifyShuffleMetrics.
+func VerifyShuffleMetrics() error {
+	return telemetry.VerifyFamilies(map[string]string{
+		"cluster_shuffle_partitions_sent_total":     telemetry.TypeCounter,
+		"cluster_shuffle_partitions_received_total": telemetry.TypeCounter,
+		"cluster_shuffle_bytes_sent_total":          telemetry.TypeCounter,
+		"cluster_shuffle_bytes_recv_total":          telemetry.TypeCounter,
+		"cluster_shuffle_peer_reconnects_total":     telemetry.TypeCounter,
+		"cluster_shuffle_barrier_wait_ns_total":     telemetry.TypeCounter,
+		"cluster_shuffle_spills_total":              telemetry.TypeCounter,
+		"cluster_shuffle_spill_bytes_total":         telemetry.TypeCounter,
+	})
+}

@@ -30,9 +30,13 @@ import (
 // the task epoch (speculative re-execution, duplicate-result discard);
 // version 3 added stage-once shipping (stageMsg, content-hashed
 // broadcast tables, executor-side pipeline caching) and the columnar
-// partition codec (internal/colcodec), making v2 and v3 mutually
-// unintelligible past the handshake — hence the version bump.
-const protocolVersion = 3
+// partition codec (internal/colcodec); version 4 added the
+// hash-partitioned shuffle exchange (docs/SHUFFLE.md): six new frame
+// kinds for shuffle setup, map tasks, executor-to-executor partition
+// pushes, the materialization barrier, partition-local reduces and
+// cleanup. New frame kinds are not gob-additive — a v3 peer would
+// reject them as unknown frames mid-stream — hence the version bump.
+const protocolVersion = 4
 
 // magic identifies the protocol on connect.
 const magic = "IVNT"
@@ -56,6 +60,16 @@ type helloAck struct {
 const (
 	frameStage uint8 = 1
 	frameTask  uint8 = 2
+	// Shuffle frames (protocol v4). Begin/map/barrier/reduce/free travel
+	// driver→executor; push travels executor→executor on peer
+	// connections, which use the same handshake and frame format as
+	// driver connections, so one server loop handles both.
+	frameShuffleBegin   uint8 = 3
+	frameShuffleMap     uint8 = 4
+	frameShufflePush    uint8 = 5
+	frameShuffleBarrier uint8 = 6
+	frameShuffleReduce  uint8 = 7
+	frameShuffleFree    uint8 = 8
 )
 
 type frameHdr struct {
@@ -135,6 +149,153 @@ type resultMsg struct {
 	MemBudget int64
 }
 
+// Shuffle reduce kinds: what an executor computes over the partitions
+// it owns once a shuffle is fully materialized.
+const (
+	// reduceCollect returns the partition's rows unchanged (a plain
+	// repartition-and-fetch, what Driver.ShuffleMaterialize uses).
+	reduceCollect uint8 = 1
+	// reduceFinalAgg merges the partition's partial-aggregate rows into
+	// finals (the reduce side of the shuffle aggregation plan).
+	reduceFinalAgg uint8 = 2
+	// reduceJoin hash-joins the partition of the primary (left) shuffle
+	// against the same partition of a second (right) shuffle using the
+	// engine's broadcast-join kernel, so per-partition results are
+	// bitwise identical to what the broadcast plan would produce.
+	reduceJoin uint8 = 3
+)
+
+// shuffleBeginMsg opens one shuffle on an executor: the endpoint map
+// (partition p is owned by Endpoints[p%len(Endpoints)]; SelfIdx is this
+// executor's slot in it), the fan-out, the hash key columns, and the
+// schema the pushed partition payloads are columnar-encoded against.
+// The driver sends it once per shuffle per connection — like stageMsg,
+// a reconnected executor receives it again — and executors treat
+// repeats as idempotent.
+type shuffleBeginMsg struct {
+	ID        uint64
+	Endpoints []string
+	SelfIdx   int
+	Parts     int
+	Keys      []string
+	Schema    relation.Schema
+	Compress  bool
+	// PushTimeoutMs bounds one peer push round trip (chunk write + ack
+	// read) on the map side. 0 means the executor default.
+	PushTimeoutMs int64
+}
+
+type shuffleBeginAck struct {
+	Err string
+}
+
+// shuffleMapMsg is one shuffle map task: decode the carried input
+// partition, run the (already shipped) stage pipeline over it if Stage
+// is nonzero, split the output by key hash, and push every bucket to
+// the executor that owns the corresponding output partition. ID doubles
+// as the push dedup source: re-executions of the same map task push
+// under the same source id and the first complete run of a (partition,
+// source) pair wins, so retries cannot duplicate rows.
+type shuffleMapMsg struct {
+	ID      uint64
+	Epoch   uint64
+	Shuffle uint64
+	Stage   uint64
+	Data    []byte
+}
+
+// shuffleMapAck reports one map task's outcome. PushedBytes counts
+// peer-wire payload bytes (self-owned buckets never hit a socket and
+// are excluded); Rows counts all routed rows.
+type shuffleMapAck struct {
+	ID          uint64
+	Epoch       uint64
+	Rows        int64
+	PushedBytes int64
+	Err         string
+	Retryable   bool
+	Panicked    bool
+}
+
+// shufflePushMsg streams one bucket of one map task to the partition
+// owner as a sequence of colcodec frames — the exact run format the
+// engine's spill files use, so the receiver can spill the frames to
+// disk under memory pressure without re-encoding. Frames for one
+// (Shuffle, Part, Source) arrive in Seq order on one connection; Last
+// closes the run (its Rows is the total row count, cross-checked
+// against the decoded frames before the run commits). A frameless Last
+// commits an empty run, so every (partition, source) pair commits even
+// when no rows hashed there — which is what lets the barrier treat
+// "missing" as "map output lost", never "map output empty".
+type shufflePushMsg struct {
+	Shuffle uint64
+	Part    int
+	Source  uint64
+	Seq     int
+	Data    []byte
+	Last    bool
+	Rows    int64
+}
+
+type shufflePushAck struct {
+	Err string
+}
+
+// shuffleBarrierMsg asks an executor whether every partition it owns
+// has a committed run from every map source. The ack lists the sources
+// still missing anywhere (the driver re-enqueues exactly those map
+// tasks) plus committed row/byte totals for observability.
+type shuffleBarrierMsg struct {
+	Shuffle uint64
+	Sources []uint64
+}
+
+type shuffleBarrierAck struct {
+	Missing []uint64
+	Rows    int64
+	Bytes   int64
+	Err     string
+}
+
+// shuffleReduceMsg runs one partition-local reduce on the partition's
+// owner and returns the result rows in the ack, columnar-encoded.
+// Sources re-states the complete map-source set so the reduce fails
+// retryably — instead of silently computing over partial data — if the
+// executor lost runs (e.g. restarted) after the barrier passed.
+// Shuffle2/Sources2 name the right-side shuffle for reduceJoin;
+// GroupBy/Aggs parameterize reduceFinalAgg; LeftKeys/RightKeys
+// parameterize reduceJoin.
+type shuffleReduceMsg struct {
+	Shuffle   uint64
+	Shuffle2  uint64
+	Part      int
+	Kind      uint8
+	Sources   []uint64
+	Sources2  []uint64
+	GroupBy   []string
+	Aggs      []engine.AggSpec
+	LeftKeys  []string
+	RightKeys []string
+	Compress  bool
+}
+
+type shuffleReduceAck struct {
+	Part      int
+	Data      []byte
+	Err       string
+	Retryable bool
+	Panicked  bool
+}
+
+// shuffleFreeMsg releases executor-side shuffle state (committed runs,
+// memory grants, spill files). Best-effort: executors also free
+// everything on shutdown.
+type shuffleFreeMsg struct {
+	Shuffles []uint64
+}
+
+type shuffleFreeAck struct{}
+
 // countingRW wraps the raw connection and counts bytes in both
 // directions, so the driver can report exact bytes-on-wire per stage.
 // Each conn is driven by a single goroutine, so plain int64s suffice.
@@ -169,17 +330,22 @@ type conn struct {
 
 	sentStages map[uint64]bool
 	sentTables map[uint64]bool
+	// sentShuffles tracks which shuffles this connection has opened with
+	// a shuffleBeginMsg, so reconnects naturally re-open them (protocol
+	// v4; same lifetime discipline as sentStages).
+	sentShuffles map[uint64]bool
 }
 
 func newConn(raw net.Conn) *conn {
 	c := &countingRW{rw: raw}
 	return &conn{
-		raw:        raw,
-		count:      c,
-		enc:        gob.NewEncoder(c),
-		dec:        gob.NewDecoder(c),
-		sentStages: map[uint64]bool{},
-		sentTables: map[uint64]bool{},
+		raw:          raw,
+		count:        c,
+		enc:          gob.NewEncoder(c),
+		dec:          gob.NewDecoder(c),
+		sentStages:   map[uint64]bool{},
+		sentTables:   map[uint64]bool{},
+		sentShuffles: map[uint64]bool{},
 	}
 }
 

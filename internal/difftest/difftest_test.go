@@ -25,6 +25,9 @@ var (
 // -difftest.seed=<seed>, and flip -difftest.vectorize to bisect
 // whether it lives in the vectorized kernels or the shared row logic.
 func TestDifferential(t *testing.T) {
+	if *flagShuffle {
+		t.Skip("-difftest.shuffle: running only the shuffle invariants (TestShuffleDifferential)")
+	}
 	prev := engine.Vectorize.Load()
 	engine.Vectorize.Store(*flagVec)
 	defer engine.Vectorize.Store(prev)

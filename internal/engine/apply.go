@@ -91,7 +91,7 @@ func NewStagePipeline(in relation.Schema, ops []OpDesc) (*StagePipeline, error) 
 				}
 				b.rows = append(b.rows, r)
 			}
-		case OpProject, OpDedupConsecutive, OpSortWithin:
+		case OpProject, OpDedupConsecutive, OpSortWithin, OpShuffleExchange:
 			st.colIdx = make([]int, len(op.Cols))
 			for k, name := range op.Cols {
 				st.colIdx[k] = cur.MustIndex(name)
@@ -281,6 +281,9 @@ func (st *compiledOp) apply(rows []relation.Row) ([]relation.Row, error) {
 		// Governed: in-memory hash aggregation when it fits, grace hash
 		// aggregation through disk otherwise (spill.go).
 		return st.applyAgg(rows)
+
+	case OpShuffleExchange:
+		return st.applyShuffleExchange(rows)
 	}
 	return nil, fmt.Errorf("engine: unknown op kind %v", st.desc.Kind)
 }

@@ -43,6 +43,16 @@ type Stats struct {
 	// inserted because an executor reported memory pressure in its
 	// result frames (admission control; see docs/MEMORY.md).
 	AdmissionDeferrals int
+	// Shuffle counters (populated by the cluster driver's shuffle
+	// scheduler, protocol v4; see docs/SHUFFLE.md): ShufflePartitions
+	// counts shuffle output partitions materialized across executors,
+	// ShuffleBytesPushed counts executor-to-executor partition payload
+	// bytes (peer streams never cross the driver, so BytesSent/Recv
+	// cannot see them), ShuffleBarrierWall accumulates driver time
+	// spent in barrier rounds waiting for shuffles to materialize.
+	ShufflePartitions  int
+	ShuffleBytesPushed int64
+	ShuffleBarrierWall time.Duration
 }
 
 // Add accumulates another stage's stats.
@@ -62,6 +72,9 @@ func (s *Stats) Add(o Stats) {
 	s.EncodeWall += o.EncodeWall
 	s.DecodeWall += o.DecodeWall
 	s.AdmissionDeferrals += o.AdmissionDeferrals
+	s.ShufflePartitions += o.ShufflePartitions
+	s.ShuffleBytesPushed += o.ShuffleBytesPushed
+	s.ShuffleBarrierWall += o.ShuffleBarrierWall
 }
 
 // Executor runs a stage — a narrow-operator pipeline over every

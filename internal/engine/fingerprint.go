@@ -52,6 +52,9 @@ func hashOp(h hash.Hash64, op OpDesc) {
 	hashString(h, op.Col)
 	hashString(h, op.RuleCol)
 	hashStrings(h, op.Cols)
+	// Shuffle fan-out: two exchanges over the same keys but different
+	// partition counts must compile and cache as distinct stages.
+	hashInt(h, op.Parts)
 	hashStrings(h, op.GroupBy)
 	hashInt(h, len(op.Aggs))
 	for _, a := range op.Aggs {

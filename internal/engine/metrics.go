@@ -206,6 +206,8 @@ type StatsCollector struct {
 	BytesSent, BytesRecv, StagesShipped         atomic.Int64
 	WallNs, EncodeNs, DecodeNs                  atomic.Int64
 	AdmissionDeferrals                          atomic.Int64
+	ShufflePartitions, ShuffleBytesPushed       atomic.Int64
+	ShuffleBarrierNs                            atomic.Int64
 }
 
 // NewStatsCollector returns an empty collector.
@@ -230,6 +232,9 @@ func (c *StatsCollector) Snapshot() Stats {
 		EncodeWall:         time.Duration(c.EncodeNs.Load()),
 		DecodeWall:         time.Duration(c.DecodeNs.Load()),
 		AdmissionDeferrals: int(c.AdmissionDeferrals.Load()),
+		ShufflePartitions:  int(c.ShufflePartitions.Load()),
+		ShuffleBytesPushed: c.ShuffleBytesPushed.Load(),
+		ShuffleBarrierWall: time.Duration(c.ShuffleBarrierNs.Load()),
 	}
 }
 
@@ -250,4 +255,7 @@ func (c *StatsCollector) AddStats(s Stats) {
 	c.EncodeNs.Add(int64(s.EncodeWall))
 	c.DecodeNs.Add(int64(s.DecodeWall))
 	c.AdmissionDeferrals.Add(int64(s.AdmissionDeferrals))
+	c.ShufflePartitions.Add(int64(s.ShufflePartitions))
+	c.ShuffleBytesPushed.Add(s.ShuffleBytesPushed)
+	c.ShuffleBarrierNs.Add(int64(s.ShuffleBarrierWall))
 }

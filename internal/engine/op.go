@@ -55,6 +55,15 @@ const (
 	// the partials. AggFirst/AggLast are order-dependent and therefore
 	// not distributable.
 	OpPartialAgg
+	// OpShuffleExchange is the map side of a hash-partitioned shuffle:
+	// it reorders the partition's rows into contiguous runs grouped by
+	// ascending hash bucket of the key columns (bucket = Row.Bucket of
+	// Cols over Parts), preserving input order within each bucket and
+	// leaving the schema unchanged. On the cluster this is where map
+	// tasks cut their output into the per-executor partitions they
+	// stream to peers; as a narrow operator it stays a deterministic,
+	// locally testable kernel (see shuffle.go and docs/SHUFFLE.md).
+	OpShuffleExchange
 
 	// NumOpKinds is the number of operator kinds; it must stay
 	// immediately after the last kind so iota counts it. The
@@ -84,6 +93,8 @@ func (k OpKind) String() string {
 		return "sortwithin"
 	case OpPartialAgg:
 		return "partialagg"
+	case OpShuffleExchange:
+		return "shuffleexchange"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -126,6 +137,9 @@ type OpDesc struct {
 	// GroupBy and Aggs parameterize OpPartialAgg.
 	GroupBy []string
 	Aggs    []AggSpec
+	// Parts is the shuffle fan-out (OpShuffleExchange): rows are hashed
+	// on Cols into this many output partitions.
+	Parts int
 }
 
 // Filter builds a σ descriptor.
@@ -167,6 +181,14 @@ func SortWithin(cols ...string) OpDesc { return OpDesc{Kind: OpSortWithin, Cols:
 // PartialAgg builds a map-side partial aggregation descriptor.
 func PartialAgg(groupBy []string, aggs []AggSpec) OpDesc {
 	return OpDesc{Kind: OpPartialAgg, GroupBy: groupBy, Aggs: aggs}
+}
+
+// ShuffleExchange builds a hash-repartition descriptor: rows are
+// grouped into parts contiguous bucket runs by the hash of the key
+// columns. Null keys hash deterministically into one bucket
+// (relation.Row.Bucket is the single bucket authority).
+func ShuffleExchange(parts int, keys ...string) OpDesc {
+	return OpDesc{Kind: OpShuffleExchange, Parts: parts, Cols: keys}
 }
 
 // OutputSchema computes the schema produced by applying ops to a schema,
@@ -248,6 +270,19 @@ func opSchema(in relation.Schema, op OpDesc) (relation.Schema, error) {
 		return in, nil
 	case OpPartialAgg:
 		return partialAggSchema(in, op.GroupBy, op.Aggs)
+	case OpShuffleExchange:
+		if op.Parts < 1 {
+			return relation.Schema{}, fmt.Errorf("shuffle fan-out %d < 1", op.Parts)
+		}
+		if len(op.Cols) == 0 {
+			return relation.Schema{}, fmt.Errorf("shuffle exchange needs key columns")
+		}
+		for _, c := range op.Cols {
+			if !in.Has(c) {
+				return relation.Schema{}, fmt.Errorf("shuffle key %q missing", c)
+			}
+		}
+		return in, nil
 	default:
 		return relation.Schema{}, fmt.Errorf("unknown op kind %v", op.Kind)
 	}

@@ -29,10 +29,8 @@
 package engine
 
 import (
-	"bufio"
 	"bytes"
 	"container/heap"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -196,9 +194,6 @@ const (
 	minSpillRun   = 4 << 10
 	maxSpillRun   = 32 << 20
 	minSpillBlock = 2 << 10
-	// maxSpillBlockWire bounds a block length read back from disk;
-	// anything larger is corruption, not data.
-	maxSpillBlockWire = 1 << 30
 )
 
 func spillRunBytes(g *memgov.Governor) int64 {
@@ -221,11 +216,12 @@ func spillRunBytes(g *memgov.Governor) int64 {
 // ----------------------------------------------------------- spill run files
 
 // spillWriter writes one spill run: a temp file of uvarint
-// length-prefixed colcodec frames, deleted when the matching reader
-// closes.
+// length-prefixed colcodec frames (the shared colcodec.FrameWriter
+// format, which the shuffle exchange also speaks on the wire), deleted
+// when the matching reader closes.
 type spillWriter struct {
 	f      *os.File
-	bw     *bufio.Writer
+	fw     *colcodec.FrameWriter
 	schema relation.Schema
 	bytes  int64
 }
@@ -238,7 +234,7 @@ func newSpillWriter(s relation.Schema) (*spillWriter, error) {
 	if err != nil {
 		return nil, Retryable(fmt.Errorf("spill create: %w", err))
 	}
-	return &spillWriter{f: f, bw: bufio.NewWriterSize(f, 64<<10), schema: s}, nil
+	return &spillWriter{f: f, fw: colcodec.NewFrameWriter(f), schema: s}, nil
 }
 
 func (w *spillWriter) writeBlock(rows []relation.Row) error {
@@ -254,22 +250,17 @@ func (w *spillWriter) writeBlock(rows []relation.Row) error {
 		// environmental: retrying the task cannot help.
 		return fmt.Errorf("spill encode: %w", err)
 	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(data)))
-	if _, err := w.bw.Write(hdr[:n]); err != nil {
+	if err := w.fw.WriteFrame(data); err != nil {
 		return Retryable(fmt.Errorf("spill write: %w", err))
 	}
-	if _, err := w.bw.Write(data); err != nil {
-		return Retryable(fmt.Errorf("spill write: %w", err))
-	}
-	w.bytes += int64(n + len(data))
+	w.bytes = w.fw.Bytes()
 	return nil
 }
 
 // finish flushes, applies any armed truncation fault, rewinds and
 // hands the file to a reader. On error the temp file is removed.
 func (w *spillWriter) finish() (*spillReader, error) {
-	if err := w.bw.Flush(); err != nil {
+	if err := w.fw.Flush(); err != nil {
 		w.abort()
 		return nil, Retryable(fmt.Errorf("spill flush: %w", err))
 	}
@@ -287,7 +278,7 @@ func (w *spillWriter) finish() (*spillReader, error) {
 		w.abort()
 		return nil, Retryable(fmt.Errorf("spill seek: %w", err))
 	}
-	return &spillReader{f: w.f, br: bufio.NewReaderSize(w.f, 64<<10), schema: w.schema}, nil
+	return &spillReader{f: w.f, fr: colcodec.NewFrameReader(w.f), schema: w.schema}, nil
 }
 
 func (w *spillWriter) abort() {
@@ -300,7 +291,7 @@ func (w *spillWriter) abort() {
 // removes the underlying temp file.
 type spillReader struct {
 	f      *os.File
-	br     *bufio.Reader
+	fr     *colcodec.FrameReader
 	schema relation.Schema
 }
 
@@ -311,19 +302,12 @@ func (r *spillReader) next() ([]relation.Row, error) {
 	if err := spillFault("read"); err != nil {
 		return nil, err
 	}
-	l, err := binary.ReadUvarint(r.br)
+	buf, err := r.fr.Next()
 	if err == io.EOF {
 		return nil, io.EOF
 	}
 	if err != nil {
-		return nil, Retryable(fmt.Errorf("spill read header: %w", err))
-	}
-	if l == 0 || l > maxSpillBlockWire {
-		return nil, Retryable(fmt.Errorf("spill read: corrupt block length %d", l))
-	}
-	buf := make([]byte, l)
-	if _, err := io.ReadFull(r.br, buf); err != nil {
-		return nil, Retryable(fmt.Errorf("spill read: truncated block: %w", err))
+		return nil, Retryable(fmt.Errorf("spill read: %w", err))
 	}
 	rows, err := colcodec.Decode(r.schema, buf)
 	if err != nil {

@@ -41,7 +41,7 @@ import (
 // the oracle about it makes one of the array lengths negative, which
 // fails to compile. Update coveredKinds only together with a new case
 // in ApplyOp (and generator coverage in internal/difftest).
-const coveredKinds = 8
+const coveredKinds = 9
 
 var _ [engine.NumOpKinds - coveredKinds]struct{} // engine has a kind the oracle lacks
 var _ [coveredKinds - engine.NumOpKinds]struct{} // oracle claims a kind the engine lacks
@@ -99,6 +99,8 @@ func ApplyOp(in relation.Schema, rows []relation.Row, op engine.OpDesc) (relatio
 		return applySortWithin(in, rows, op)
 	case engine.OpPartialAgg:
 		return applyPartialAgg(in, rows, op)
+	case engine.OpShuffleExchange:
+		return applyShuffleExchange(in, rows, op)
 	default:
 		return relation.Schema{}, nil, fmt.Errorf("no reference implementation for op kind %v", op.Kind)
 	}
@@ -284,6 +286,36 @@ func applySortWithin(in relation.Schema, rows []relation.Row, op engine.OpDesc) 
 				break
 			}
 			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return in, out, nil
+}
+
+// applyShuffleExchange reorders one partition's rows into contiguous
+// runs of ascending key-hash bucket, keeping input order within each
+// bucket: one full pass over the input per bucket, O(parts × rows) —
+// maximally naive, no per-bucket buffers. Bucket assignment uses
+// relation.Row.Bucket directly (the data-model contract shared with
+// the engine, like expr), so null keys land in the same single bucket
+// on both sides.
+func applyShuffleExchange(in relation.Schema, rows []relation.Row, op engine.OpDesc) (relation.Schema, []relation.Row, error) {
+	if op.Parts < 1 {
+		return relation.Schema{}, nil, fmt.Errorf("shuffle fan-out %d < 1", op.Parts)
+	}
+	idx := make([]int, len(op.Cols))
+	for k, name := range op.Cols {
+		i := in.Index(name)
+		if i < 0 {
+			return relation.Schema{}, nil, fmt.Errorf("shuffle key %q missing", name)
+		}
+		idx[k] = i
+	}
+	out := make([]relation.Row, 0, len(rows))
+	for b := 0; b < op.Parts; b++ {
+		for _, r := range rows {
+			if r.Bucket(op.Parts, idx...) == b {
+				out = append(out, r)
+			}
 		}
 	}
 	return in, out, nil

@@ -102,7 +102,7 @@ func (r *Relation) PartitionByKey(n int, keyCols ...string) (*Relation, error) {
 	parts := make([][]Row, n)
 	for _, p := range r.Partitions {
 		for _, row := range p {
-			b := row.Hash(idx...) % uint64(n)
+			b := row.Bucket(n, idx...)
 			parts[b] = append(parts[b], row)
 		}
 	}

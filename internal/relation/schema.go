@@ -146,6 +146,20 @@ func (r Row) Hash(idx ...int) uint64 {
 	return h
 }
 
+// Bucket maps the row onto one of parts hash buckets by the given key
+// cell indexes. This is the single authority on shuffle bucket
+// assignment: PartitionByKey and the engine's shuffle exchange both
+// route through it, so every layer agrees on the edge cases — in
+// particular null keys, which hash through Value.Hash's KindNull tag
+// and therefore land in exactly one deterministic bucket rather than
+// being scattered or dropped.
+func (r Row) Bucket(parts int, idx ...int) int {
+	if parts < 1 {
+		parts = 1
+	}
+	return int(r.Hash(idx...) % uint64(parts))
+}
+
 // String renders the row for debugging.
 func (r Row) String() string {
 	parts := make([]string, len(r))

@@ -317,6 +317,30 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 	return out
 }
 
+// VerifyFamilies checks that every named metric family is registered on
+// the default registry with the expected type ("counter", "gauge",
+// "histogram"). Packages expose their catalogue checks (engine, cluster,
+// memgov) on top of it, and `make vet-metrics` fails the build when an
+// expected family is missing or mistyped.
+func VerifyFamilies(want map[string]string) error {
+	missing := make(map[string]string, len(want))
+	for k, v := range want {
+		missing[k] = v
+	}
+	for _, fam := range Default().Snapshot() {
+		if typ, ok := missing[fam.Name]; ok {
+			if fam.Type != typ {
+				return fmt.Errorf("telemetry: family %q registered as %s, want %s", fam.Name, fam.Type, typ)
+			}
+			delete(missing, fam.Name)
+		}
+	}
+	for name := range missing {
+		return fmt.Errorf("telemetry: metric family %q not registered", name)
+	}
+	return nil
+}
+
 // HistogramData returns the merged data of every histogram in the named
 // family (all label values folded together), or nil if the family does
 // not exist or is not a histogram. The bench harness takes before/after
