@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest difftest-spill difftest-shuffle fuzz-smoke
+.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest difftest-spill difftest-shuffle difftest-scan fuzz-smoke
 
 all: check
 
@@ -54,6 +54,16 @@ difftest-spill:
 difftest-shuffle:
 	$(GO) test -race ./internal/difftest/ -run ShuffleDifferential -v -difftest.n=$(DIFFTEST_N)
 
+# Segment-scan differential run, race-checked: every seeded workload is
+# sealed into a persistent segment store and the pushdown scan (zone-map
+# pruning + column projection) is held bitwise-equal to the full scan
+# run through the engine's own Filter, the oracle, and a real TCP
+# cluster reading segment files itself (see docs/STORAGE.md).
+# Reproduce a reported seed with:
+#   go test ./internal/difftest/ -run ScanDifferential -difftest.scan -difftest.seed=<seed> -v
+difftest-scan:
+	$(GO) test -race ./internal/difftest/ -run ScanDifferential -v -difftest.n=$(DIFFTEST_N)
+
 # Short fuzz pass over every fuzz target, seeded from the checked-in
 # corpora under */testdata/fuzz/.
 FUZZTIME ?= 10s
@@ -65,10 +75,13 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/protocol/dbc/ -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz '^FuzzPromWriter$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/segstore/ -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/segstore/ -run '^$$' -fuzz '^FuzzFooter$$' -fuzztime $(FUZZTIME)
 
 # Codec, join-stage and cluster micro-benchmarks, then the wire,
-# pipeline, spill and shuffle experiments, which refresh their sections
-# of BENCH_engine.json (the writer merges, so none clobbers another's).
+# pipeline, spill, shuffle and scan experiments, which refresh their
+# sections of BENCH_engine.json (the writer merges, so none clobbers
+# another's).
 bench: build
 	$(GO) test -run NONE -bench 'BenchmarkEncode|BenchmarkDecode' -benchtime 0.5s ./internal/colcodec/
 	$(GO) test -run NONE -bench 'BenchmarkBroadcastJoinStage|BenchmarkRuleCacheParallel|BenchmarkEvalRuleParallel' -benchtime 0.5s ./internal/engine/
@@ -78,6 +91,7 @@ bench: build
 	$(GO) run ./cmd/benchmark -exp pipeline -pipeline-out BENCH_engine.json
 	$(GO) run ./cmd/benchmark -exp spill -spill-out BENCH_engine.json
 	$(GO) run ./cmd/benchmark -exp shuffle -shuffle-out BENCH_engine.json
+	$(GO) run ./cmd/benchmark -exp scan -scan-out BENCH_engine.json
 
 # One-iteration pass over every benchmark in the module: catches
 # bit-rotted benchmark code in CI without paying measurement time.

@@ -30,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchmark: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire, pipeline, spill, shuffle or all")
+		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire, pipeline, spill, shuffle, scan or all")
 		scale       = flag.Float64("scale", 0, "scale factor vs paper row counts (0 = per-experiment default)")
 		workers     = flag.Int("workers", 0, "local executor workers (0 = all cores)")
 		steps       = flag.Int("steps", 8, "fig5: sweep steps per data set")
@@ -48,6 +48,9 @@ func main() {
 		shufParts   = flag.Int("shuffle-parts", 0, "shuffle: exchange fan-out (0 = 2x executors)")
 		shufKeyCard = flag.Int("shuffle-keycard", 0, "shuffle: join-key cardinality = build-side rows (0 = default)")
 		shufOut     = flag.String("shuffle-out", "", "shuffle: also write results into this JSON file's \"shuffle\" section (e.g. BENCH_engine.json)")
+		scanSegs    = flag.Int("scan-segments", 0, "scan: segments in the store (0 = default)")
+		scanRows    = flag.Int("scan-rows", 0, "scan: rows per segment (0 = default)")
+		scanOut     = flag.String("scan-out", "", "scan: also write results into this JSON file's \"scan\" section (e.g. BENCH_engine.json)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON (load in Perfetto) of cluster task spans to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /tasks, /trace and /debug/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
@@ -217,6 +220,20 @@ func main() {
 				}
 				fmt.Printf("(wrote %s)\n", *shufOut)
 			}
+		case "scan":
+			results, err := bench.Scan(ctx, bench.ScanOptions{
+				Segments: *scanSegs, RowsPerSeg: *scanRows, Compress: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatScan(results))
+			if *scanOut != "" {
+				if err := writeJSONSections(*scanOut, map[string]any{"scan": results}); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("(wrote %s)\n", *scanOut)
+			}
 		case "storage":
 			rows, err := bench.AblationStorage(*scale)
 			if err != nil {
@@ -232,7 +249,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire", "pipeline", "spill", "shuffle"} {
+		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire", "pipeline", "spill", "shuffle", "scan"} {
 			run(name)
 		}
 		return

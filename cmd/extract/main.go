@@ -6,6 +6,7 @@
 //	extract -trace j.ivtr -dbc body.dbc -channel FC -config dom.json  # DBC documentation
 //	extract ... -cluster host1:7077,host2:7077   # distributed execution
 //	extract ... -store results/                  # persist to the result database
+//	extract ... -store-dir segments/             # persist as columnar segments
 package main
 
 import (
@@ -14,13 +15,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ivnt/internal/cluster"
 	"ivnt/internal/core"
 	"ivnt/internal/engine"
 	"ivnt/internal/protocol/dbc"
+	"ivnt/internal/reduce"
 	"ivnt/internal/rules"
+	"ivnt/internal/segstore"
 	"ivnt/internal/store"
 	"ivnt/internal/trace"
 )
@@ -35,6 +39,7 @@ func main() {
 		dbcChan   = flag.String("channel", "FC", "channel (b_id) the DBC messages occur on")
 		cfgPath   = flag.String("config", "", "domain configuration (JSON); required")
 		storeDir  = flag.String("store", "", "persist results into this result-store directory")
+		segDir    = flag.String("store-dir", "", "persist reduced sequences as columnar segments under this directory (one segment store per domain, one segment per signal)")
 		out       = flag.String("o", "", "state representation output file (default stdout)")
 		workers   = flag.Int("workers", 0, "local executor workers (0 = all cores)")
 		clusterFl = flag.String("cluster", "", "comma-separated executor addresses; empty = local execution")
@@ -119,6 +124,14 @@ func main() {
 		fmt.Printf("results stored under %s/%s\n", *storeDir, cfg.Name)
 	}
 
+	if *segDir != "" {
+		segs, rows, err := writeSegments(filepath.Join(*segDir, cfg.Name), res.Reduced)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d segments (%d rows) sealed under %s/%s\n", segs, rows, *segDir, cfg.Name)
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -140,4 +153,28 @@ func main() {
 	if *out != "" {
 		fmt.Printf("state representation written to %s\n", *out)
 	}
+}
+
+// writeSegments seals each signal's reduced sequence as one immutable
+// columnar segment in a per-domain segment store. Segment-per-signal is
+// the natural clustering: every segment's sid zone map collapses to a
+// single value, so a pushed-down `sid == "..."` filter prunes all other
+// signals without decoding a byte (see docs/STORAGE.md).
+func writeSegments(dir string, reduced []reduce.Reduced) (segs, rows int, err error) {
+	st, err := segstore.Open(dir, trace.SignalSchema(), segstore.Options{Compress: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, red := range reduced {
+		rs := red.Rel.Rows()
+		if len(rs) == 0 {
+			continue
+		}
+		if err := st.AppendSegment(rs); err != nil {
+			return segs, rows, fmt.Errorf("segment for %s: %w", red.SID, err)
+		}
+		segs++
+		rows += len(rs)
+	}
+	return segs, rows, nil
 }

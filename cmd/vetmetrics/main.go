@@ -4,8 +4,9 @@
 // i.e. when someone adds an operator but forgets its String() name or
 // its metrics wiring — when the memory-governance catalogue (the
 // engine spill counters and the memgov governor gauges) is incomplete,
-// and when the shuffle-exchange families (engine_shuffle_* and
-// cluster_shuffle_*) are missing from the registry.
+// when the shuffle-exchange families (engine_shuffle_* and
+// cluster_shuffle_*) are missing from the registry, and when the
+// segment-store counters (segstore_*) are unregistered.
 // The check runs against the same init()-time registration the
 // production binaries use, so passing here means every /metrics scrape
 // carries the full engine_op_seconds, engine_fused_steps_total,
@@ -19,6 +20,7 @@ import (
 	"ivnt/internal/cluster"
 	"ivnt/internal/engine"
 	"ivnt/internal/memgov"
+	"ivnt/internal/segstore"
 )
 
 func main() {
@@ -41,5 +43,8 @@ func main() {
 	if err := cluster.VerifyShuffleMetrics(); err != nil {
 		fail(err)
 	}
-	fmt.Printf("vet-metrics: ok (%d op kinds with engine_op_seconds and engine_fused_steps_total series; spill, memgov and shuffle families registered)\n", engine.NumOpKinds)
+	if err := segstore.VerifyMetrics(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("vet-metrics: ok (%d op kinds with engine_op_seconds and engine_fused_steps_total series; spill, memgov, shuffle and segstore families registered)\n", engine.NumOpKinds)
 }

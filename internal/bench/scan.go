@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+	"ivnt/internal/segstore"
+	"ivnt/internal/telemetry"
+)
+
+// ScanOptions tune the segment-store scan experiment.
+type ScanOptions struct {
+	// Segments in the store; default 32.
+	Segments int
+	// RowsPerSeg is each segment's row count; default 8000.
+	RowsPerSeg int
+	// Iters: each plan runs this many times and reports its best wall
+	// time (the store is on disk either way; iterating damps scheduler
+	// noise); default 3.
+	Iters int
+	// Compress runs segment chunks through DEFLATE; default on — it is
+	// how extract writes stores, and it is the cost pruning avoids.
+	Compress bool
+	// Dir is the store directory; empty = a temp dir (removed after).
+	Dir string
+}
+
+func (o ScanOptions) withDefaults() ScanOptions {
+	if o.Segments <= 0 {
+		o.Segments = 32
+	}
+	if o.RowsPerSeg <= 0 {
+		o.RowsPerSeg = 8000
+	}
+	if o.Iters <= 0 {
+		o.Iters = 3
+	}
+	return o
+}
+
+// ScanResult is one plan's measurement of the same selective query
+// against the same on-disk segment store.
+type ScanResult struct {
+	Plan string
+
+	Segments, RowsPerSeg, RowsTotal int
+	// SegmentsScanned/SegmentsPruned/BytesDecoded are per-run telemetry
+	// deltas: how many segment files had chunks decoded, how many were
+	// skipped on zone maps alone, and how many chunk bytes were read.
+	SegmentsScanned, SegmentsPruned int
+	BytesDecoded                    int64
+	OutRows                         int
+
+	// Speedup = full-scan wall / this plan's wall (1.0 on the full row).
+	Speedup float64
+	WallSec float64
+}
+
+// Scan measures what the zone-map scan path buys on the paper's
+// workload shape: a store of time-clustered segments (monotone ts, the
+// layout extract's segment-per-signal writer produces) queried with a
+// selective filter. The "full" plan decodes every segment cold and
+// filters in the engine; the "pushdown" plan folds the same filter into
+// the scan, prunes segments by footer alone, and decodes only the
+// projected columns of the survivors. Both run the identical ops, so
+// outputs must agree row for row (enforced here; the difftest scan
+// invariant holds it bitwise). The returned slice is [full, pushdown].
+func Scan(ctx context.Context, opts ScanOptions) ([]*ScanResult, error) {
+	opts = opts.withDefaults()
+	dir := opts.Dir
+	if dir == "" {
+		td, err := os.MkdirTemp("", "ivnt-scanbench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(td)
+		dir = td
+	}
+	s := relation.NewSchema(
+		relation.Column{Name: "ts", Kind: relation.KindInt},
+		relation.Column{Name: "val", Kind: relation.KindFloat},
+		relation.Column{Name: "sid", Kind: relation.KindString},
+	)
+	st, err := segstore.Open(dir, s, segstore.Options{Compress: opts.Compress})
+	if err != nil {
+		return nil, err
+	}
+	for g := 0; g < opts.Segments; g++ {
+		rows := make([]relation.Row, opts.RowsPerSeg)
+		for i := range rows {
+			ts := g*opts.RowsPerSeg + i
+			rows[i] = relation.Row{
+				relation.Int(int64(ts)),
+				relation.Float(float64(ts%977) * 0.125),
+				relation.Str(fmt.Sprintf("signal-%03d", ts%311)),
+			}
+		}
+		if err := st.AppendSegment(rows); err != nil {
+			return nil, err
+		}
+	}
+	total := opts.Segments * opts.RowsPerSeg
+	// The query: the trailing segment's worth of the trace, two of the
+	// three columns — a "recent window" lookup over a time-keyed store.
+	ops := []engine.OpDesc{
+		engine.Filter(fmt.Sprintf("ts >= %d", total-opts.RowsPerSeg)),
+		engine.Project("ts", "val"),
+	}
+	local := engine.NewLocal(0)
+
+	reg := telemetry.Default()
+	measure := func(plan string, run func() (*relation.Relation, error)) (*ScanResult, error) {
+		res := &ScanResult{
+			Plan: plan, Segments: opts.Segments,
+			RowsPerSeg: opts.RowsPerSeg, RowsTotal: total,
+		}
+		best := time.Duration(0)
+		for it := 0; it < opts.Iters; it++ {
+			scanned := reg.CounterValue("segstore_segments_scanned_total")
+			pruned := reg.CounterValue("segstore_segments_pruned_total")
+			decoded := reg.CounterValue("segstore_bytes_decoded_total")
+			start := time.Now()
+			out, err := run()
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("scan bench: %s plan: %w", plan, err)
+			}
+			if best == 0 || wall < best {
+				best = wall
+				res.SegmentsScanned = int(reg.CounterValue("segstore_segments_scanned_total") - scanned)
+				res.SegmentsPruned = int(reg.CounterValue("segstore_segments_pruned_total") - pruned)
+				res.BytesDecoded = reg.CounterValue("segstore_bytes_decoded_total") - decoded
+				res.OutRows = out.NumRows()
+			}
+		}
+		res.WallSec = best.Seconds()
+		return res, nil
+	}
+
+	full, err := measure("full", func() (*relation.Relation, error) {
+		rel, err := st.Scan(ctx, engine.Pushdown{})
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := local.RunStage(ctx, rel, ops)
+		return out, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	push, err := measure("pushdown", func() (*relation.Relation, error) {
+		out, _, err := engine.ScanStage(ctx, local, st, ops)
+		return out, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if full.OutRows != push.OutRows {
+		return nil, fmt.Errorf("scan bench: plans disagree: full produced %d rows, pushdown %d",
+			full.OutRows, push.OutRows)
+	}
+	full.Speedup = 1
+	if push.WallSec > 0 {
+		push.Speedup = full.WallSec / push.WallSec
+	}
+	return []*ScanResult{full, push}, nil
+}
+
+// FormatScan renders the plan comparison as an aligned table.
+func FormatScan(results []*ScanResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %9s %9s %8s %8s %12s %9s %9s %8s\n",
+		"plan", "segs", "rows/seg", "rows", "scanned", "pruned",
+		"decoded_B", "out_rows", "wall_ms", "speedup")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %6d %9d %9d %8d %8d %12d %9d %9.1f %7.2fx\n",
+			r.Plan, r.Segments, r.RowsPerSeg, r.RowsTotal, r.SegmentsScanned,
+			r.SegmentsPruned, r.BytesDecoded, r.OutRows, r.WallSec*1e3, r.Speedup)
+	}
+	return b.String()
+}

@@ -262,6 +262,10 @@ func (d *Driver) backoff(fails int) time.Duration {
 	return time.Duration(half + rand.Int63n(half+1))
 }
 
+// The driver schedules stages straight from segment files when the
+// scan source can name them (engine.ScanStage wires the two up).
+var _ engine.SegmentExecutor = (*Driver)(nil)
+
 // inflightInfo tracks the live dispatches of one task: how many copies
 // are out (original + speculative) and when the oldest was launched.
 type inflightInfo struct {
@@ -277,6 +281,16 @@ type inflightInfo struct {
 type stageRun struct {
 	rel      *relation.Relation
 	outParts [][]relation.Row
+
+	// segs, when non-nil, marks a segment-scheduled stage
+	// (RunSegmentStage): task pi reads segs[pi] on the executor instead
+	// of receiving rel.Partitions[pi] over the wire. rel is then a
+	// placeholder carrying only the scan schema; pruned refs are
+	// committed driver-side before any slot starts, using prunedPipe —
+	// the stage compiled from the ORIGINAL ops (opsWire has broadcast
+	// rows stripped and is only compilable on an executor).
+	segs       []engine.SegmentRef
+	prunedPipe *engine.StagePipeline
 
 	// v3 stage shipment, prepared once per RunStage: the stage's
 	// content fingerprint, the pipeline with broadcast rows stripped
@@ -606,10 +620,65 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 		return nil, engine.Stats{}, err
 	}
 
+	sr := d.newStageRun(rel, fp, opsWire, tables, outSchema)
+	return d.drive(ctx, sr, start, rel.NumRows())
+}
+
+// RunSegmentStage implements engine.SegmentExecutor: the same
+// scheduling machinery as RunStage, except tasks name segment files
+// (taskMsg.SegPath/SegCols) instead of carrying encoded partitions —
+// executors read their own segment, so the driver never decodes or
+// ships scan input. refs[i] becomes partition i; refs whose zone maps
+// pruned them are committed driver-side as the stage pipeline applied
+// to an empty partition, which keeps partition indexes stable and the
+// output bitwise-equal to a full scan (aggregations over empty input
+// produce the same rows either way, because the pushed filter provably
+// empties those segments mid-pipeline).
+func (d *Driver) RunSegmentStage(ctx context.Context, refs []engine.SegmentRef, schema relation.Schema, ops []engine.OpDesc) (*relation.Relation, engine.Stats, error) {
+	start := time.Now()
+	if len(d.Addrs) == 0 {
+		return nil, engine.Stats{}, fmt.Errorf("cluster: driver has no executor addresses")
+	}
+	outSchema, err := engine.OutputSchema(schema, ops)
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	fp, opsWire, tables, err := d.stageWire(schema, ops)
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	// Placeholder input relation: it carries the scan schema for the
+	// stage shipment; its (empty) partitions are never encoded because
+	// sendTask ships segment paths for this stage.
+	rel := &relation.Relation{Schema: schema, Partitions: make([][]relation.Row, len(refs))}
+	sr := d.newStageRun(rel, fp, opsWire, tables, outSchema)
+	sr.segs = refs
+	for _, ref := range refs {
+		if ref.Pruned {
+			pipe, _, err := engine.CompileStage(schema, ops)
+			if err != nil {
+				return nil, engine.Stats{}, err
+			}
+			sr.prunedPipe = pipe
+			break
+		}
+	}
+	rowsIn := 0
+	for _, ref := range refs {
+		if !ref.Pruned {
+			rowsIn += ref.Rows
+		}
+	}
+	return d.drive(ctx, sr, start, rowsIn)
+}
+
+// newStageRun builds the scheduling state shared by RunStage and
+// RunSegmentStage. The work channel capacity covers every task being
+// requeued up to the retry budget plus every speculative launch, so no
+// send ever blocks.
+func (d *Driver) newStageRun(rel *relation.Relation, fp uint64, opsWire []engine.OpDesc, tables []tableMsg, outSchema relation.Schema) *stageRun {
 	nParts := len(rel.Partitions)
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	sr := &stageRun{
+	return &stageRun{
 		rel:       rel,
 		fp:        fp,
 		opsWire:   opsWire,
@@ -617,23 +686,32 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 		outSchema: outSchema,
 		compress:  d.Compress,
 		outParts:  make([][]relation.Row, nParts),
-		// Capacity covers every task being requeued up to the retry
-		// budget plus every speculative launch, so no send ever blocks.
-		work:     make(chan int, nParts*(d.retries()+d.maxSpeculation()+2)),
-		pending:  nParts,
-		done:     make([]bool, nParts),
-		attempts: make([]int, nParts),
-		epoch:    make([]int, nParts),
-		specs:    make([]int, nParts),
-		panics:   make([]int, nParts),
-		encParts: make([][]byte, nParts),
-		inflight: make(map[int]inflightInfo),
-		stats:    engine.NewStatsCollector(),
-		tasks:    d.Tasks,
-		cancel:   cancel,
+		work:      make(chan int, nParts*(d.retries()+d.maxSpeculation()+2)),
+		pending:   nParts,
+		done:      make([]bool, nParts),
+		attempts:  make([]int, nParts),
+		epoch:     make([]int, nParts),
+		specs:     make([]int, nParts),
+		panics:    make([]int, nParts),
+		encParts:  make([][]byte, nParts),
+		inflight:  make(map[int]inflightInfo),
+		stats:     engine.NewStatsCollector(),
+		tasks:     d.Tasks,
 	}
+}
+
+// drive runs a prepared stage to completion: spans, pruned-partition
+// pre-commit, work distribution, slot pool, speculation, and the final
+// stats fold. rowsIn is the stage's input row count (the driver cannot
+// derive it for segment stages, whose partitions never materialize
+// here).
+func (d *Driver) drive(ctx context.Context, sr *stageRun, start time.Time, rowsIn int) (*relation.Relation, engine.Stats, error) {
+	nParts := len(sr.outParts)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sr.cancel = cancel
 	d.live.Store(sr.stats)
-	fpHex := fmt.Sprintf("%016x", fp)
+	fpHex := fmt.Sprintf("%016x", sr.fp)
 	if d.Tracer.Enabled() {
 		sr.stageSpan = d.Tracer.StartSpan("stage "+fpHex,
 			telemetry.A("partitions", nParts), telemetry.A("executor", d.Name()))
@@ -645,14 +723,40 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 	}
 	defer sr.stageSpan.End()
 	d.Tasks.BeginStage(fpHex, d.Name(), nParts)
+
+	// Pruned segments complete before any slot dials: their output is
+	// the stage pipeline over an empty partition, computed on the
+	// driver. Each pruned partition gets its own ApplyContained call so
+	// no output rows alias across partitions.
+	live := 0
 	for pi := 0; pi < nParts; pi++ {
+		if sr.segs != nil && sr.segs[pi].Pruned {
+			rows, err := sr.prunedPipe.ApplyContained(nil)
+			if err != nil {
+				return nil, engine.Stats{}, err
+			}
+			sr.mu.Lock()
+			sr.done[pi] = true
+			sr.outParts[pi] = rows
+			sr.pending--
+			sr.mu.Unlock()
+			if sp := sr.spanFor(pi); sp != nil {
+				sp.Event("pruned")
+				sp.End()
+			}
+			sr.tasks.Done(pi)
+			continue
+		}
 		sr.work <- pi
+		live++
 	}
-	if nParts == 0 {
-		close(sr.work)
+	if live == 0 {
+		sr.mu.Lock()
+		sr.closeWorkLocked()
+		sr.mu.Unlock()
 	}
 
-	if f := d.speculationFactor(); f > 0 && nParts > 0 {
+	if f := d.speculationFactor(); f > 0 && live > 0 {
 		go sr.speculate(cctx, f, d.speculationMin(), d.speculationInterval(), d.maxSpeculation())
 	}
 
@@ -683,8 +787,8 @@ func (d *Driver) RunStage(ctx context.Context, rel *relation.Relation, ops []eng
 	if pending > 0 {
 		return nil, engine.Stats{}, fmt.Errorf("cluster: %d partition(s) undeliverable: no executor reachable", pending)
 	}
-	out := &relation.Relation{Schema: outSchema, Partitions: sr.outParts}
-	st.RowsIn = rel.NumRows()
+	out := &relation.Relation{Schema: sr.outSchema, Partitions: sr.outParts}
+	st.RowsIn = rowsIn
 	st.RowsOut = out.NumRows()
 	st.Partitions = nParts
 	st.Wall = time.Since(start)
@@ -947,12 +1051,20 @@ func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) (pressured bool,
 		}
 		sr.noteStageShipped()
 	}
-	data, err := sr.encodedPartition(pi)
-	if err != nil {
-		// Encoding is driver-local and deterministic: abort, don't retry.
-		return false, &taskFailure{taskErr: fmt.Errorf("cluster: task %d: encode partition: %w", pi, err)}
+	task := taskMsg{ID: uint64(pi), Epoch: uint64(epoch), Stage: sr.fp, Span: sr.spanFor(pi).ID()}
+	if sr.segs != nil {
+		// Segment-scheduled stage: the executor reads the segment file
+		// itself; nothing to encode or ship.
+		task.SegPath = sr.segs[pi].Path
+		task.SegCols = sr.segs[pi].Cols
+	} else {
+		data, err := sr.encodedPartition(pi)
+		if err != nil {
+			// Encoding is driver-local and deterministic: abort, don't retry.
+			return false, &taskFailure{taskErr: fmt.Errorf("cluster: task %d: encode partition: %w", pi, err)}
+		}
+		task.Data = data
 	}
-	task := taskMsg{ID: uint64(pi), Epoch: uint64(epoch), Stage: sr.fp, Span: sr.spanFor(pi).ID(), Data: data}
 	if err := c.enc.Encode(frameHdr{Kind: frameTask}); err != nil {
 		return false, &taskFailure{ioErr: err}
 	}

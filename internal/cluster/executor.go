@@ -12,6 +12,7 @@ import (
 	"ivnt/internal/engine"
 	"ivnt/internal/memgov"
 	"ivnt/internal/relation"
+	"ivnt/internal/segstore"
 )
 
 // ExecutorServer is one worker node: it accepts driver connections and
@@ -472,9 +473,28 @@ func (s *ExecutorServer) runTask(stages map[uint64]*engine.StagePipeline, stageE
 		return fail(fmt.Errorf("unknown stage %#x (driver sent task before stage)", task.Stage)), false
 	}
 	t0 := time.Now()
-	rows, err := colcodec.Decode(pipe.InputSchema(), task.Data)
-	if err != nil {
-		return resultMsg{}, true
+	var rows []relation.Row
+	if task.SegPath != "" {
+		// Segment-backed task (protocol v4): read the named segment file
+		// directly instead of decoding driver-shipped bytes. A read
+		// failure is environmental (file on shared storage, executor
+		// may lack it transiently) and therefore retryable elsewhere; a
+		// segment whose columns don't match the stage's input schema is
+		// a planning bug and aborts deterministically.
+		s, segRows, err := segstore.ReadSegmentRows(task.SegPath, task.SegCols)
+		if err != nil {
+			return fail(engine.Retryable(fmt.Errorf("segment %s: %w", task.SegPath, err))), false
+		}
+		if !s.Equal(pipe.InputSchema()) {
+			return fail(fmt.Errorf("segment %s: schema %s does not match stage input %s", task.SegPath, s, pipe.InputSchema())), false
+		}
+		rows = segRows
+	} else {
+		var err error
+		rows, err = colcodec.Decode(pipe.InputSchema(), task.Data)
+		if err != nil {
+			return resultMsg{}, true
+		}
 	}
 	decodeNs := time.Since(t0).Nanoseconds()
 	// The decoded partition is this task's resident input; reserving it

@@ -115,6 +115,15 @@ type taskMsg struct {
 	Stage uint64
 	Span  uint64
 	Data  []byte
+	// SegPath/SegCols describe a segment-backed task (protocol v4,
+	// gob-additive like the v3 trace fields): instead of shipping the
+	// partition in Data, the driver names a segment file the executor
+	// reads itself, restricted to SegCols (nil = every column). Data is
+	// nil for such tasks; executors that predate the fields see an
+	// empty partition, but such executors also never receive one —
+	// segment scheduling is opt-in per stage via Driver.RunSegmentStage.
+	SegPath string
+	SegCols []string
 }
 
 // resultMsg returns the transformed partition, columnar-encoded against

@@ -28,6 +28,9 @@ func TestDifferential(t *testing.T) {
 	if *flagShuffle {
 		t.Skip("-difftest.shuffle: running only the shuffle invariants (TestShuffleDifferential)")
 	}
+	if *flagScan {
+		t.Skip("-difftest.scan: running only the segment-scan invariants (TestScanDifferential)")
+	}
 	prev := engine.Vectorize.Load()
 	engine.Vectorize.Store(*flagVec)
 	defer engine.Vectorize.Store(prev)

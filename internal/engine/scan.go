@@ -1,0 +1,207 @@
+// Scan-side predicate pushdown: the bridge between a persistent scan
+// source (internal/segstore) and stage execution. The planner folds the
+// leading Filter/Project run of a stage into a Pushdown so the source
+// can (a) skip decoding columns the stage never touches and (b) prune
+// whole segments whose zone maps prove no row can satisfy a pushed
+// filter. Pushdown never changes the ops that run: the original stage
+// executes unchanged against the scanned relation, so a pruned scan is
+// bitwise-equal to full-scan-then-filter by construction (and the
+// difftest scan invariant enforces it).
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"ivnt/internal/expr"
+	"ivnt/internal/relation"
+)
+
+// Pushdown is the part of a stage a scan source may exploit early.
+//
+// Filters holds the predicates of the stage's leading Filter ops, in
+// plan order. A source may use them only to *prune*: if it can prove no
+// row of a segment satisfies some pushed filter, the segment's rows
+// never reach the engine (they would all be dropped by that Filter
+// anyway). It must never evaluate them row-by-row on surviving
+// segments — the stage's own Filter ops still run.
+//
+// Cols, when non-nil, is the schema-ordered set of columns the stage
+// can possibly touch; the source decodes only those. Nil means the
+// stage's column usage could not be bounded — decode everything.
+type Pushdown struct {
+	Filters []string
+	Cols    []string
+}
+
+// ScanSource is a relation that can be scanned with pushdown. Scan
+// returns one partition per stored segment (pruned segments surface as
+// empty partitions, keeping partition indexes stable), restricted to
+// pd.Cols when non-nil.
+type ScanSource interface {
+	ScanSchema() relation.Schema
+	Scan(ctx context.Context, pd Pushdown) (*relation.Relation, error)
+}
+
+// SegmentRef names one stored segment of a scan, so a distributed
+// executor can read the segment file itself instead of receiving
+// driver-shipped rows. Cols mirrors Pushdown.Cols; Rows is the footer
+// row count (for stats, without decoding); Pruned marks segments whose
+// zone maps proved the pushed filters unsatisfiable.
+type SegmentRef struct {
+	Path   string
+	Cols   []string
+	Rows   int
+	Pruned bool
+}
+
+// SegmentLister is the optional ScanSource capability behind
+// segment-scheduled scans: it exposes the segment files a Pushdown
+// resolves to, one SegmentRef per segment in partition order.
+type SegmentLister interface {
+	Segments(pd Pushdown) ([]SegmentRef, error)
+}
+
+// SegmentExecutor is the optional Executor capability for running a
+// stage directly from segment files (cluster.Driver implements it by
+// shipping paths instead of encoded partitions). refs[i] becomes
+// partition i of the stage input; schema is the decoded (possibly
+// column-restricted) scan schema every ref resolves to.
+type SegmentExecutor interface {
+	Executor
+	RunSegmentStage(ctx context.Context, refs []SegmentRef, schema relation.Schema, ops []OpDesc) (*relation.Relation, Stats, error)
+}
+
+// FoldPushdown derives the Pushdown for a stage over schema s: every
+// leading Filter contributes its predicate, and if the leading run
+// contains a Project, the scan can be restricted to the union of the
+// columns the leading ops mention (later ops only see projected
+// columns, so the union bounds the whole stage). Without a leading
+// Project the rest of the stage may touch any column and Cols stays
+// nil. The fold never reorders or rewrites ops — callers still run the
+// original stage on the scanned relation.
+func FoldPushdown(s relation.Schema, ops []OpDesc) (Pushdown, error) {
+	var pd Pushdown
+	need := map[string]bool{}
+	sawProject := false
+	for _, op := range ops {
+		if op.Kind == OpFilter {
+			n, err := expr.Parse(op.Expr)
+			if err != nil {
+				return Pushdown{}, fmt.Errorf("fold pushdown: filter %q: %w", op.Expr, err)
+			}
+			for _, id := range expr.Idents(n) {
+				need[id] = true
+			}
+			pd.Filters = append(pd.Filters, op.Expr)
+			continue
+		}
+		if op.Kind == OpProject {
+			for _, c := range op.Cols {
+				need[c] = true
+			}
+			sawProject = true
+			continue
+		}
+		break
+	}
+	if sawProject {
+		// Schema-ordered subsequence, so the restricted schema is a
+		// stable projection of the stored one.
+		for _, c := range s.Cols {
+			if need[c.Name] {
+				pd.Cols = append(pd.Cols, c.Name)
+			}
+		}
+		if len(pd.Cols) != len(need) {
+			missing := []string{}
+			for n := range need {
+				if !s.Has(n) {
+					missing = append(missing, n)
+				}
+			}
+			return Pushdown{}, fmt.Errorf("fold pushdown: columns %v not in scan schema %s", missing, s)
+		}
+	}
+	return pd, nil
+}
+
+// ScanStage runs a stage against a scan source with pushdown: it folds
+// the leading Filter/Project run into a Pushdown, scans (decoding only
+// the needed columns, pruning segments the source can refute), and
+// executes the unchanged ops on the result. When both the executor and
+// the source speak segments, the stage is scheduled by segment file
+// instead of shipping rows.
+func ScanStage(ctx context.Context, exec Executor, src ScanSource, ops []OpDesc) (*relation.Relation, Stats, error) {
+	full := src.ScanSchema()
+	if _, err := OutputSchema(full, ops); err != nil {
+		return nil, Stats{}, err
+	}
+	pd, err := FoldPushdown(full, ops)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	scanSchema := full
+	if pd.Cols != nil {
+		scanSchema, err = full.Project(pd.Cols...)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	if se, ok := exec.(SegmentExecutor); ok {
+		if sl, ok := src.(SegmentLister); ok {
+			refs, err := sl.Segments(pd)
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			return se.RunSegmentStage(ctx, refs, scanSchema, ops)
+		}
+	}
+	rel, err := src.Scan(ctx, pd)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if !rel.Schema.Equal(scanSchema) {
+		return nil, Stats{}, fmt.Errorf("scan: source returned schema %s, want %s", rel.Schema, scanSchema)
+	}
+	return exec.RunStage(ctx, rel, ops)
+}
+
+// MemSource adapts an in-memory relation to ScanSource: it restricts
+// columns per the pushdown but has no zone maps, so it never prunes.
+// Used by tests as the no-pruning reference scan.
+type MemSource struct {
+	Rel *relation.Relation
+}
+
+// ScanSchema returns the relation's schema.
+func (m *MemSource) ScanSchema() relation.Schema { return m.Rel.Schema }
+
+// Scan returns the relation with partitions preserved and columns
+// restricted to pd.Cols (nil = all).
+func (m *MemSource) Scan(_ context.Context, pd Pushdown) (*relation.Relation, error) {
+	if pd.Cols == nil {
+		return m.Rel, nil
+	}
+	s, err := m.Rel.Schema.Project(pd.Cols...)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(pd.Cols))
+	for i, c := range pd.Cols {
+		idx[i] = m.Rel.Schema.MustIndex(c)
+	}
+	parts := make([][]relation.Row, len(m.Rel.Partitions))
+	for pi, part := range m.Rel.Partitions {
+		rows := make([]relation.Row, len(part))
+		for ri, r := range part {
+			nr := make(relation.Row, len(idx))
+			for i, ci := range idx {
+				nr[i] = r[ci]
+			}
+			rows[ri] = nr
+		}
+		parts[pi] = rows
+	}
+	return &relation.Relation{Schema: s, Partitions: parts}, nil
+}

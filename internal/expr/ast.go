@@ -3,6 +3,8 @@ package expr
 import (
 	"fmt"
 	"strings"
+
+	"ivnt/internal/relation"
 )
 
 // Node is an expression AST node.
@@ -26,6 +28,25 @@ type valueLit struct {
 	i       int64
 	f       float64
 	s       string
+}
+
+// Value converts the literal to a relation value. Planners outside
+// this package (zone-map pruning, constant folding) need to inspect
+// literal operands without reaching into the unexported valueLit.
+func (n *Lit) Value() relation.Value {
+	v := n.Val
+	switch {
+	case v.isNull:
+		return relation.Null()
+	case v.isBool:
+		return relation.Bool(v.b)
+	case v.isInt:
+		return relation.Int(v.i)
+	case v.isFloat:
+		return relation.Float(v.f)
+	default:
+		return relation.Str(v.s)
+	}
 }
 
 // Ident is a column reference, resolved at compile time.

@@ -1,0 +1,213 @@
+package segstore
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"ivnt/internal/colcodec"
+	"ivnt/internal/relation"
+)
+
+// validSegmentBytes assembles a complete, well-formed segment file
+// image in memory (the fuzz baseline every mutation starts from).
+func validSegmentBytes(t testing.TB) []byte {
+	t.Helper()
+	img, err := encodeSegment(testSchema(), testRows(), colcodec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b []byte
+	b = append(b, img.header...)
+	for _, c := range img.chunks {
+		b = append(b, c...)
+	}
+	return append(b, img.tail...)
+}
+
+// assemble builds a segment file from a hand-crafted footer body with a
+// CORRECT trailer (length + CRC), so the malicious payload reaches the
+// footer parser instead of dying at the checksum.
+func assemble(chunks []byte, footerBody []byte) []byte {
+	var b []byte
+	b = append(b, headerMagic[:]...)
+	b = append(b, formatVersion)
+	b = append(b, chunks...)
+	b = append(b, footerBody...)
+	b = appendLE32(b, uint32(len(footerBody)))
+	b = appendLE32(b, crc32.ChecksumIEEE(footerBody))
+	return append(b, trailerMagic[:]...)
+}
+
+// The four checked-in malicious corpus shapes. Each must be rejected
+// with an error — never a panic, never a Segment licensing unsound
+// pruning.
+func maliciousSegments(t testing.TB) map[string][]byte {
+	t.Helper()
+	valid := validSegmentBytes(t)
+
+	// 1. Footer truncated mid-stream: the trailer (and its CRC) vanish.
+	truncated := valid[:len(valid)-7]
+
+	// 2. Zone map claiming FMin > FMax: a crafted footer over one real
+	// float chunk. If the parser trusted it, "v < 3" would prune a
+	// segment that contains 2.0.
+	one := relation.NewSchema(relation.Column{Name: "v", Kind: relation.KindFloat})
+	chunk, err := colcodec.Encode(one, []relation.Row{{relation.Float(2)}}, colcodec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newByteWriter()
+	w.byte(formatVersion)
+	w.uvarint(1) // rows
+	w.uvarint(1) // cols
+	w.str("v")
+	w.byte(byte(relation.KindFloat))
+	w.uvarint(uint64(headerLen))
+	w.uvarint(uint64(len(chunk)))
+	w.uvarint(0) // nulls
+	w.uvarint(1) // numkind
+	w.uvarint(1) // numord
+	w.uvarint(0) // nans
+	w.uvarint(0) // strs
+	w.byte(zoneFlagF)
+	w.float(5) // FMin
+	w.float(1) // FMax  — inverted bounds
+	badZone := assemble(chunk, w.bytes())
+
+	// 3. Column-count overflow: a footer claiming 2^20 columns (far past
+	// maxCols) to bait a huge allocation before any per-column data.
+	w = newByteWriter()
+	w.byte(formatVersion)
+	w.uvarint(1)
+	w.uvarint(1 << 20)
+	overflow := assemble(nil, w.bytes())
+
+	// 4. CRC mismatch: one bit flipped inside an otherwise valid footer.
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)-trailerLen-3] ^= 0x01
+	return map[string][]byte{
+		"truncated-footer":      truncated,
+		"zone-min-gt-max":       badZone,
+		"column-count-overflow": overflow,
+		"footer-crc-mismatch":   flipped,
+	}
+}
+
+func TestMaliciousSegmentsRejected(t *testing.T) {
+	for name, data := range maliciousSegments(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := OpenSegmentReaderAt(bytes.NewReader(data), int64(len(data))); err == nil {
+				t.Fatalf("%s accepted (%d bytes)", name, len(data))
+			}
+		})
+	}
+}
+
+// TestFuzzCorpusCheckedIn pins the malicious shapes as seed-corpus
+// files under testdata/fuzz/FuzzSegmentDecode, so `go test -fuzz` (and
+// plain runs of the fuzz target) always start from them. Regenerate
+// with UPDATE_FUZZ_CORPUS=1 after changing the format.
+func TestFuzzCorpusCheckedIn(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzSegmentDecode")
+	update := os.Getenv("UPDATE_FUZZ_CORPUS") != ""
+	if update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, data := range maliciousSegments(t) {
+		want := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		path := filepath.Join(dir, name)
+		if update {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("corpus file missing (run with UPDATE_FUZZ_CORPUS=1 to regenerate): %v", err)
+		}
+		if string(got) != want {
+			t.Fatalf("corpus file %s is stale (run with UPDATE_FUZZ_CORPUS=1 to regenerate)", name)
+		}
+	}
+}
+
+// FuzzSegmentDecode hardens the whole read path: arbitrary bytes must
+// either fail to open or yield a segment whose columns decode without
+// panics, allocation blow-ups, or rows beyond the footer's claim.
+func FuzzSegmentDecode(f *testing.F) {
+	f.Add(validSegmentBytes(f))
+	f.Add([]byte{})
+	f.Add([]byte("IVSG\x01"))
+	for _, data := range maliciousSegments(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := OpenSegmentReaderAt(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		if g.Rows() < 0 || g.Rows() > maxRows {
+			t.Fatalf("accepted segment with %d rows", g.Rows())
+		}
+		if s := g.Schema(); s.Len() > maxCols {
+			t.Fatalf("accepted segment with %d columns", s.Len())
+		}
+		// Zone maps of an accepted segment must never be self-inverted —
+		// that is exactly the shape that licenses unsound pruning.
+		for _, c := range g.Schema().Cols {
+			z, ok := g.Zone(c.Name)
+			if !ok {
+				t.Fatalf("column %q lost its zone", c.Name)
+			}
+			if z.FHas && (math.IsNaN(z.FMin) || z.FMin > z.FMax) {
+				t.Fatalf("accepted inverted float bounds [%g, %g]", z.FMin, z.FMax)
+			}
+			if z.SHas && z.SMin > z.SMax {
+				t.Fatalf("accepted inverted string bounds [%q, %q]", z.SMin, z.SMax)
+			}
+		}
+		// Chunk decode must fail cleanly or produce the footer's row count.
+		if _, rows, err := g.ReadColumns(nil); err == nil && len(rows) != g.Rows() {
+			t.Fatalf("decoded %d rows, footer says %d", len(rows), g.Rows())
+		}
+	})
+}
+
+// FuzzFooter drills the footer parser directly, without the CRC gate in
+// front of it: every structural invariant must hold by validation, not
+// by trust in the writer.
+func FuzzFooter(f *testing.F) {
+	img, err := encodeSegment(testSchema(), testRows(), colcodec.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var dataEnd int64 = int64(headerLen)
+	for _, c := range img.chunks {
+		dataEnd += int64(len(c))
+	}
+	f.Add(img.tail[:len(img.tail)-trailerLen], uint32(dataEnd))
+	f.Add([]byte{formatVersion, 0, 0}, uint32(headerLen))
+	f.Fuzz(func(t *testing.T, body []byte, end uint32) {
+		foot, err := parseFooter(body, int64(end))
+		if err != nil {
+			return
+		}
+		if foot.rows < 0 || foot.rows > maxRows || len(foot.cols) > maxCols {
+			t.Fatalf("accepted footer rows=%d cols=%d", foot.rows, len(foot.cols))
+		}
+		prevEnd := int64(headerLen)
+		for _, c := range foot.cols {
+			if c.off < prevEnd || c.off+c.size > int64(end) {
+				t.Fatalf("accepted out-of-bounds chunk [%d,+%d)", c.off, c.size)
+			}
+			prevEnd = c.off + c.size
+		}
+	})
+}

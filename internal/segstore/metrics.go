@@ -1,0 +1,50 @@
+// Segment-store observability: the segstore_* counter catalogue,
+// pre-registered at init so every /metrics scrape carries the full
+// family set, and gated by cmd/vetmetrics like the engine and cluster
+// catalogues (see docs/OBSERVABILITY.md).
+package segstore
+
+import (
+	"fmt"
+
+	"ivnt/internal/telemetry"
+)
+
+var (
+	mSegmentsWritten = telemetry.Default().Counter("segstore_segments_written_total",
+		"Segments sealed and committed to a store manifest.")
+	mSegmentsPruned = telemetry.Default().Counter("segstore_segments_pruned_total",
+		"Segments skipped by zone-map pruning (footer read, chunks never decoded).")
+	mSegmentsScanned = telemetry.Default().Counter("segstore_segments_scanned_total",
+		"Segments whose column chunks were decoded for a scan.")
+	mBytesDecoded = telemetry.Default().Counter("segstore_bytes_decoded_total",
+		"Chunk bytes read and decoded from segment files.")
+)
+
+// metricNames lists the families this package must register.
+var metricNames = []string{
+	"segstore_segments_written_total",
+	"segstore_segments_pruned_total",
+	"segstore_segments_scanned_total",
+	"segstore_bytes_decoded_total",
+}
+
+// VerifyMetrics is the vet-metrics gate for the segstore catalogue: it
+// fails when any segstore_* family is missing from the default registry
+// or registered under the wrong type.
+func VerifyMetrics() error {
+	found := map[string]string{}
+	for _, fam := range telemetry.Default().Snapshot() {
+		found[fam.Name] = fam.Type
+	}
+	for _, name := range metricNames {
+		typ, ok := found[name]
+		if !ok {
+			return fmt.Errorf("segstore metric family %q is not registered", name)
+		}
+		if typ != telemetry.TypeCounter {
+			return fmt.Errorf("segstore metric family %q registered as %s, want %s", name, typ, telemetry.TypeCounter)
+		}
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -180,26 +181,35 @@ func readStateCSV(path string) (*staterep.Table, error) {
 		return nil, err
 	}
 	defer f.Close()
+	// Stream record by record: ReadAll would hold every raw record of
+	// the file in memory at once, on top of the table being built.
+	// ReuseRecord keeps the reader to one scratch record; the loop copies
+	// out the cells it keeps.
 	r := csv.NewReader(f)
-	recs, err := r.ReadAll()
+	r.ReuseRecord = true
+	hdr, err := r.Read()
 	if err != nil {
 		return nil, fmt.Errorf("store: %s: %w", path, err)
 	}
-	if len(recs) == 0 || len(recs[0]) < 1 || recs[0][0] != "t" {
+	if len(hdr) < 1 || hdr[0] != "t" {
 		return nil, fmt.Errorf("store: %s: malformed state header", path)
 	}
-	tb := &staterep.Table{Signals: recs[0][1:]}
-	for i, rec := range recs[1:] {
+	tb := &staterep.Table{Signals: append([]string(nil), hdr[1:]...)}
+	for i := 1; ; i++ {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return tb, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: %w", path, err)
+		}
 		t, err := strconv.ParseFloat(rec[0], 64)
 		if err != nil {
-			return nil, fmt.Errorf("store: %s: row %d: bad t %q", path, i+1, rec[0])
+			return nil, fmt.Errorf("store: %s: row %d: bad t %q", path, i, rec[0])
 		}
 		tb.Times = append(tb.Times, t)
-		cells := make([]string, len(rec)-1)
-		copy(cells, rec[1:])
-		tb.Cells = append(tb.Cells, cells)
+		tb.Cells = append(tb.Cells, append([]string(nil), rec[1:]...))
 	}
-	return tb, nil
 }
 
 // writeSequenceCSV stores a K_s-shaped relation (t,sid,v,bid).
@@ -249,16 +259,23 @@ func readSequenceCSV(path string) (*relation.Relation, error) {
 		return nil, err
 	}
 	defer f.Close()
+	// Stream record by record (see readStateCSV): sequence files are the
+	// largest thing the store holds, and ReadAll would double-buffer
+	// them. relation.Str copies the cell, so the reused record is safe.
 	r := csv.NewReader(f)
 	r.FieldsPerRecord = 4
-	recs, err := r.ReadAll()
-	if err != nil {
+	r.ReuseRecord = true
+	if _, err := r.Read(); err != nil { // header
 		return nil, fmt.Errorf("store: %s: %w", path, err)
 	}
 	rel := relation.New(trace.SignalSchema())
-	for i, rec := range recs {
-		if i == 0 {
-			continue // header
+	for i := 1; ; i++ {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: %w", path, err)
 		}
 		t, err := strconv.ParseFloat(rec[0], 64)
 		if err != nil {
@@ -271,5 +288,4 @@ func readSequenceCSV(path string) (*relation.Relation, error) {
 			relation.Str(rec[3]),
 		})
 	}
-	return rel, nil
 }

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ivnt/internal/relation"
+	"ivnt/internal/staterep"
+	"ivnt/internal/trace"
+)
+
+// TestReadCSVRoundTrip guards the streaming readers' correctness: what
+// the writers emit comes back identical, including cells that look
+// like CSV metacharacters.
+func TestReadCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	tb := &staterep.Table{
+		Signals: []string{"speed", "door,\"x\""},
+		Times:   []float64{0.5, 1.25, 2},
+		Cells: [][]string{
+			{"10", "open"},
+			{"20", "closed,half"},
+			{"", "–"},
+		},
+	}
+	spath := filepath.Join(dir, "state.csv")
+	if err := writeStateCSV(spath, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readStateCSV(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tb, got) {
+		t.Fatalf("state table round trip:\n got %+v\nwant %+v", got, tb)
+	}
+
+	rel := relation.New(trace.SignalSchema())
+	for i := 0; i < 10; i++ {
+		rel.Append(relation.Row{
+			relation.Float(float64(i) * 0.5),
+			relation.Str(fmt.Sprintf("sig-%d", i%3)),
+			relation.Str(fmt.Sprintf("v%d", i)),
+			relation.Str("b0"),
+		})
+	}
+	qpath := filepath.Join(dir, "seq.csv")
+	if err := writeSequenceCSV(qpath, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readSequenceCSV(qpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != rel.NumRows() {
+		t.Fatalf("sequence round trip: %d rows, want %d", back.NumRows(), rel.NumRows())
+	}
+	a, b := rel.Rows(), back.Rows()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("row %d: got %v, want %v", i, b[i], a[i])
+		}
+	}
+}
+
+// TestReadCSVAllocations pins the streaming behaviour of the CSV
+// readers: a record-at-a-time loop with ReuseRecord stays around two
+// heap allocations per row, while the old ReadAll path (a [][]string
+// of the whole file built before conversion) sat well above four. The
+// ceiling fails if anyone reintroduces whole-file buffering.
+func TestReadCSVAllocations(t *testing.T) {
+	dir := t.TempDir()
+	const n = 4000
+
+	rel := relation.New(trace.SignalSchema())
+	for i := 0; i < n; i++ {
+		rel.Append(relation.Row{
+			relation.Float(float64(i)),
+			relation.Str("signal-7"),
+			relation.Str("v12"),
+			relation.Str("b3"),
+		})
+	}
+	qpath := filepath.Join(dir, "seq.csv")
+	if err := writeSequenceCSV(qpath, rel); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := readSequenceCSV(qpath); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perRow := allocs / n; perRow > 3.5 {
+		t.Fatalf("readSequenceCSV allocates %.2f objects/row (%.0f total for %d rows); the streaming path stays under 3.5",
+			perRow, allocs, n)
+	}
+
+	tb := &staterep.Table{Signals: []string{"a", "b", "c"}}
+	for i := 0; i < n; i++ {
+		tb.Times = append(tb.Times, float64(i))
+		tb.Cells = append(tb.Cells, []string{"1", "2", "3"})
+	}
+	spath := filepath.Join(dir, "state.csv")
+	if err := writeStateCSV(spath, tb); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(5, func() {
+		if _, err := readStateCSV(spath); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perRow := allocs / n; perRow > 3.5 {
+		t.Fatalf("readStateCSV allocates %.2f objects/row (%.0f total for %d rows); the streaming path stays under 3.5",
+			perRow, allocs, n)
+	}
+}
