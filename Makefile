@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest difftest-spill difftest-shuffle difftest-scan fuzz-smoke
+.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest difftest-spill difftest-shuffle difftest-scan difftest-query fuzz-smoke
 
 all: check
 
@@ -64,6 +64,18 @@ difftest-shuffle:
 difftest-scan:
 	$(GO) test -race ./internal/difftest/ -run ScanDifferential -v -difftest.n=$(DIFFTEST_N)
 
+# Query-frontend differential run, race-checked: every seeded workload
+# gets a generated SELECT statement whose compiled plan must be the
+# very op tree a caller would hand-build (same OpDesc data, same stage
+# fingerprint) and whose execution over sealed segments stays
+# bitwise-equal to the oracle and the hand-built pipeline, plus an
+# aggregate statement held row-for-row equal to the hand-built
+# distributed plan (see docs/QUERY.md).
+# Reproduce a reported seed with:
+#   go test ./internal/difftest/ -run QueryDifferential -difftest.query -difftest.seed=<seed> -v
+difftest-query:
+	$(GO) test -race ./internal/difftest/ -run QueryDifferential -v -difftest.n=$(DIFFTEST_N)
+
 # Short fuzz pass over every fuzz target, seeded from the checked-in
 # corpora under */testdata/fuzz/.
 FUZZTIME ?= 10s
@@ -77,11 +89,12 @@ fuzz-smoke:
 	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz '^FuzzPromWriter$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/segstore/ -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/segstore/ -run '^$$' -fuzz '^FuzzFooter$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/query/ -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME)
 
 # Codec, join-stage and cluster micro-benchmarks, then the wire,
-# pipeline, spill, shuffle and scan experiments, which refresh their
-# sections of BENCH_engine.json (the writer merges, so none clobbers
-# another's).
+# pipeline, spill, shuffle, scan and serve experiments, which refresh
+# their sections of BENCH_engine.json (the writer merges, so none
+# clobbers another's).
 bench: build
 	$(GO) test -run NONE -bench 'BenchmarkEncode|BenchmarkDecode' -benchtime 0.5s ./internal/colcodec/
 	$(GO) test -run NONE -bench 'BenchmarkBroadcastJoinStage|BenchmarkRuleCacheParallel|BenchmarkEvalRuleParallel' -benchtime 0.5s ./internal/engine/
@@ -92,6 +105,7 @@ bench: build
 	$(GO) run ./cmd/benchmark -exp spill -spill-out BENCH_engine.json
 	$(GO) run ./cmd/benchmark -exp shuffle -shuffle-out BENCH_engine.json
 	$(GO) run ./cmd/benchmark -exp scan -scan-out BENCH_engine.json
+	$(GO) run ./cmd/benchmark -exp serve -serve-out BENCH_engine.json
 
 # One-iteration pass over every benchmark in the module: catches
 # bit-rotted benchmark code in CI without paying measurement time.

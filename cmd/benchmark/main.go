@@ -30,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchmark: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire, pipeline, spill, shuffle, scan or all")
+		exp         = flag.String("exp", "all", "experiment: table5, fig5, table6, preselect, scaling, reduction, storage, wire, pipeline, spill, shuffle, scan, serve or all")
 		scale       = flag.Float64("scale", 0, "scale factor vs paper row counts (0 = per-experiment default)")
 		workers     = flag.Int("workers", 0, "local executor workers (0 = all cores)")
 		steps       = flag.Int("steps", 8, "fig5: sweep steps per data set")
@@ -51,6 +51,10 @@ func main() {
 		scanSegs    = flag.Int("scan-segments", 0, "scan: segments in the store (0 = default)")
 		scanRows    = flag.Int("scan-rows", 0, "scan: rows per segment (0 = default)")
 		scanOut     = flag.String("scan-out", "", "scan: also write results into this JSON file's \"scan\" section (e.g. BENCH_engine.json)")
+		serveSegs   = flag.Int("serve-segments", 0, "serve: segments in the store (0 = default)")
+		serveRows   = flag.Int("serve-rows", 0, "serve: rows per segment (0 = default)")
+		serveIters  = flag.Int("serve-iters", 0, "serve: requests per mode (0 = default)")
+		serveOut    = flag.String("serve-out", "", "serve: also write results into this JSON file's \"serve\" section (e.g. BENCH_engine.json)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON (load in Perfetto) of cluster task spans to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /tasks, /trace and /debug/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
@@ -234,6 +238,20 @@ func main() {
 				}
 				fmt.Printf("(wrote %s)\n", *scanOut)
 			}
+		case "serve":
+			results, err := bench.Serve(ctx, bench.ServeOptions{
+				Segments: *serveSegs, RowsPerSeg: *serveRows, Iters: *serveIters,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatServe(results))
+			if *serveOut != "" {
+				if err := writeJSONSections(*serveOut, map[string]any{"serve": results}); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("(wrote %s)\n", *serveOut)
+			}
 		case "storage":
 			rows, err := bench.AblationStorage(*scale)
 			if err != nil {
@@ -249,7 +267,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire", "pipeline", "spill", "shuffle", "scan"} {
+		for _, name := range []string{"table5", "fig5", "table6", "preselect", "scaling", "reduction", "storage", "wire", "pipeline", "spill", "shuffle", "scan", "serve"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,116 @@
+// Command served runs the multi-tenant query service: an HTTP daemon
+// that parses SQL-ish statements, compiles them onto engine plans and
+// executes them over per-tenant segment stores — with a resident local
+// worker pool or, given -cluster, a persistent driver whose pooled
+// executor connections keep shipped stages warm across queries.
+//
+//	served -listen :8088 -catalog catalog.json -workers 4
+//	served -listen :8088 -catalog catalog.json -cluster host1:7077,host2:7077
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: new queries and
+// ingests get 503, in-flight ones finish (up to -grace), the executor
+// pool is released, then the process exits. A second signal forces an
+// immediate exit. See docs/QUERY.md for the statement grammar, the
+// catalog file format and a worked curl session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"ivnt/internal/cluster"
+	"ivnt/internal/engine"
+	"ivnt/internal/memgov"
+	"ivnt/internal/segstore"
+	"ivnt/internal/serve"
+	"ivnt/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("served: ")
+	var (
+		listen      = flag.String("listen", ":8088", "HTTP listen address")
+		catalogPath = flag.String("catalog", "", "catalog config file (tenants -> relations -> store dirs); required")
+		clusterAddr = flag.String("cluster", "", "comma-separated executor addresses; empty runs stages in-process")
+		workers     = flag.Int("workers", runtime.NumCPU(), "local worker pool size (ignored with -cluster)")
+		grace       = flag.Duration("grace", 30*time.Second, "drain window for in-flight queries on shutdown")
+		compress    = flag.Bool("compress", false, "DEFLATE-compress column chunks of ingested segments")
+		memBudget   = flag.String("mem-budget", "", "process memory budget (e.g. 512MiB); admission defers under pressure and operators spill; empty = unlimited")
+	)
+	flag.Parse()
+
+	if *catalogPath == "" {
+		log.Fatal("-catalog is required")
+	}
+	cfg, err := serve.LoadConfig(*catalogPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *memBudget != "" {
+		budget, err := memgov.ParseBytes(*memBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		memgov.Default().SetBudget(budget)
+		log.Printf("memory budget %d bytes (%s)", budget, *memBudget)
+	}
+
+	var exec engine.Executor
+	if *clusterAddr != "" {
+		addrs := strings.Split(*clusterAddr, ",")
+		exec = &cluster.Driver{Addrs: addrs, Persistent: true}
+		log.Printf("cluster executor: %d node(s), persistent connection pool", len(addrs))
+	} else {
+		exec = engine.NewLocal(*workers)
+		log.Printf("local executor: %d workers", *workers)
+	}
+
+	srv := &serve.Server{
+		Exec:    exec,
+		Catalog: serve.NewCatalog(cfg, segstore.Options{Compress: *compress}),
+		Tracer:  telemetry.NewTracer(),
+		Tasks:   telemetry.NewTaskTable(),
+	}
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	served := make(chan error, 1)
+	go func() { served <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (%d tenants)", *listen, len(cfg.Tenants))
+
+	select {
+	case err := <-served:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("received %v: draining (finishing in-flight queries, up to %v)", s, *grace)
+		go func() {
+			s := <-sig
+			log.Printf("received second %v: forcing exit", s)
+			os.Exit(1)
+		}()
+		if srv.Shutdown(*grace) {
+			log.Printf("drained")
+		} else {
+			log.Printf("drain window expired with queries still in flight")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = hs.Shutdown(ctx)
+		cancel()
+	}
+	log.Printf("shut down")
+}

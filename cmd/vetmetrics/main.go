@@ -6,7 +6,8 @@
 // engine spill counters and the memgov governor gauges) is incomplete,
 // when the shuffle-exchange families (engine_shuffle_* and
 // cluster_shuffle_*) are missing from the registry, and when the
-// segment-store counters (segstore_*) are unregistered.
+// segment-store counters (segstore_*), query-frontend counters
+// (query_*) and query-service families (serve_*) are unregistered.
 // The check runs against the same init()-time registration the
 // production binaries use, so passing here means every /metrics scrape
 // carries the full engine_op_seconds, engine_fused_steps_total,
@@ -20,7 +21,9 @@ import (
 	"ivnt/internal/cluster"
 	"ivnt/internal/engine"
 	"ivnt/internal/memgov"
+	"ivnt/internal/query"
 	"ivnt/internal/segstore"
+	"ivnt/internal/serve"
 )
 
 func main() {
@@ -46,5 +49,11 @@ func main() {
 	if err := segstore.VerifyMetrics(); err != nil {
 		fail(err)
 	}
-	fmt.Printf("vet-metrics: ok (%d op kinds with engine_op_seconds and engine_fused_steps_total series; spill, memgov, shuffle and segstore families registered)\n", engine.NumOpKinds)
+	if err := query.VerifyMetrics(); err != nil {
+		fail(err)
+	}
+	if err := serve.VerifyMetrics(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("vet-metrics: ok (%d op kinds with engine_op_seconds and engine_fused_steps_total series; spill, memgov, shuffle, segstore, query and serve families registered)\n", engine.NumOpKinds)
 }

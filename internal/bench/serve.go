@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/relation"
+	"ivnt/internal/segstore"
+	"ivnt/internal/serve"
+	"ivnt/internal/telemetry"
+)
+
+// ServeOptions tune the query-service experiment.
+type ServeOptions struct {
+	// Segments in the store; default 32.
+	Segments int
+	// RowsPerSeg is each segment's row count; default 8000.
+	RowsPerSeg int
+	// Iters: requests per mode (each mode reports its best wall time);
+	// default 5.
+	Iters int
+	// Dir is the store directory; empty = a temp dir (removed after).
+	Dir string
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.Segments <= 0 {
+		o.Segments = 32
+	}
+	if o.RowsPerSeg <= 0 {
+		o.RowsPerSeg = 8000
+	}
+	if o.Iters <= 0 {
+		o.Iters = 5
+	}
+	return o
+}
+
+// ServeResult is one service mode's measurement of the same selective
+// query against the same daemon.
+type ServeResult struct {
+	Mode string
+
+	Iters   int
+	OutRows int
+	// PlanHits/ResultHits are serve_*_cache_hits_total deltas across
+	// the mode's timed requests.
+	PlanHits, ResultHits int64
+
+	// Speedup = cold wall / this mode's wall (1.0 on the cold row).
+	Speedup float64
+	WallSec float64
+}
+
+// Serve measures what the query service's two cache tiers buy over real
+// HTTP: the same daemon, the same store, three request patterns. "cold"
+// sends a fresh statement every request (parse + compile + execute),
+// "plan-cached" repeats one statement with the result cache bypassed
+// (cached plan, fresh execution), "result-cached" repeats it with
+// caching on (the response replays without executing). All modes must
+// return the same row count — same data, same predicate shape.
+// The returned slice is [cold, plan-cached, result-cached].
+func Serve(ctx context.Context, opts ServeOptions) ([]*ServeResult, error) {
+	opts = opts.withDefaults()
+	dir := opts.Dir
+	if dir == "" {
+		td, err := os.MkdirTemp("", "ivnt-servebench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(td)
+		dir = td
+	}
+	s := relation.NewSchema(
+		relation.Column{Name: "ts", Kind: relation.KindInt},
+		relation.Column{Name: "val", Kind: relation.KindFloat},
+		relation.Column{Name: "sid", Kind: relation.KindString},
+	)
+	st, err := segstore.Open(dir, s, segstore.Options{Compress: true})
+	if err != nil {
+		return nil, err
+	}
+	for g := 0; g < opts.Segments; g++ {
+		rows := make([]relation.Row, opts.RowsPerSeg)
+		for i := range rows {
+			ts := g*opts.RowsPerSeg + i
+			rows[i] = relation.Row{
+				relation.Int(int64(ts)),
+				relation.Float(float64(ts%977) * 0.125),
+				relation.Str(fmt.Sprintf("signal-%03d", ts%311)),
+			}
+		}
+		if err := st.AppendSegment(rows); err != nil {
+			return nil, err
+		}
+	}
+	total := opts.Segments * opts.RowsPerSeg
+
+	srv := &serve.Server{
+		Exec: engine.NewLocal(0),
+		Catalog: serve.NewCatalog(&serve.Config{Tenants: map[string]*serve.TenantConfig{
+			"bench": {Relations: map[string]string{"trace": dir}},
+		}}, segstore.Options{}),
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/query"
+
+	// The query: the trailing segment's worth of the trace, two of the
+	// three columns — the scan bench's "recent window" lookup, served.
+	stmt := func(lo int) string {
+		return fmt.Sprintf("SELECT ts, val FROM trace WHERE ts >= %d ORDER BY ts", lo)
+	}
+	post := func(sql string, nocache bool) (int, error) {
+		body, err := json.Marshal(map[string]string{"tenant": "bench", "sql": sql})
+		if err != nil {
+			return 0, err
+		}
+		u := url
+		if nocache {
+			u += "?nocache=1"
+		}
+		resp, err := http.Post(u, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var out struct {
+			RowCount int    `json:"row_count"`
+			Cache    string `json:"cache"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("serve bench: HTTP %d", resp.StatusCode)
+		}
+		return out.RowCount, nil
+	}
+
+	reg := telemetry.Default()
+	measure := func(mode string, sqlFor func(it int) string, nocache bool) (*ServeResult, error) {
+		res := &ServeResult{Mode: mode, Iters: opts.Iters}
+		planHits := reg.CounterValue("serve_plan_cache_hits_total")
+		resultHits := reg.CounterValue("serve_result_cache_hits_total")
+		best := time.Duration(0)
+		for it := 0; it < opts.Iters; it++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			n, err := post(sqlFor(it), nocache)
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("serve bench: %s mode: %w", mode, err)
+			}
+			res.OutRows = n
+			if best == 0 || wall < best {
+				best = wall
+			}
+		}
+		res.PlanHits = reg.CounterValue("serve_plan_cache_hits_total") - planHits
+		res.ResultHits = reg.CounterValue("serve_result_cache_hits_total") - resultHits
+		res.WallSec = best.Seconds()
+		return res, nil
+	}
+
+	// Cold: a fresh statement per request — a vacuous extra conjunct
+	// (val is never negative) varies the statement text, so every
+	// parse, plan and result key is new while the result stays fixed.
+	cold, err := measure("cold", func(it int) string {
+		return fmt.Sprintf("SELECT ts, val FROM trace WHERE ts >= %d && val >= -%d ORDER BY ts",
+			total-opts.RowsPerSeg, it+1)
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	repeat := stmt(total - opts.RowsPerSeg)
+	if _, err := post(repeat, true); err != nil { // warm the plan cache
+		return nil, err
+	}
+	planCached, err := measure("plan-cached", func(int) string { return repeat }, true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := post(repeat, false); err != nil { // warm the result cache
+		return nil, err
+	}
+	resultCached, err := measure("result-cached", func(int) string { return repeat }, false)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, r := range []*ServeResult{planCached, resultCached} {
+		if r.OutRows != cold.OutRows {
+			return nil, fmt.Errorf("serve bench: modes disagree: cold %d rows, %s %d", cold.OutRows, r.Mode, r.OutRows)
+		}
+	}
+	cold.Speedup = 1
+	for _, r := range []*ServeResult{planCached, resultCached} {
+		if r.WallSec > 0 {
+			r.Speedup = cold.WallSec / r.WallSec
+		}
+	}
+	return []*ServeResult{cold, planCached, resultCached}, nil
+}
+
+// FormatServe renders the mode comparison as an aligned table.
+func FormatServe(results []*ServeResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %9s %10s %12s %9s %8s\n",
+		"mode", "iters", "out_rows", "plan_hits", "result_hits", "wall_ms", "speedup")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-14s %6d %9d %10d %12d %9.2f %7.2fx\n",
+			r.Mode, r.Iters, r.OutRows, r.PlanHits, r.ResultHits, r.WallSec*1e3, r.Speedup)
+	}
+	return b.String()
+}

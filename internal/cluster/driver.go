@@ -114,9 +114,74 @@ type Driver struct {
 	// pick one. 0 means 2× the executor count (at least 2).
 	ShuffleParts int
 
+	// Persistent keeps executor connections open across stages instead
+	// of dialing per stage: a slot that finishes a stage cleanly
+	// returns its connection — with the stage-once sentStages and
+	// sentTables caches warm — to a per-address pool the next stage
+	// checks out of. This is the resident mode the query service runs
+	// the driver in (many stages over one daemon lifetime); batch runs
+	// keep the default dial-per-stage lifecycle. Close releases the
+	// pool. A pooled connection whose executor died is detected on
+	// first use and handled by the ordinary reconnect machinery.
+	Persistent bool
+
 	// live points at the stats collector of the most recent RunStage so
 	// introspection can snapshot counters while a stage is running.
 	live atomic.Pointer[engine.StatsCollector]
+
+	poolMu     sync.Mutex
+	pool       map[string][]*conn
+	poolClosed bool
+}
+
+// checkoutConn pops a pooled connection for addr (nil when the pool is
+// empty, closed, or the driver is not Persistent).
+func (d *Driver) checkoutConn(addr string) *conn {
+	if !d.Persistent {
+		return nil
+	}
+	d.poolMu.Lock()
+	defer d.poolMu.Unlock()
+	l := d.pool[addr]
+	if len(l) == 0 {
+		return nil
+	}
+	c := l[len(l)-1]
+	d.pool[addr] = l[:len(l)-1]
+	return c
+}
+
+// stashConn returns a healthy connection to the pool, reporting whether
+// it was kept (false: caller must close it).
+func (d *Driver) stashConn(addr string, c *conn) bool {
+	if !d.Persistent {
+		return false
+	}
+	d.poolMu.Lock()
+	defer d.poolMu.Unlock()
+	if d.poolClosed || len(d.pool[addr]) >= d.slots() {
+		return false
+	}
+	if d.pool == nil {
+		d.pool = map[string][]*conn{}
+	}
+	d.pool[addr] = append(d.pool[addr], c)
+	return true
+}
+
+// Close closes every pooled connection and stops further pooling. Only
+// meaningful for Persistent drivers; idempotent.
+func (d *Driver) Close() {
+	d.poolMu.Lock()
+	conns := d.pool
+	d.pool = nil
+	d.poolClosed = true
+	d.poolMu.Unlock()
+	for _, l := range conns {
+		for _, c := range l {
+			c.close()
+		}
+	}
 }
 
 // LiveStats returns a point-in-time snapshot of the most recent
@@ -412,10 +477,11 @@ func (sr *stageRun) noteDecode(d time.Duration) {
 // harvestBytes folds a connection's byte counters into the stage
 // totals; called exactly once per connection, when it is closed.
 func (sr *stageRun) harvestBytes(c *conn) {
-	sr.stats.BytesSent.Add(c.count.written)
-	sr.stats.BytesRecv.Add(c.count.read)
-	mBytesSent.Add(c.count.written)
-	mBytesRecv.Add(c.count.read)
+	w, r := c.takeCounts()
+	sr.stats.BytesSent.Add(w)
+	sr.stats.BytesRecv.Add(r)
+	mBytesSent.Add(w)
+	mBytesRecv.Add(r)
 }
 
 // encodedPartition returns (caching) the columnar encoding of partition
@@ -859,7 +925,9 @@ func (d *Driver) connect(ctx context.Context, addr string) (*conn, error) {
 func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 	var c *conn
 	var stopWatch func() bool
-	closeConn := func() {
+	// dropConn hard-closes the connection (transport failures, and
+	// every stage end for non-persistent drivers).
+	dropConn := func() {
 		if c != nil {
 			if stopWatch != nil {
 				stopWatch()
@@ -869,7 +937,24 @@ func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 			c = nil
 		}
 	}
-	defer closeConn()
+	// releaseConn runs at slot exit: a healthy idle connection goes
+	// back to the persistent pool (watcher stopped in time, or it ran
+	// but skipped the close because the connection was idle); anything
+	// else closes.
+	releaseConn := func() {
+		if c == nil {
+			return
+		}
+		stopped := stopWatch == nil || stopWatch()
+		sr.harvestBytes(c)
+		if (stopped || !c.busy.Load()) && d.stashConn(addr, c) {
+			c = nil
+			return
+		}
+		c.close()
+		c = nil
+	}
+	defer releaseConn()
 
 	fails := 0      // consecutive dial/transport failures
 	dialed := false // ever connected successfully
@@ -878,27 +963,39 @@ func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 			return
 		}
 		if c == nil {
-			if fails > 0 {
-				if !sleepCtx(ctx, d.backoff(fails)) {
-					return
-				}
+			if fails == 0 {
+				c = d.checkoutConn(addr)
 			}
-			nc, err := d.connect(ctx, addr)
-			if err != nil {
-				fails++
-				if fails >= d.slotFailureLimit() {
-					return
+			if c == nil {
+				if fails > 0 {
+					if !sleepCtx(ctx, d.backoff(fails)) {
+						return
+					}
 				}
-				continue
+				nc, err := d.connect(ctx, addr)
+				if err != nil {
+					fails++
+					if fails >= d.slotFailureLimit() {
+						return
+					}
+					continue
+				}
+				c = nc
+				if dialed || fails > 0 {
+					sr.noteReconnect(addr)
+				}
+				dialed = true
 			}
-			c = nc
 			// Close the connection when the stage ends so a slot blocked
 			// in a read (stalled executor, stage already complete) wakes.
-			stopWatch = context.AfterFunc(ctx, func() { nc.close() })
-			if dialed || fails > 0 {
-				sr.noteReconnect(addr)
-			}
-			dialed = true
+			// A persistent driver's watcher leaves idle connections open:
+			// they are not blocking anything and releaseConn pools them.
+			nc := c
+			stopWatch = context.AfterFunc(ctx, func() {
+				if !d.Persistent || nc.busy.Load() {
+					nc.close()
+				}
+			})
 		}
 		var pi int
 		var ok bool
@@ -916,7 +1013,17 @@ func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 		}
 		sr.spanFor(pi).Event("shipped", telemetry.A("addr", addr), telemetry.A("epoch", ep))
 		sr.tasks.Running(pi, addr, ep)
+		c.busy.Store(true)
+		if ctx.Err() != nil {
+			// The stage-end watcher may have observed the connection
+			// idle a moment ago and left it open; nobody would unblock
+			// a read started now, so bail out. busy stays set so
+			// releaseConn closes instead of pooling (the watcher may
+			// have closed the connection concurrently).
+			return
+		}
 		pressured, err := d.sendTask(c, sr, pi, ep)
+		c.busy.Store(false)
 		if err == nil {
 			fails = 0
 			if pressured {
@@ -960,7 +1067,7 @@ func (d *Driver) runSlot(ctx context.Context, addr string, sr *stageRun) {
 			sr.noteDeadline(pi)
 		}
 		sr.abandon(pi, d.retries(), err, addr)
-		closeConn()
+		dropConn()
 		fails++
 		if fails >= d.slotFailureLimit() {
 			return
@@ -1100,6 +1207,11 @@ func (d *Driver) sendTask(c *conn, sr *stageRun, pi, epoch int) (pressured bool,
 	}
 	driverDecode := time.Since(dstart)
 	sr.noteDecode(driverDecode)
+	// The round trip's I/O is complete: clear busy before the commit so
+	// that, when this is the stage's last task, the stage-end watcher
+	// the commit triggers sees an idle connection and leaves it for the
+	// persistent pool instead of closing it.
+	c.busy.Store(false)
 	if sp := sr.spanFor(pi); sp != nil {
 		// The executor's timing breakdown (echoed in the result) places
 		// remote work on the driver's trace without clock agreement.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"ivnt/internal/engine"
@@ -343,6 +344,26 @@ type conn struct {
 	// a shuffleBeginMsg, so reconnects naturally re-open them (protocol
 	// v4; same lifetime discipline as sentStages).
 	sentShuffles map[uint64]bool
+
+	// busy is set while a task round trip is in flight on this
+	// connection. A persistent driver's stage-end watcher only closes
+	// busy connections (to unblock a stalled read); idle ones survive
+	// into the pool with their sentStages/sentTables caches warm.
+	busy atomic.Bool
+	// harvestedW/R mark how much of the cumulative byte counters has
+	// been folded into stage stats, so pooled connections reused across
+	// stages attribute each stage only its own delta (see takeCounts).
+	harvestedW, harvestedR int64
+}
+
+// takeCounts returns the bytes written/read since the previous call and
+// commits the new high-water marks. Callers must own the connection
+// (no concurrent I/O).
+func (c *conn) takeCounts() (written, read int64) {
+	written = c.count.written - c.harvestedW
+	read = c.count.read - c.harvestedR
+	c.harvestedW, c.harvestedR = c.count.written, c.count.read
+	return written, read
 }
 
 func newConn(raw net.Conn) *conn {

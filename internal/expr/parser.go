@@ -18,9 +18,35 @@ func Parse(src string) (Node, error) {
 		return nil, err
 	}
 	if p.tok.kind != tokEOF {
-		return nil, fmt.Errorf("expr: unexpected %s at offset %d in %q", p.tok, p.tok.pos, src)
+		return nil, p.errAt(p.tok.pos, "unexpected %s in %q", p.tok, src)
 	}
 	return n, nil
+}
+
+// PosAt converts a byte offset in src to a 1-based line and column
+// (columns count bytes). Offsets past the end report the position just
+// after the last byte.
+func PosAt(src string, off int) (line, col int) {
+	if off > len(src) {
+		off = len(src)
+	}
+	line, col = 1, 1
+	for i := 0; i < off; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// errAt builds a parse error carrying the 1-based line/col of the byte
+// offset pos — multi-line query text needs more than a flat offset.
+func (p *parser) errAt(pos int, format string, args ...any) error {
+	line, col := PosAt(p.lex.src, pos)
+	return fmt.Errorf("expr: %s at line %d, col %d", fmt.Sprintf(format, args...), line, col)
 }
 
 // MustParse is Parse for expressions known valid at compile time; it
@@ -93,7 +119,7 @@ func (p *parser) parseExpr(minBP int) (Node, error) {
 				return nil, err
 			}
 			if p.tok.kind != tokOp || p.tok.text != ":" {
-				return nil, fmt.Errorf("expr: expected ':' in conditional, got %s", p.tok)
+				return nil, p.errAt(p.tok.pos, "expected ':' in conditional, got %s", p.tok)
 			}
 			p.advance()
 			b, err := p.parseExpr(0)
@@ -192,7 +218,7 @@ func (p *parser) parsePrimary() (Node, error) {
 				}
 			}
 			if !(p.tok.kind == tokOp && p.tok.text == ")") {
-				return nil, fmt.Errorf("expr: expected ')' after arguments of %s, got %s", name, p.tok)
+				return nil, p.errAt(p.tok.pos, "expected ')' after arguments of %s, got %s", name, p.tok)
 			}
 			p.advance()
 			return &Call{Fn: name, Args: args}, nil
@@ -207,11 +233,11 @@ func (p *parser) parsePrimary() (Node, error) {
 				return nil, err
 			}
 			if !(p.tok.kind == tokOp && p.tok.text == ")") {
-				return nil, fmt.Errorf("expr: expected ')', got %s", p.tok)
+				return nil, p.errAt(p.tok.pos, "expected ')', got %s", p.tok)
 			}
 			p.advance()
 			return n, nil
 		}
 	}
-	return nil, fmt.Errorf("expr: unexpected %s at offset %d", p.tok, p.tok.pos)
+	return nil, p.errAt(p.tok.pos, "unexpected %s", p.tok)
 }

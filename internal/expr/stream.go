@@ -1,0 +1,84 @@
+package expr
+
+// Stream exposes the package's lexer and Pratt parser incrementally so
+// grammars that embed the expression language (internal/query's SQL-ish
+// frontend) can interleave their own keywords and punctuation with
+// full expression parses, without duplicating a tokenizer.
+//
+// A Stream holds one lookahead token. Cur inspects it, Advance consumes
+// it, and ParseExpr runs the expression parser starting at the current
+// token, leaving the stream positioned on the first token after the
+// expression (an embedding grammar's keyword or separator naturally
+// terminates an expression because keywords are plain identifiers with
+// no binding power in operator position).
+
+// TokKind classifies a Stream token.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokNumber
+	TokString
+	TokIdent
+	TokOp
+	TokInvalid
+)
+
+// Tok is the exported view of one lexer token. Pos is the byte offset
+// of the token's first byte in the source (for TokEOF, len(src)).
+type Tok struct {
+	Kind TokKind
+	Text string
+	Pos  int
+}
+
+// String renders the token the way parse errors do ("end of
+// expression", quoted text, ...).
+func (t Tok) String() string {
+	return token{kind: tokenKind(t.Kind), text: t.Text, pos: t.Pos}.String()
+}
+
+// Stream scans src token at a time.
+type Stream struct{ p parser }
+
+// NewStream returns a Stream over src with the first token already
+// scanned. Unlike Parse, no rule-LHS stripping is applied: src is
+// consumed verbatim so token positions are offsets into src itself.
+func NewStream(src string) *Stream {
+	s := &Stream{p: parser{lex: lexer{src: src}}}
+	s.p.advance()
+	return s
+}
+
+// Src returns the source text the stream scans.
+func (s *Stream) Src() string { return s.p.lex.src }
+
+// Cur returns the current (unconsumed) token.
+func (s *Stream) Cur() Tok {
+	return Tok{Kind: TokKind(s.p.tok.kind), Text: s.p.tok.text, Pos: s.p.tok.pos}
+}
+
+// Advance consumes the current token.
+func (s *Stream) Advance() { s.p.advance() }
+
+// ParseExpr parses one expression starting at the current token and
+// returns its AST together with the byte range [start, end) covering it
+// in Src (end is the offset of the token after the expression, so the
+// slice may carry trailing whitespace; callers wanting the exact
+// source text should TrimSpace it). On return the current token is the
+// first token after the expression.
+func (s *Stream) ParseExpr() (n Node, start, end int, err error) {
+	start = s.p.tok.pos
+	n, err = s.p.parseExpr(0)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return n, start, s.p.tok.pos, nil
+}
+
+// ErrAt builds an "expr: ... at line L, col C" error for the byte
+// offset pos in the stream's source, matching the parser's own error
+// format so embedding grammars report positions consistently.
+func (s *Stream) ErrAt(pos int, format string, args ...any) error {
+	return s.p.errAt(pos, format, args...)
+}

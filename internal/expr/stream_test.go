@@ -1,0 +1,75 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+// Parse errors must report line/col, not a flat byte offset: the query
+// frontend hands multi-line SQL text to this parser and a raw offset is
+// unusable there.
+func TestParseErrorHasLineCol(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"a + #", "line 1, col 5"},
+		{"a +\n  # + b", "line 2, col 3"},
+		{"(a + b", "line 1, col 7"},
+		{"x > 1 ?\n 2\n: ;", "line 3, col 3"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Fatalf("Parse(%q): expected error", c.src)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q: want substring %q", c.src, err, c.want)
+		}
+		if strings.Contains(err.Error(), "offset") {
+			t.Errorf("Parse(%q) error %q still reports a raw offset", c.src, err)
+		}
+	}
+}
+
+func TestPosAt(t *testing.T) {
+	src := "ab\ncd\n"
+	cases := []struct{ off, line, col int }{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, {3, 2, 1}, {5, 2, 3}, {6, 3, 1}, {99, 3, 1},
+	}
+	for _, c := range cases {
+		if l, col := PosAt(src, c.off); l != c.line || col != c.col {
+			t.Errorf("PosAt(%q, %d) = %d:%d, want %d:%d", src, c.off, l, col, c.line, c.col)
+		}
+	}
+}
+
+// Stream must stop an expression parse at an identifier in operator
+// position (an embedding grammar's keyword) and report the exact byte
+// range of the expression it consumed.
+func TestStreamParseExprStopsAtKeyword(t *testing.T) {
+	src := "ts >= 100 && id == 3 FROM trace"
+	s := NewStream(src)
+	n, start, end, err := s.ParseExpr()
+	if err != nil {
+		t.Fatalf("ParseExpr: %v", err)
+	}
+	if got := strings.TrimSpace(src[start:end]); got != "ts >= 100 && id == 3" {
+		t.Fatalf("expression slice = %q", got)
+	}
+	if n == nil {
+		t.Fatal("nil node")
+	}
+	cur := s.Cur()
+	if cur.Kind != TokIdent || cur.Text != "FROM" {
+		t.Fatalf("current token after expr = %v, want ident FROM", cur)
+	}
+	s.Advance()
+	if cur = s.Cur(); cur.Text != "trace" {
+		t.Fatalf("after advance = %v, want trace", cur)
+	}
+	s.Advance()
+	if cur = s.Cur(); cur.Kind != TokEOF {
+		t.Fatalf("want EOF, got %v", cur)
+	}
+}

@@ -1,0 +1,448 @@
+// Compilation of parsed statements onto engine op trees. The contract
+// that the differential harness holds (internal/difftest, `make
+// difftest-query`): a compiled plan is *the same data* as the op tree a
+// caller would hand-build from the statement's expression strings —
+// same OpDesc slice, same stage fingerprint — so parsed and hand-built
+// plans share compiled-pipeline cache entries and produce bitwise-equal
+// results.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"ivnt/internal/engine"
+	"ivnt/internal/expr"
+	"ivnt/internal/relation"
+)
+
+// SchemaFn resolves a relation name to its stored scan schema.
+type SchemaFn func(rel string) (relation.Schema, error)
+
+// DebugMutateWhere, when set, rewrites the WHERE source just before it
+// becomes a Filter op. The differential harness injects precedence bugs
+// through it to prove the query suite catches a miscompiled predicate.
+var DebugMutateWhere func(string) string
+
+// JoinPlan is the compiled join side of a plan.
+type JoinPlan struct {
+	Rel                 string
+	LeftKeys, RightKeys []string
+	RightOps            []engine.OpDesc // right-side scan stage (pushdown-foldable)
+}
+
+// Plan is a compiled statement: the scan-stage op tree plus the
+// terminal distributed/global steps Run drives.
+type Plan struct {
+	From    string
+	ScanOps []engine.OpDesc // main-relation scan stage; leading Filter/Project fold into pushdown
+	Join    *JoinPlan
+	PostOps []engine.OpDesc // post-join narrow ops (join queries only)
+
+	GroupBy      []string
+	Aggs         []engine.AggSpec // len>0: terminal engine.DistributedAggregate
+	FinalProject []string         // post-aggregate projection to select order, "" slice when not needed
+	OrderBy      []string         // terminal engine.SortRelation keys
+	Limit        int              // -1: no limit
+}
+
+// aggFns maps aggregate call names to engine functions. first/last
+// exist as engine aggregates but do not distribute (no mergeable
+// partial), so the compiler rejects them explicitly.
+var aggFns = map[string]engine.AggFunc{
+	"count": engine.AggCount,
+	"sum":   engine.AggSum,
+	"min":   engine.AggMin,
+	"max":   engine.AggMax,
+	"mean":  engine.AggMean,
+}
+
+// Compile compiles q against the schemas the resolver provides.
+func Compile(q *Query, schemas SchemaFn) (*Plan, error) {
+	p, err := compile(q, schemas)
+	if err != nil {
+		mCompileErrors.Inc()
+		return nil, err
+	}
+	mCompiled.Inc()
+	return p, nil
+}
+
+func compile(q *Query, schemas SchemaFn) (*Plan, error) {
+	left, err := schemas(q.From)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{From: q.From, Limit: q.Limit, OrderBy: q.OrderBy}
+
+	// The "work" schema select items and GROUP BY resolve against: the
+	// scan schema, or the joined schema (left columns + right non-key
+	// columns, the broadcast-join kernel's layout, which ShuffleJoin
+	// matches bitwise).
+	work := left
+	var right relation.Schema
+	if q.Join != nil {
+		if right, err = schemas(q.Join.Rel); err != nil {
+			return nil, err
+		}
+		jp := &JoinPlan{Rel: q.Join.Rel}
+		for _, on := range q.Join.On {
+			l, r := on[0], on[1]
+			if !left.Has(l) && right.Has(l) && left.Has(r) {
+				l, r = r, l // written right-side first; normalize
+			}
+			if !left.Has(l) {
+				return nil, fmt.Errorf("query: join key %q is not a column of %s", l, q.From)
+			}
+			if !right.Has(r) {
+				return nil, fmt.Errorf("query: join key %q is not a column of %s", r, q.Join.Rel)
+			}
+			jp.LeftKeys = append(jp.LeftKeys, l)
+			jp.RightKeys = append(jp.RightKeys, r)
+		}
+		p.Join = jp
+		rightKey := map[string]bool{}
+		for _, k := range jp.RightKeys {
+			rightKey[k] = true
+		}
+		cols := append([]relation.Column(nil), left.Cols...)
+		for _, c := range right.Cols {
+			if !rightKey[c.Name] {
+				cols = append(cols, c)
+			}
+		}
+		work = relation.Schema{Cols: cols}
+		if err := checkDupCols(work); err != nil {
+			return nil, err
+		}
+	}
+
+	// WHERE placement: a predicate whose columns all live on one side
+	// folds into that side's scan (zone-map pruning); anything touching
+	// both sides of a join runs after it.
+	if q.Where != "" {
+		where := q.Where
+		if DebugMutateWhere != nil {
+			where = DebugMutateWhere(where)
+		}
+		switch {
+		case q.Join == nil || identsWithin(q.WhereNode, left):
+			p.ScanOps = append(p.ScanOps, engine.Filter(where))
+		case identsWithin(q.WhereNode, right):
+			p.Join.RightOps = append(p.Join.RightOps, engine.Filter(where))
+		default:
+			p.PostOps = append(p.PostOps, engine.Filter(where))
+		}
+	}
+
+	if len(q.GroupBy) > 0 {
+		if err := compileAggregate(q, p, work); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := compileNarrow(q, p, work); err != nil {
+			return nil, err
+		}
+	}
+
+	// Validate the narrow stages the way the engine will compile them
+	// (unknown columns, bad expressions, duplicate outputs all surface
+	// here, with the engine's own messages).
+	stageIn, stageOps := left, p.ScanOps
+	if q.Join != nil {
+		if _, err := engine.OutputSchema(left, p.ScanOps); err != nil {
+			return nil, fmt.Errorf("query: %w", err)
+		}
+		if _, err := engine.OutputSchema(right, p.Join.RightOps); err != nil {
+			return nil, fmt.Errorf("query: %w", err)
+		}
+		stageIn, stageOps = work, p.PostOps
+	}
+	out, err := engine.OutputSchema(stageIn, stageOps)
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+
+	// ORDER BY keys must be output columns.
+	outNames := p.outputNames(out)
+	for _, k := range q.OrderBy {
+		if !sliceHas(outNames, k) {
+			return nil, fmt.Errorf("query: ORDER BY key %q is not an output column (outputs: %s)", k, strings.Join(outNames, ", "))
+		}
+	}
+	return p, nil
+}
+
+// outputNames lists the plan's output column names: the narrow-stage
+// schema for scan queries, group keys + aggregate aliases (after any
+// final projection) for aggregates.
+func (p *Plan) outputNames(narrowOut relation.Schema) []string {
+	if len(p.Aggs) == 0 {
+		names := make([]string, len(narrowOut.Cols))
+		for i, c := range narrowOut.Cols {
+			names[i] = c.Name
+		}
+		return names
+	}
+	if len(p.FinalProject) > 0 {
+		return p.FinalProject
+	}
+	names := append([]string(nil), p.GroupBy...)
+	for _, a := range p.Aggs {
+		names = append(names, a.As)
+	}
+	return names
+}
+
+// compileNarrow lowers a GROUP BY-less select list: bare columns become
+// a Project, computed items an AddColumn each (advisory kind from
+// inferKind) followed by a Project to select order.
+func compileNarrow(q *Query, p *Plan, work relation.Schema) error {
+	if q.Items[0].Star {
+		if len(q.Items) > 1 {
+			return fmt.Errorf("query: '*' must be the only select item")
+		}
+		return nil // no projection: scan schema passes through
+	}
+	var adds []engine.OpDesc
+	var names []string
+	seen := map[string]bool{}
+	for i, it := range q.Items {
+		if it.Star {
+			return fmt.Errorf("query: '*' must be the only select item")
+		}
+		if it.CountStar {
+			return fmt.Errorf("query: count(*) needs a GROUP BY")
+		}
+		if call, ok := it.Node.(*expr.Call); ok && len(q.GroupBy) == 0 {
+			if _, isAgg := aggFns[call.Fn]; isAgg && call.Fn != "min" && call.Fn != "max" {
+				return fmt.Errorf("query: aggregate %s(...) needs a GROUP BY", call.Fn)
+			}
+		}
+		name := it.Alias
+		if id, bare := it.Node.(*expr.Ident); bare && name == "" {
+			if !work.Has(id.Name) {
+				return fmt.Errorf("query: select item %d: unknown column %q", i+1, id.Name)
+			}
+			name = id.Name
+		} else {
+			if name == "" {
+				return fmt.Errorf("query: select item %d (%s) needs an AS alias", i+1, it.Src)
+			}
+			adds = append(adds, engine.AddColumn(name, inferKind(it.Node, work), it.Src))
+		}
+		if seen[name] {
+			return fmt.Errorf("query: duplicate output column %q", name)
+		}
+		seen[name] = true
+		names = append(names, name)
+	}
+	ops := append(adds, engine.Project(names...))
+	if q.Join == nil {
+		p.ScanOps = append(p.ScanOps, ops...)
+	} else {
+		p.PostOps = append(p.PostOps, ops...)
+	}
+	return nil
+}
+
+// compileAggregate lowers a GROUP BY select list onto
+// engine.DistributedAggregate: bare columns must be group keys,
+// everything else an aliased aggregate call over one column (or
+// count(*)). The pre-aggregate scan is projected to the columns the
+// aggregation reads, in schema order, so column pruning reaches the
+// segment decoder.
+func compileAggregate(q *Query, p *Plan, work relation.Schema) error {
+	for _, k := range q.GroupBy {
+		if !work.Has(k) {
+			return fmt.Errorf("query: GROUP BY key %q is not a column", k)
+		}
+	}
+	p.GroupBy = q.GroupBy
+	need := map[string]bool{}
+	for _, k := range q.GroupBy {
+		need[k] = true
+	}
+	var selOrder []string
+	seen := map[string]bool{}
+	for i, it := range q.Items {
+		switch {
+		case it.Star:
+			return fmt.Errorf("query: '*' cannot appear with GROUP BY")
+		case it.CountStar:
+			if it.Alias == "" {
+				return fmt.Errorf("query: select item %d (count(*)) needs an AS alias", i+1)
+			}
+			p.Aggs = append(p.Aggs, engine.AggSpec{Fn: engine.AggCount, As: it.Alias})
+			selOrder = append(selOrder, it.Alias)
+		default:
+			if id, bare := it.Node.(*expr.Ident); bare {
+				if !sliceHas(q.GroupBy, id.Name) {
+					return fmt.Errorf("query: select item %d (%s) is neither a group key nor an aggregate", i+1, it.Src)
+				}
+				if it.Alias != "" {
+					return fmt.Errorf("query: group key %q cannot take an alias", id.Name)
+				}
+				selOrder = append(selOrder, id.Name)
+				break
+			}
+			call, ok := it.Node.(*expr.Call)
+			if !ok {
+				return fmt.Errorf("query: select item %d (%s) is neither a group key nor an aggregate", i+1, it.Src)
+			}
+			if call.Fn == "first" || call.Fn == "last" {
+				return fmt.Errorf("query: %s() does not distribute (no mergeable partial); use min/max over a sort key instead", call.Fn)
+			}
+			fn, isAgg := aggFns[call.Fn]
+			if !isAgg {
+				return fmt.Errorf("query: select item %d: %s(...) is not an aggregate (want count/sum/min/max/mean)", i+1, call.Fn)
+			}
+			id, bareArg := argIdent(call)
+			if !bareArg {
+				return fmt.Errorf("query: select item %d: aggregate %s wants a single column argument", i+1, call.Fn)
+			}
+			if !work.Has(id) {
+				return fmt.Errorf("query: select item %d: unknown column %q", i+1, id)
+			}
+			if it.Alias == "" {
+				return fmt.Errorf("query: select item %d (%s) needs an AS alias", i+1, it.Src)
+			}
+			p.Aggs = append(p.Aggs, engine.AggSpec{Fn: fn, Col: id, As: it.Alias})
+			need[id] = true
+			selOrder = append(selOrder, it.Alias)
+		}
+		nm := selOrder[len(selOrder)-1]
+		if seen[nm] {
+			return fmt.Errorf("query: duplicate output column %q", nm)
+		}
+		seen[nm] = true
+	}
+	if len(p.Aggs) == 0 {
+		return fmt.Errorf("query: GROUP BY without any aggregate select item")
+	}
+
+	// Project the pre-aggregate scan to the needed columns (schema
+	// order keeps the projection canonical). Join queries skip this:
+	// the join already narrowed the stream and the projection would
+	// have to straddle both sides.
+	if q.Join == nil {
+		var cols []string
+		for _, c := range work.Cols {
+			if need[c.Name] {
+				cols = append(cols, c.Name)
+			}
+		}
+		p.ScanOps = append(p.ScanOps, engine.Project(cols...))
+	}
+
+	// The aggregate's natural output is group keys then aggregates in
+	// spec order; a final projection restores select order when the
+	// statement differs (or drops unselected group keys).
+	natural := append(append([]string(nil), q.GroupBy...), aggNames(p.Aggs)...)
+	if !sliceEq(natural, selOrder) {
+		p.FinalProject = selOrder
+	}
+	return nil
+}
+
+func aggNames(aggs []engine.AggSpec) []string {
+	out := make([]string, len(aggs))
+	for i, a := range aggs {
+		out[i] = a.As
+	}
+	return out
+}
+
+// argIdent returns the name of a call's single bare-column argument.
+func argIdent(c *expr.Call) (string, bool) {
+	if len(c.Args) != 1 {
+		return "", false
+	}
+	id, ok := c.Args[0].(*expr.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// identsWithin reports whether every column n references is in s.
+func identsWithin(n expr.Node, s relation.Schema) bool {
+	for _, id := range expr.Idents(n) {
+		if !s.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkDupCols(s relation.Schema) error {
+	seen := map[string]bool{}
+	for _, c := range s.Cols {
+		if seen[c.Name] {
+			return fmt.Errorf("query: join produces duplicate column %q (project or rename before joining)", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+func sliceHas(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func sliceEq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// inferKind assigns the advisory schema kind of a computed select item
+// (engine.AddColumn wants one; values themselves carry their own kinds
+// at runtime). The rules are part of the plan contract — hand-built op
+// trees must pick the same kinds to fingerprint-match parsed plans:
+// comparisons, boolean connectives and ! are Bool; + - * % keep Int
+// when both sides are Int, else Float; / is always Float; a
+// conditional takes its then-branch's kind; calls default to Float.
+func inferKind(n expr.Node, s relation.Schema) relation.Kind {
+	switch x := n.(type) {
+	case *expr.Lit:
+		return x.Value().K
+	case *expr.Ident:
+		if i := s.Index(x.Name); i >= 0 {
+			return s.Cols[i].Kind
+		}
+		return relation.KindFloat
+	case *expr.Unary:
+		if x.Op == "!" {
+			return relation.KindBool
+		}
+		return inferKind(x.X, s)
+	case *expr.Binary:
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return relation.KindBool
+		case "/":
+			return relation.KindFloat
+		default:
+			if inferKind(x.L, s) == relation.KindInt && inferKind(x.R, s) == relation.KindInt {
+				return relation.KindInt
+			}
+			return relation.KindFloat
+		}
+	case *expr.Cond:
+		return inferKind(x.A, s)
+	default:
+		return relation.KindFloat
+	}
+}

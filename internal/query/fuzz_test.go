@@ -1,0 +1,91 @@
+package query
+
+import (
+	"testing"
+
+	"ivnt/internal/relation"
+)
+
+// FuzzParseQuery hardens the statement parser and plan compiler:
+// arbitrary statement text must parse-or-error without panicking, and
+// whatever parses must compile-or-error without panicking. Compiled
+// plans must round out basic invariants (a WHERE always lands in
+// exactly one stage, aggregates imply group keys).
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM trace",
+		"SELECT ts, val FROM trace WHERE ts >= 100 && val > 0.5",
+		"SELECT sid, count(*) AS n FROM trace GROUP BY sid ORDER BY sid LIMIT 10",
+		"SELECT sid, mean(val) AS m, sum(val) AS s FROM trace WHERE sid != 'x' GROUP BY sid",
+		"SELECT val * 2.0 + 1.0 AS scaled FROM trace",
+		"SELECT sid, label FROM trace JOIN names ON sid == key WHERE ts <= 20",
+		"select ts from trace where sid == 'a' order by ts asc",
+		"SELECT a FROM t ORDER BY a DESC",
+		"SELECT count(*) FROM t",
+		"SELECT FROM WHERE GROUP BY",
+		"SELECT 'unterminated FROM t",
+		"SELECT a FROM t LIMIT 99999999999999999999",
+		"SELECT (a FROM t",
+		"SELECT a?b:c AS x FROM t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schemas := map[string]relation.Schema{
+		"trace": relation.NewSchema(
+			relation.Column{Name: "ts", Kind: relation.KindInt},
+			relation.Column{Name: "val", Kind: relation.KindFloat},
+			relation.Column{Name: "sid", Kind: relation.KindString},
+		),
+		"names": relation.NewSchema(
+			relation.Column{Name: "key", Kind: relation.KindString},
+			relation.Column{Name: "label", Kind: relation.KindString},
+		),
+		"t": relation.NewSchema(
+			relation.Column{Name: "a", Kind: relation.KindInt},
+			relation.Column{Name: "b", Kind: relation.KindFloat},
+			relation.Column{Name: "c", Kind: relation.KindString},
+		),
+	}
+	fn := func(rel string) (relation.Schema, error) {
+		s, ok := schemas[rel]
+		if !ok {
+			return relation.Schema{}, errUnknown(rel)
+		}
+		return s, nil
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		p, err := Compile(q, fn)
+		if err != nil {
+			return
+		}
+		if len(p.Aggs) > 0 && len(p.GroupBy) == 0 {
+			t.Fatalf("%q compiled aggregates without group keys", src)
+		}
+		filters := 0
+		for _, op := range p.ScanOps {
+			if op.Kind.String() == "filter" {
+				filters++
+			}
+		}
+		if p.Join != nil {
+			for _, op := range p.Join.RightOps {
+				if op.Kind.String() == "filter" {
+					filters++
+				}
+			}
+			for _, op := range p.PostOps {
+				if op.Kind.String() == "filter" {
+					filters++
+				}
+			}
+		}
+		if q.Where != "" && filters != 1 {
+			t.Fatalf("%q: WHERE compiled into %d filters", src, filters)
+		}
+	})
+}

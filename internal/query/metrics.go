@@ -1,0 +1,47 @@
+// Query-frontend observability: the query_* counter catalogue,
+// pre-registered at init and gated by cmd/vetmetrics like the engine,
+// cluster and segstore catalogues (see docs/OBSERVABILITY.md).
+package query
+
+import (
+	"fmt"
+
+	"ivnt/internal/telemetry"
+)
+
+var (
+	mParsed = telemetry.Default().Counter("query_parsed_total",
+		"Statements parsed successfully.")
+	mParseErrors = telemetry.Default().Counter("query_parse_errors_total",
+		"Statements rejected by the parser.")
+	mCompiled = telemetry.Default().Counter("query_compiled_total",
+		"Statements compiled onto engine plans.")
+	mCompileErrors = telemetry.Default().Counter("query_compile_errors_total",
+		"Statements rejected during plan compilation.")
+)
+
+// metricNames lists the families this package must register.
+var metricNames = []string{
+	"query_parsed_total",
+	"query_parse_errors_total",
+	"query_compiled_total",
+	"query_compile_errors_total",
+}
+
+// VerifyMetrics is the vet-metrics gate for the query catalogue.
+func VerifyMetrics() error {
+	found := map[string]string{}
+	for _, fam := range telemetry.Default().Snapshot() {
+		found[fam.Name] = fam.Type
+	}
+	for _, name := range metricNames {
+		typ, ok := found[name]
+		if !ok {
+			return fmt.Errorf("query metric family %q is not registered", name)
+		}
+		if typ != telemetry.TypeCounter {
+			return fmt.Errorf("query metric family %q registered as %s, want %s", name, typ, telemetry.TypeCounter)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+// Package query is the SQL-ish frontend over stored trace relations:
+//
+//	SELECT <items> FROM <relation> [JOIN <relation> ON <keys>]
+//	    [WHERE <expr>] [GROUP BY <keys>] [ORDER BY <keys>] [LIMIT n]
+//
+// It reuses internal/expr's lexer and Pratt parser for every embedded
+// expression (via expr.Stream), so the predicate language of queries is
+// exactly the rule language of the pipeline, and compiles statements
+// onto the engine's serializable op trees: WHERE becomes a leading
+// Filter that engine.FoldPushdown turns into zone-map segment pruning,
+// GROUP BY becomes engine.DistributedAggregate (size-based
+// broadcast/shuffle plan selection), JOIN becomes
+// engine.DistributedJoin, ORDER BY engine.SortRelation. The grammar and
+// its compilation contract are documented in docs/QUERY.md.
+package query
+
+import (
+	"strconv"
+	"strings"
+
+	"ivnt/internal/expr"
+)
+
+// Keywords are reserved: they cannot name relations, columns or aliases
+// in the positions the grammar consumes identifiers. Matching is
+// case-insensitive.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true,
+	"by": true, "order": true, "limit": true, "as": true,
+	"join": true, "on": true, "asc": true, "desc": true,
+}
+
+// SelectItem is one output of the select list.
+type SelectItem struct {
+	Star      bool      // "*": every input column, must be the only item
+	CountStar bool      // "count(*)"
+	Src       string    // exact expression source text ("" for Star)
+	Node      expr.Node // parsed expression (nil for Star / CountStar)
+	Alias     string    // AS name; "" means the item is a bare column
+}
+
+// JoinClause is the parsed "JOIN rel ON a == b [&& c == d ...]".
+// Which side each key column belongs to is resolved at compile time
+// against the two schemas.
+type JoinClause struct {
+	Rel string
+	On  [][2]string
+}
+
+// Query is the parsed form of one statement.
+type Query struct {
+	Src       string // full statement text
+	Items     []SelectItem
+	From      string
+	Join      *JoinClause
+	Where     string // exact WHERE source text, "" when absent
+	WhereNode expr.Node
+	GroupBy   []string
+	OrderBy   []string
+	Limit     int // -1 when absent
+}
+
+// Parse parses one statement. Errors carry line/col positions in the
+// statement text (the expr parser's format).
+func Parse(src string) (*Query, error) {
+	q, err := parse(src)
+	if err != nil {
+		mParseErrors.Inc()
+		return nil, err
+	}
+	mParsed.Inc()
+	return q, nil
+}
+
+type parser struct{ s *expr.Stream }
+
+func (p *parser) cur() expr.Tok { return p.s.Cur() }
+
+func (p *parser) isKw(kw string) bool {
+	c := p.s.Cur()
+	return c.Kind == expr.TokIdent && strings.EqualFold(c.Text, kw)
+}
+
+func (p *parser) takeKw(kw string) bool {
+	if p.isKw(kw) {
+		p.s.Advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.takeKw(kw) {
+		return p.s.ErrAt(p.cur().Pos, "expected %s, got %s", strings.ToUpper(kw), p.cur())
+	}
+	return nil
+}
+
+func (p *parser) isOp(text string) bool {
+	c := p.cur()
+	return c.Kind == expr.TokOp && c.Text == text
+}
+
+func (p *parser) expectIdent(what string) (string, error) {
+	c := p.cur()
+	if c.Kind != expr.TokIdent {
+		return "", p.s.ErrAt(c.Pos, "expected %s, got %s", what, c)
+	}
+	if reserved[strings.ToLower(c.Text)] {
+		return "", p.s.ErrAt(c.Pos, "expected %s, got reserved word %s", what, c)
+	}
+	p.s.Advance()
+	return c.Text, nil
+}
+
+// identList parses "ident (, ident)*".
+func (p *parser) identList(what string) ([]string, error) {
+	var out []string
+	for {
+		id, err := p.expectIdent(what)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if p.isOp(",") {
+			p.s.Advance()
+			continue
+		}
+		return out, nil
+	}
+}
+
+func parse(src string) (*Query, error) {
+	p := &parser{s: expr.NewStream(src)}
+	q := &Query{Src: src, Limit: -1}
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	for {
+		it, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, *it)
+		if p.isOp(",") {
+			p.s.Advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	rel, err := p.expectIdent("relation name")
+	if err != nil {
+		return nil, err
+	}
+	q.From = rel
+	if p.takeKw("join") {
+		j := &JoinClause{}
+		if j.Rel, err = p.expectIdent("relation name"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		for {
+			l, err := p.expectIdent("join key column")
+			if err != nil {
+				return nil, err
+			}
+			if !p.isOp("==") { // single '=' lexes as '==' too
+				return nil, p.s.ErrAt(p.cur().Pos, "expected == between join keys, got %s", p.cur())
+			}
+			p.s.Advance()
+			r, err := p.expectIdent("join key column")
+			if err != nil {
+				return nil, err
+			}
+			j.On = append(j.On, [2]string{l, r})
+			if p.isOp("&&") {
+				p.s.Advance()
+				continue
+			}
+			break
+		}
+		q.Join = j
+	}
+	if p.takeKw("where") {
+		n, st, en, err := p.s.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = strings.TrimSpace(src[st:en])
+		q.WhereNode = n
+	}
+	if p.takeKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		if q.GroupBy, err = p.identList("group key"); err != nil {
+			return nil, err
+		}
+	}
+	if p.takeKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			k, err := p.expectIdent("order key")
+			if err != nil {
+				return nil, err
+			}
+			if p.isKw("desc") {
+				return nil, p.s.ErrAt(p.cur().Pos, "DESC is not supported: the engine sorts ascending only")
+			}
+			p.takeKw("asc")
+			q.OrderBy = append(q.OrderBy, k)
+			if p.isOp(",") {
+				p.s.Advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.takeKw("limit") {
+		c := p.cur()
+		if c.Kind != expr.TokNumber {
+			return nil, p.s.ErrAt(c.Pos, "expected row count after LIMIT, got %s", c)
+		}
+		n, err := strconv.Atoi(c.Text)
+		if err != nil || n < 0 {
+			return nil, p.s.ErrAt(c.Pos, "LIMIT wants a non-negative integer, got %q", c.Text)
+		}
+		p.s.Advance()
+		q.Limit = n
+	}
+	if c := p.cur(); c.Kind != expr.TokEOF {
+		return nil, p.s.ErrAt(c.Pos, "unexpected %s after query", c)
+	}
+	return q, nil
+}
+
+func (p *parser) parseItem() (*SelectItem, error) {
+	if p.isOp("*") {
+		pos := p.cur().Pos
+		p.s.Advance()
+		if p.isKw("as") {
+			return nil, p.s.ErrAt(pos, "'*' cannot take an alias")
+		}
+		return &SelectItem{Star: true, Src: "*"}, nil
+	}
+	start := p.cur().Pos
+	var it SelectItem
+	if p.peekCountStar() {
+		p.s.Advance() // count
+		p.s.Advance() // (
+		p.s.Advance() // *
+		if !p.isOp(")") {
+			return nil, p.s.ErrAt(p.cur().Pos, "expected ')' after count(*), got %s", p.cur())
+		}
+		end := p.cur().Pos + 1
+		p.s.Advance()
+		it = SelectItem{CountStar: true, Src: strings.TrimSpace(p.s.Src()[start:end])}
+	} else {
+		n, st, en, err := p.s.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		it = SelectItem{Node: n, Src: strings.TrimSpace(p.s.Src()[st:en])}
+	}
+	if p.takeKw("as") {
+		a, err := p.expectIdent("alias")
+		if err != nil {
+			return nil, err
+		}
+		it.Alias = a
+	}
+	return &it, nil
+}
+
+// peekCountStar reports whether the next three tokens are count ( * —
+// which cannot parse as an expression, so the select-item grammar
+// special-cases it. The Stream holds one lookahead token, so peeking
+// further runs a throwaway stream over the tail of the source.
+func (p *parser) peekCountStar() bool {
+	c := p.cur()
+	if c.Kind != expr.TokIdent || !strings.EqualFold(c.Text, "count") {
+		return false
+	}
+	t := expr.NewStream(p.s.Src()[c.Pos:])
+	t.Advance() // count
+	if n := t.Cur(); !(n.Kind == expr.TokOp && n.Text == "(") {
+		return false
+	}
+	t.Advance()
+	n := t.Cur()
+	return n.Kind == expr.TokOp && n.Text == "*"
+}

@@ -63,10 +63,15 @@ var manifestMagic = [4]byte{'I', 'V', 'S', 'M'}
 
 // manifestPayload is the gob body of the manifest file. The file
 // framing is magic | payloadLen:uint32 | payloadCRC:uint32 | payload.
+// Generation counts seals monotonically over the store's life and is
+// the result-cache invalidation token (see Store.Generation); the field
+// is gob-additive, so manifests written before it existed decode with
+// Generation 0 and Open derives len(Segs) as a floor.
 type manifestPayload struct {
-	Version int
-	Cols    []manifestCol
-	Segs    []manifestSeg
+	Version    int
+	Generation uint64
+	Cols       []manifestCol
+	Segs       []manifestSeg
 }
 
 type manifestCol struct {
@@ -89,6 +94,7 @@ type Store struct {
 	mu     sync.Mutex
 	schema relation.Schema
 	segs   []manifestSeg
+	gen    uint64 // committed manifest generation (seal counter)
 	nextID int
 	foots  map[string]*footer // pruning footer cache, keyed by path
 }
@@ -140,6 +146,12 @@ func Open(dir string, schema relation.Schema, opts Options) (*Store, error) {
 		}
 		st.schema = stored
 		st.segs = p.Segs
+		st.gen = p.Generation
+		if floor := uint64(len(p.Segs)); st.gen < floor {
+			// Manifest predates the Generation field: every committed
+			// segment was one seal, so len(Segs) is an exact floor.
+			st.gen = floor
+		}
 	case os.IsNotExist(err):
 		if schema.Len() == 0 {
 			return nil, fmt.Errorf("segstore: %s has no manifest and no schema was given", dir)
@@ -219,7 +231,7 @@ func parseManifest(data []byte) (*manifestPayload, error) {
 // writeManifestLocked rewrites the manifest atomically (temp + fsync +
 // rename). Callers hold st.mu or have exclusive access.
 func (st *Store) writeManifestLocked() error {
-	p := manifestPayload{Version: manifestVersion, Segs: st.segs}
+	p := manifestPayload{Version: manifestVersion, Generation: st.gen, Segs: st.segs}
 	for _, c := range st.schema.Cols {
 		p.Cols = append(p.Cols, manifestCol{Name: c.Name, Kind: uint8(c.Kind)})
 	}
@@ -262,6 +274,17 @@ func (st *Store) writeManifestLocked() error {
 
 // Dir returns the store directory.
 func (st *Store) Dir() string { return st.dir }
+
+// Generation returns the committed manifest generation: a monotonic
+// seal counter, bumped exactly when a new segment commits. Result
+// caches key entries on it — a bump makes every cached result for the
+// relation unreachable, which is the whole invalidation contract (see
+// docs/QUERY.md).
+func (st *Store) Generation() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gen
+}
 
 // Schema returns the stored schema.
 func (st *Store) Schema() relation.Schema {
@@ -375,10 +398,12 @@ func (st *Store) AppendSegment(rows []relation.Row) error {
 		return err
 	}
 	st.segs = append(st.segs, manifestSeg{Name: name, Rows: len(rows)})
+	st.gen++
 	if err := st.writeManifestLocked(); err != nil {
 		// The segment file stays behind as an uncommitted orphan; the
 		// in-memory view must keep matching the on-disk manifest.
 		st.segs = st.segs[:len(st.segs)-1]
+		st.gen--
 		return err
 	}
 	st.nextID++

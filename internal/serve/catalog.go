@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"ivnt/internal/relation"
+	"ivnt/internal/segstore"
+)
+
+// TenantConfig describes one tenant of the query service: a concurrency
+// ceiling and the relations it may query, each backed by a segment
+// store directory.
+type TenantConfig struct {
+	// MaxConcurrency caps the tenant's in-flight queries; excess
+	// requests wait (and count as admission deferrals) rather than
+	// fail. 0 uses the server default.
+	MaxConcurrency int `json:"max_concurrency"`
+	// Relations maps relation name -> segstore directory.
+	Relations map[string]string `json:"relations"`
+}
+
+// Config is the on-disk catalog format of cmd/served (-catalog flag):
+//
+//	{"tenants": {"acme": {"max_concurrency": 4,
+//	                      "relations": {"trace": "/data/acme/trace"}}}}
+type Config struct {
+	Tenants map[string]*TenantConfig `json:"tenants"`
+}
+
+// LoadConfig reads and validates a catalog config file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("serve: catalog %s: %w", path, err)
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: catalog %s: no tenants", path)
+	}
+	for name, tc := range cfg.Tenants {
+		if tc == nil || len(tc.Relations) == 0 {
+			return nil, fmt.Errorf("serve: catalog %s: tenant %q has no relations", path, name)
+		}
+		if tc.MaxConcurrency < 0 {
+			return nil, fmt.Errorf("serve: catalog %s: tenant %q has negative max_concurrency", path, name)
+		}
+	}
+	return &cfg, nil
+}
+
+// Catalog resolves (tenant, relation) pairs to open segment stores.
+// Stores are opened lazily (adopting the manifest schema) and shared:
+// two tenants pointing at the same directory read — and observe the
+// generation of — the same *segstore.Store. All methods are safe for
+// concurrent use.
+type Catalog struct {
+	cfg  *Config
+	opts segstore.Options
+
+	mu     sync.Mutex
+	stores map[string]*segstore.Store // keyed by directory
+}
+
+// NewCatalog wraps a validated config. opts applies to lazily opened
+// stores (compression is a write-side option; reads auto-detect).
+func NewCatalog(cfg *Config, opts segstore.Options) *Catalog {
+	return &Catalog{cfg: cfg, opts: opts, stores: map[string]*segstore.Store{}}
+}
+
+// Tenant returns the tenant's config, or false if unknown.
+func (c *Catalog) Tenant(name string) (*TenantConfig, bool) {
+	tc, ok := c.cfg.Tenants[name]
+	return tc, ok
+}
+
+// Relations lists the tenant's relation names, sorted.
+func (c *Catalog) Relations(tenant string) ([]string, error) {
+	tc, ok := c.Tenant(tenant)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown tenant %q", tenant)
+	}
+	names := make([]string, 0, len(tc.Relations))
+	for name := range tc.Relations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Store opens (once) and returns the segment store backing the
+// tenant's relation.
+func (c *Catalog) Store(tenant, rel string) (*segstore.Store, error) {
+	tc, ok := c.Tenant(tenant)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown tenant %q", tenant)
+	}
+	dir, ok := tc.Relations[rel]
+	if !ok {
+		return nil, fmt.Errorf("serve: tenant %q has no relation %q", tenant, rel)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.stores[dir]; ok {
+		return st, nil
+	}
+	st, err := segstore.Open(dir, relation.Schema{}, c.opts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open %s/%s: %w", tenant, rel, err)
+	}
+	c.stores[dir] = st
+	return st, nil
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"fmt"
+
+	"ivnt/internal/telemetry"
+)
+
+var (
+	mQueries = telemetry.Default().CounterVec("serve_queries_total",
+		"Queries handled, by terminal status (ok, parse_error, compile_error, exec_error, rejected).", "status")
+	mResultHits = telemetry.Default().Counter("serve_result_cache_hits_total",
+		"Queries answered from the result cache without executing.")
+	mResultMisses = telemetry.Default().Counter("serve_result_cache_misses_total",
+		"Queries that missed (or bypassed) the result cache and executed.")
+	mPlanHits = telemetry.Default().Counter("serve_plan_cache_hits_total",
+		"Queries whose compiled plan was reused from the plan cache.")
+	mPlanMisses = telemetry.Default().Counter("serve_plan_cache_misses_total",
+		"Queries that parsed and compiled a fresh plan.")
+	mDeferrals = telemetry.Default().Counter("serve_admission_deferrals_total",
+		"Admission waits: queries held for a tenant concurrency slot or paused under memory pressure.")
+	mActive = telemetry.Default().Gauge("serve_active_queries",
+		"Queries currently admitted and executing.")
+	mQuerySeconds = telemetry.Default().HistogramVec("serve_query_seconds",
+		"Wall time per query by terminal status.", telemetry.DurationBuckets, "status")
+	mIngestedSegments = telemetry.Default().Counter("serve_ingested_segments_total",
+		"Segments sealed through the /ingest endpoint.")
+)
+
+var metricNames = map[string]string{
+	"serve_queries_total":             telemetry.TypeCounter,
+	"serve_result_cache_hits_total":   telemetry.TypeCounter,
+	"serve_result_cache_misses_total": telemetry.TypeCounter,
+	"serve_plan_cache_hits_total":     telemetry.TypeCounter,
+	"serve_plan_cache_misses_total":   telemetry.TypeCounter,
+	"serve_admission_deferrals_total": telemetry.TypeCounter,
+	"serve_active_queries":            telemetry.TypeGauge,
+	"serve_query_seconds":             telemetry.TypeHistogram,
+	"serve_ingested_segments_total":   telemetry.TypeCounter,
+}
+
+// VerifyMetrics checks that every serve_* metric family this package
+// documents is registered on the default registry with the documented
+// type. cmd/vetmetrics runs it in CI.
+func VerifyMetrics() error {
+	found := map[string]bool{}
+	for _, m := range telemetry.Default().Snapshot() {
+		typ, ok := metricNames[m.Name]
+		if !ok {
+			continue
+		}
+		if m.Type != typ {
+			return fmt.Errorf("serve metric family %q registered as %s, want %s", m.Name, m.Type, typ)
+		}
+		found[m.Name] = true
+	}
+	for name := range metricNames {
+		if !found[name] {
+			return fmt.Errorf("serve metric family %q not registered", name)
+		}
+	}
+	return nil
+}
