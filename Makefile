@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest difftest-spill difftest-shuffle difftest-scan difftest-query fuzz-smoke
+.PHONY: all build test race vet vet-metrics check bench bench-smoke profile difftest difftest-spill difftest-shuffle difftest-scan difftest-query difftest-compact fuzz-smoke
 
 all: check
 
@@ -75,6 +75,17 @@ difftest-scan:
 #   go test ./internal/difftest/ -run QueryDifferential -difftest.query -difftest.seed=<seed> -v
 difftest-query:
 	$(GO) test -race ./internal/difftest/ -run QueryDifferential -v -difftest.n=$(DIFFTEST_N)
+
+# Encoding/compaction differential run, race-checked: every seeded
+# workload is sealed raw, dict/RLE-encoded and encoded-then-compacted;
+# all three stores must scan bitwise-equal (raw == encoded per
+# partition, raw == compacted concatenated) and each pushdown scan must
+# match its oracle, in-process and over a real TCP cluster reading
+# encoded segment files (see docs/STORAGE.md).
+# Reproduce a reported seed with:
+#   go test ./internal/difftest/ -run CompactDifferential -difftest.encoding -difftest.seed=<seed> -v
+difftest-compact:
+	$(GO) test -race ./internal/difftest/ -run CompactDifferential -v -difftest.n=$(DIFFTEST_N)
 
 # Short fuzz pass over every fuzz target, seeded from the checked-in
 # corpora under */testdata/fuzz/.

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"compress/flate"
 	"context"
 	"encoding/json"
 	"flag"
@@ -277,7 +278,9 @@ func main() {
 
 // runWire measures protocol-v3 bytes per task against the simulated v2
 // baseline, with compression off and on, and optionally writes the
-// results (plus raw codec timings) as JSON.
+// results (plus raw codec timings) as JSON. The codec sweep pins the
+// DEFLATE-level trade-off behind the driver's BestSpeed default: level
+// 0 (= flate.BestSpeed) against flate.BestCompression.
 func runWire(ctx context.Context, rows int, outPath string, tracer *telemetry.Tracer, tasks *telemetry.TaskTable) error {
 	var results []*bench.WireResult
 	var codec []*bench.WireCodecResult
@@ -288,7 +291,12 @@ func runWire(ctx context.Context, rows int, outPath string, tracer *telemetry.Tr
 			return err
 		}
 		results = append(results, r)
-		c, err := bench.WireCodec(opts)
+	}
+	for _, cfg := range []struct {
+		compress bool
+		level    int
+	}{{false, 0}, {true, 0}, {true, flate.BestCompression}} {
+		c, err := bench.WireCodec(bench.WireOptions{Rows: rows, Compress: cfg.compress, Level: cfg.level})
 		if err != nil {
 			return err
 		}
@@ -296,8 +304,8 @@ func runWire(ctx context.Context, rows int, outPath string, tracer *telemetry.Tr
 	}
 	fmt.Print(bench.FormatWire(results))
 	for _, c := range codec {
-		fmt.Printf("codec (compress=%v): %d rows/partition, encode %.0f ns/op, decode %.0f ns/op, %d B encoded\n",
-			c.Compress, c.RowsPerPartition, c.EncodeNsPerOp, c.DecodeNsPerOp, c.EncodedBytes)
+		fmt.Printf("codec (compress=%v level=%d): %d rows/partition, encode %.0f ns/op, decode %.0f ns/op, %d B encoded\n",
+			c.Compress, c.Level, c.RowsPerPartition, c.EncodeNsPerOp, c.DecodeNsPerOp, c.EncodedBytes)
 	}
 	if outPath == "" {
 		return nil

@@ -40,6 +40,7 @@ func main() {
 		cfgPath   = flag.String("config", "", "domain configuration (JSON); required")
 		storeDir  = flag.String("store", "", "persist results into this result-store directory")
 		segDir    = flag.String("store-dir", "", "persist reduced sequences as columnar segments under this directory (one segment store per domain, one segment per signal)")
+		segEnc    = flag.Bool("store-encodings", true, "dictionary/RLE-encode column chunks of persisted segments (reduced signal sequences are low-cardinality, so this usually shrinks them further than DEFLATE alone)")
 		out       = flag.String("o", "", "state representation output file (default stdout)")
 		workers   = flag.Int("workers", 0, "local executor workers (0 = all cores)")
 		clusterFl = flag.String("cluster", "", "comma-separated executor addresses; empty = local execution")
@@ -125,7 +126,7 @@ func main() {
 	}
 
 	if *segDir != "" {
-		segs, rows, err := writeSegments(filepath.Join(*segDir, cfg.Name), res.Reduced)
+		segs, rows, err := writeSegments(filepath.Join(*segDir, cfg.Name), res.Reduced, *segEnc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -160,8 +161,8 @@ func main() {
 // the natural clustering: every segment's sid zone map collapses to a
 // single value, so a pushed-down `sid == "..."` filter prunes all other
 // signals without decoding a byte (see docs/STORAGE.md).
-func writeSegments(dir string, reduced []reduce.Reduced) (segs, rows int, err error) {
-	st, err := segstore.Open(dir, trace.SignalSchema(), segstore.Options{Compress: true})
+func writeSegments(dir string, reduced []reduce.Reduced, encodings bool) (segs, rows int, err error) {
+	st, err := segstore.Open(dir, trace.SignalSchema(), segstore.Options{Compress: true, Encodings: encodings})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -45,6 +45,10 @@ func main() {
 		workers     = flag.Int("workers", runtime.NumCPU(), "local worker pool size (ignored with -cluster)")
 		grace       = flag.Duration("grace", 30*time.Second, "drain window for in-flight queries on shutdown")
 		compress    = flag.Bool("compress", false, "DEFLATE-compress column chunks of ingested segments")
+		level       = flag.Int("compress-level", 0, "DEFLATE level for -compress (0 = BestSpeed)")
+		encodings   = flag.Bool("encodings", true, "dictionary/RLE-encode column chunks of ingested and compacted segments")
+		compactIvl  = flag.Duration("compact-interval", 0, "background compaction pass interval (0 disables); passes skip ticks with queries in flight")
+		compactRows = flag.Int("compact-target-rows", 0, "max rows per compacted segment (0 = 64Ki)")
 		memBudget   = flag.String("mem-budget", "", "process memory budget (e.g. 512MiB); admission defers under pressure and operators spill; empty = unlimited")
 	)
 	flag.Parse()
@@ -78,11 +82,18 @@ func main() {
 
 	srv := &serve.Server{
 		Exec:    exec,
-		Catalog: serve.NewCatalog(cfg, segstore.Options{Compress: *compress}),
+		Catalog: serve.NewCatalog(cfg, segstore.Options{Compress: *compress, Level: *level, Encodings: *encodings}),
 		Tracer:  telemetry.NewTracer(),
 		Tasks:   telemetry.NewTaskTable(),
 	}
 	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+
+	compactCtx, stopCompact := context.WithCancel(context.Background())
+	defer stopCompact()
+	if *compactIvl > 0 {
+		go srv.RunCompactor(compactCtx, *compactIvl, segstore.CompactOptions{TargetRows: *compactRows})
+		log.Printf("background compaction every %v (target %d rows/segment)", *compactIvl, *compactRows)
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -6,8 +6,10 @@
 // engine spill counters and the memgov governor gauges) is incomplete,
 // when the shuffle-exchange families (engine_shuffle_* and
 // cluster_shuffle_*) are missing from the registry, and when the
-// segment-store counters (segstore_*), query-frontend counters
-// (query_*) and query-service families (serve_*) are unregistered.
+// segment-store counters (segstore_*, including compactions and mmap
+// opens), codec encoding-selection counters (colcodec_*),
+// query-frontend counters (query_*) and query-service families
+// (serve_*) are unregistered.
 // The check runs against the same init()-time registration the
 // production binaries use, so passing here means every /metrics scrape
 // carries the full engine_op_seconds, engine_fused_steps_total,
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"ivnt/internal/cluster"
+	"ivnt/internal/colcodec"
 	"ivnt/internal/engine"
 	"ivnt/internal/memgov"
 	"ivnt/internal/query"
@@ -49,11 +52,14 @@ func main() {
 	if err := segstore.VerifyMetrics(); err != nil {
 		fail(err)
 	}
+	if err := colcodec.VerifyMetrics(); err != nil {
+		fail(err)
+	}
 	if err := query.VerifyMetrics(); err != nil {
 		fail(err)
 	}
 	if err := serve.VerifyMetrics(); err != nil {
 		fail(err)
 	}
-	fmt.Printf("vet-metrics: ok (%d op kinds with engine_op_seconds and engine_fused_steps_total series; spill, memgov, shuffle, segstore, query and serve families registered)\n", engine.NumOpKinds)
+	fmt.Printf("vet-metrics: ok (%d op kinds with engine_op_seconds and engine_fused_steps_total series; spill, memgov, shuffle, segstore, colcodec, query and serve families registered)\n", engine.NumOpKinds)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -56,7 +57,9 @@ type ScanResult struct {
 	BytesDecoded                    int64
 	OutRows                         int
 
-	// Speedup = full-scan wall / this plan's wall (1.0 on the full row).
+	// Speedup = the family baseline's wall / this plan's wall (1.0 on
+	// the baseline row: "full" for the pruning family, "fullscan-raw"
+	// for the encoding family).
 	Speedup float64
 	WallSec float64
 }
@@ -69,7 +72,16 @@ type ScanResult struct {
 // the scan, prunes segments by footer alone, and decodes only the
 // projected columns of the survivors. Both run the identical ops, so
 // outputs must agree row for row (enforced here; the difftest scan
-// invariant holds it bitwise). The returned slice is [full, pushdown].
+// invariant holds it bitwise).
+//
+// A second family measures what the column encodings buy where pruning
+// cannot help: a low-cardinality store (piecewise-constant val, a
+// three-mode sid — the shape reduced signal sequences have) queried
+// with a full-scan-by-construction filter, as raw chunks
+// ("fullscan-raw"), dict/RLE-encoded chunks ("fullscan-enc") and the
+// same encoded store after background compaction ("fullscan-compact").
+// The returned slice is [full, pushdown, fullscan-raw, fullscan-enc,
+// fullscan-compact].
 func Scan(ctx context.Context, opts ScanOptions) ([]*ScanResult, error) {
 	opts = opts.withDefaults()
 	dir := opts.Dir
@@ -86,7 +98,7 @@ func Scan(ctx context.Context, opts ScanOptions) ([]*ScanResult, error) {
 		relation.Column{Name: "val", Kind: relation.KindFloat},
 		relation.Column{Name: "sid", Kind: relation.KindString},
 	)
-	st, err := segstore.Open(dir, s, segstore.Options{Compress: opts.Compress})
+	st, err := segstore.Open(filepath.Join(dir, "selective"), s, segstore.Options{Compress: opts.Compress})
 	if err != nil {
 		return nil, err
 	}
@@ -168,17 +180,92 @@ func Scan(ctx context.Context, opts ScanOptions) ([]*ScanResult, error) {
 	if push.WallSec > 0 {
 		push.Speedup = full.WallSec / push.WallSec
 	}
-	return []*ScanResult{full, push}, nil
+
+	// Encoding family: same segment layout, low-cardinality rows — val
+	// holds 64-row runs over 32 levels, sid 512-row runs over 3 modes,
+	// so every segment contains every level and every mode and the zone
+	// maps prune nothing. The query is decode-bound by construction, and
+	// DEFLATE stays off in all three stores so BytesDecoded (on-disk
+	// chunk bytes) isolates what dict/RLE buy over raw varint/LE chunks.
+	modes := []string{"drive", "idle", "charge"}
+	buildLow := func(sub string, o segstore.Options) (*segstore.Store, error) {
+		ls, err := segstore.Open(filepath.Join(dir, sub), s, o)
+		if err != nil {
+			return nil, err
+		}
+		for g := 0; g < opts.Segments; g++ {
+			rows := make([]relation.Row, opts.RowsPerSeg)
+			for i := range rows {
+				ts := g*opts.RowsPerSeg + i
+				rows[i] = relation.Row{
+					relation.Int(int64(ts)),
+					relation.Float(float64((ts / 64) % 32)),
+					relation.Str(modes[(ts/512)%3]),
+				}
+			}
+			if err := ls.AppendSegment(rows); err != nil {
+				return nil, err
+			}
+		}
+		return ls, nil
+	}
+	lowOps := []engine.OpDesc{
+		engine.Filter("sid == 'drive' && val >= 8"),
+		engine.Project("ts", "val"),
+	}
+	results := []*ScanResult{full, push}
+	var rawLow *ScanResult
+	for _, v := range []struct {
+		plan    string
+		sub     string
+		o       segstore.Options
+		compact bool
+	}{
+		{"fullscan-raw", "lowcard-raw", segstore.Options{}, false},
+		{"fullscan-enc", "lowcard-enc", segstore.Options{Encodings: true}, false},
+		{"fullscan-compact", "lowcard-compact", segstore.Options{Encodings: true}, true},
+	} {
+		ls, err := buildLow(v.sub, v.o)
+		if err != nil {
+			return nil, err
+		}
+		if v.compact {
+			if _, err := ls.Compact(segstore.CompactOptions{}); err != nil {
+				return nil, err
+			}
+		}
+		r, err := measure(v.plan, func() (*relation.Relation, error) {
+			out, _, err := engine.ScanStage(ctx, local, ls, lowOps)
+			return out, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rawLow == nil {
+			rawLow = r
+			r.Speedup = 1
+		} else {
+			if r.OutRows != rawLow.OutRows {
+				return nil, fmt.Errorf("scan bench: plans disagree: fullscan-raw produced %d rows, %s %d",
+					rawLow.OutRows, v.plan, r.OutRows)
+			}
+			if r.WallSec > 0 {
+				r.Speedup = rawLow.WallSec / r.WallSec
+			}
+		}
+		results = append(results, r)
+	}
+	return results, nil
 }
 
 // FormatScan renders the plan comparison as an aligned table.
 func FormatScan(results []*ScanResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %6s %9s %9s %8s %8s %12s %9s %9s %8s\n",
+	fmt.Fprintf(&b, "%-17s %6s %9s %9s %8s %8s %12s %9s %9s %8s\n",
 		"plan", "segs", "rows/seg", "rows", "scanned", "pruned",
 		"decoded_B", "out_rows", "wall_ms", "speedup")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-10s %6d %9d %9d %8d %8d %12d %9d %9.1f %7.2fx\n",
+		fmt.Fprintf(&b, "%-17s %6d %9d %9d %8d %8d %12d %9d %9.1f %7.2fx\n",
 			r.Plan, r.Segments, r.RowsPerSeg, r.RowsTotal, r.SegmentsScanned,
 			r.SegmentsPruned, r.BytesDecoded, r.OutRows, r.WallSec*1e3, r.Speedup)
 	}

@@ -27,6 +27,9 @@ type WireOptions struct {
 	Executors, Slots int
 	// Compress turns on DEFLATE for v3 partition payloads.
 	Compress bool
+	// Level is the DEFLATE level for compressed payloads (0 =
+	// flate.BestSpeed, the driver default; see colcodec.Options.Level).
+	Level int
 	// Tracer/Tasks, when set, are handed to the cluster driver so the
 	// run produces a task-level trace and a live /tasks view.
 	Tracer *telemetry.Tracer
@@ -162,6 +165,7 @@ func Wire(ctx context.Context, opts WireOptions) (*WireResult, error) {
 		Addrs:            addrs,
 		SlotsPerExecutor: opts.Slots,
 		Compress:         opts.Compress,
+		CompressLevel:    opts.Level,
 		Tracer:           opts.Tracer,
 		Tasks:            opts.Tasks,
 	}
@@ -223,9 +227,13 @@ func Wire(ctx context.Context, opts WireOptions) (*WireResult, error) {
 
 // WireCodec measures raw codec throughput on one partition of the wire
 // stage, outside any cluster — the ns/op figures for BENCH_engine.json.
+// Level pins the DEFLATE trade-off the driver default rests on: 0
+// (flate.BestSpeed) vs flate.BestCompression encode cost per byte
+// saved.
 type WireCodecResult struct {
 	RowsPerPartition int
 	Compress         bool
+	Level            int
 	EncodeNsPerOp    float64
 	DecodeNsPerOp    float64
 	EncodedBytes     int
@@ -236,7 +244,7 @@ func WireCodec(opts WireOptions) (*WireCodecResult, error) {
 	opts = opts.withDefaults()
 	rel, _ := wireStage(opts)
 	part := rel.Partitions[0]
-	o := colcodec.Options{Compress: opts.Compress}
+	o := colcodec.Options{Compress: opts.Compress, Level: opts.Level}
 
 	data, err := colcodec.Encode(rel.Schema, part, o)
 	if err != nil {
@@ -260,6 +268,7 @@ func WireCodec(opts WireOptions) (*WireCodecResult, error) {
 	return &WireCodecResult{
 		RowsPerPartition: len(part),
 		Compress:         opts.Compress,
+		Level:            opts.Level,
 		EncodeNsPerOp:    encNs,
 		DecodeNsPerOp:    decNs,
 		EncodedBytes:     len(data),

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"compress/flate"
 	"context"
 	"fmt"
 	"net"
@@ -546,23 +547,28 @@ func TestClusterMatchesLocalCompressed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, compress := range []bool{false, true} {
-		drv := &Driver{Addrs: addrs, SlotsPerExecutor: 2, Compress: compress}
+	// Level 0 is flate.BestSpeed by default; BestCompression must be
+	// equally invisible to results.
+	for _, cfg := range []struct {
+		compress bool
+		level    int
+	}{{false, 0}, {true, 0}, {true, flate.BestCompression}} {
+		drv := &Driver{Addrs: addrs, SlotsPerExecutor: 2, Compress: cfg.compress, CompressLevel: cfg.level}
 		got, st, err := drv.RunStage(ctx, rel, ops)
 		if err != nil {
-			t.Fatalf("compress=%v: %v", compress, err)
+			t.Fatalf("compress=%v level=%d: %v", cfg.compress, cfg.level, err)
 		}
 		if got.NumRows() != want.NumRows() {
-			t.Fatalf("compress=%v: rows = %d, want %d", compress, got.NumRows(), want.NumRows())
+			t.Fatalf("compress=%v level=%d: rows = %d, want %d", cfg.compress, cfg.level, got.NumRows(), want.NumRows())
 		}
 		gr, wr := got.Rows(), want.Rows()
 		for i := range gr {
 			if !gr[i].Equal(wr[i]) {
-				t.Fatalf("compress=%v: row %d differs: %v vs %v", compress, i, gr[i], wr[i])
+				t.Fatalf("compress=%v level=%d: row %d differs: %v vs %v", cfg.compress, cfg.level, i, gr[i], wr[i])
 			}
 		}
 		if st.BytesSent == 0 || st.BytesRecv == 0 {
-			t.Fatalf("compress=%v: wire byte counters not populated: %+v", compress, st)
+			t.Fatalf("compress=%v level=%d: wire byte counters not populated: %+v", cfg.compress, cfg.level, st)
 		}
 	}
 }

@@ -89,6 +89,12 @@ type Driver struct {
 	// on loopback. Executors auto-detect the flag per payload and
 	// mirror it on results.
 	Compress bool
+	// CompressLevel selects the DEFLATE effort for driver-side payload
+	// encodes when Compress is set. 0 means flate.BestSpeed — wire
+	// compression is latency-bound, so the fast level is the default —
+	// and any valid flate level (including flate.BestCompression for
+	// bandwidth-starved links) passes through unchanged.
+	CompressLevel int
 	// Tracer, when set, records one span per stage plus one child span
 	// per task, with lifecycle events (queued, shipped, decoded,
 	// executed, merged) and fault events (task_retry, reconnect,
@@ -366,6 +372,7 @@ type stageRun struct {
 	tables    []tableMsg
 	outSchema relation.Schema
 	compress  bool
+	level     int
 
 	mu        sync.Mutex
 	work      chan int
@@ -494,7 +501,7 @@ func (sr *stageRun) encodedPartition(pi int) ([]byte, error) {
 	}
 	sr.mu.Unlock()
 	start := time.Now()
-	b, err := colcodec.Encode(sr.rel.Schema, sr.rel.Partitions[pi], colcodec.Options{Compress: sr.compress})
+	b, err := colcodec.Encode(sr.rel.Schema, sr.rel.Partitions[pi], colcodec.Options{Compress: sr.compress, Level: sr.level})
 	if err != nil {
 		return nil, err
 	}
@@ -751,6 +758,7 @@ func (d *Driver) newStageRun(rel *relation.Relation, fp uint64, opsWire []engine
 		tables:    tables,
 		outSchema: outSchema,
 		compress:  d.Compress,
+		level:     d.CompressLevel,
 		outParts:  make([][]relation.Row, nParts),
 		work:      make(chan int, nParts*(d.retries()+d.maxSpeculation()+2)),
 		pending:   nParts,
@@ -890,7 +898,7 @@ func (d *Driver) stageWire(schema relation.Schema, ops []engine.OpDesc) (fp uint
 		opsWire[i].Join = &j
 		if !seenTables[th] {
 			seenTables[th] = true
-			data, err := colcodec.Encode(op.Join.Schema, op.Join.Rows, colcodec.Options{Compress: d.Compress})
+			data, err := colcodec.Encode(op.Join.Schema, op.Join.Rows, colcodec.Options{Compress: d.Compress, Level: d.CompressLevel})
 			if err != nil {
 				return 0, nil, nil, fmt.Errorf("cluster: encode broadcast table: %w", err)
 			}

@@ -208,7 +208,7 @@ func (ss *shuffleSession) encodedPartition(pi int) ([]byte, error) {
 	}
 	ss.encMu.Unlock()
 	start := time.Now()
-	b, err := colcodec.Encode(ss.rel.Schema, ss.rel.Partitions[pi], colcodec.Options{Compress: ss.d.Compress})
+	b, err := colcodec.Encode(ss.rel.Schema, ss.rel.Partitions[pi], colcodec.Options{Compress: ss.d.Compress, Level: ss.d.CompressLevel})
 	if err != nil {
 		return nil, err
 	}

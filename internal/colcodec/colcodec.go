@@ -27,6 +27,12 @@
 //	    mixed   per cell: kind uint8 then the cell's payload as above
 //	                  (bool as one byte)
 //
+// When flags bit1 (flagEncoded) is set, every column is preceded by one
+// encoding byte selecting raw, dictionary, or run-length representation
+// for that column's payload — see encoding.go. Payloads without the
+// flag are the raw format above, so pre-encoding streams decode
+// unchanged.
+//
 // Encode buffers come from a sync.Pool so steady-state encoding does
 // not regrow buffers per task.
 package colcodec
@@ -48,6 +54,7 @@ const (
 	magic1 = '1'
 
 	flagCompressed = 0x01
+	flagEncoded    = 0x02
 
 	tagMixed    = 0xF
 	tagHasNulls = 0x10
@@ -68,12 +75,42 @@ const maxZeroColRows = 1 << 20
 // bomb, not trace data.
 const flateMaxRatio = 1040
 
+// maxEncodedRows bounds the row count of a payload carrying flagEncoded.
+// Dict/RLE columns can legitimately describe many rows in a few bytes
+// (a constant column is one run), which defeats the raw-format min-body
+// plausibility gate — so encoded payloads get a tighter absolute cap
+// instead. The encoder falls back to the raw format above it, so the
+// cap never rejects our own output; it only bounds what a crafted
+// header can make the decoder allocate before column checks run.
+const maxEncodedRows = 1 << 22
+
 // Options tune encoding.
 type Options struct {
-	// Compress runs the column body through DEFLATE (stdlib flate,
-	// BestSpeed). Worth it for string/bytes-heavy traces crossing real
-	// networks; pure overhead on loopback.
+	// Compress runs the column body through DEFLATE (stdlib flate).
+	// Worth it for string/bytes-heavy traces crossing real networks;
+	// pure overhead on loopback.
 	Compress bool
+
+	// Level is the DEFLATE level when Compress is set. Zero means
+	// flate.BestSpeed — the measured default: full DEFLATE is ~11x
+	// slower to encode for ~2.5x smaller output (see the codec bench) —
+	// any other value is handed to flate.NewWriter unchanged
+	// (flate.BestCompression, flate.HuffmanOnly, ...).
+	Level int
+
+	// Encodings lets the encoder pick a per-column dictionary or
+	// run-length representation when it is strictly smaller than the
+	// raw column payload. Decoders accept such payloads regardless of
+	// this option; raw payloads are unchanged on the wire.
+	Encodings bool
+}
+
+// flateLevel maps Options.Level to the flate package's scale.
+func flateLevel(l int) int {
+	if l == 0 {
+		return flate.BestSpeed
+	}
+	return l
 }
 
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
@@ -95,12 +132,18 @@ func Encode(s relation.Schema, rows []relation.Row, opts Options) ([]byte, error
 		}
 	}
 
+	encoded := opts.Encodings && len(rows) <= maxEncodedRows
+
 	body := bufPool.Get().(*bytes.Buffer)
 	body.Reset()
 	defer bufPool.Put(body)
 	var scratch [binary.MaxVarintLen64]byte
 	for ci := 0; ci < ncols; ci++ {
-		encodeColumn(body, rows, ci, scratch[:])
+		if encoded {
+			encodeColumnSelect(body, rows, ci, scratch[:])
+		} else {
+			encodeColumn(body, rows, ci, scratch[:])
+		}
 	}
 
 	out := bufPool.Get().(*bytes.Buffer)
@@ -110,13 +153,16 @@ func Encode(s relation.Schema, rows []relation.Row, opts Options) ([]byte, error
 	if opts.Compress {
 		flags |= flagCompressed
 	}
+	if encoded {
+		flags |= flagEncoded
+	}
 	out.WriteByte(magic0)
 	out.WriteByte(magic1)
 	out.WriteByte(flags)
 	out.Write(scratch[:binary.PutUvarint(scratch[:], uint64(len(rows)))])
 	out.Write(scratch[:binary.PutUvarint(scratch[:], uint64(ncols))])
 	if opts.Compress {
-		fw, err := flate.NewWriter(out, flate.BestSpeed)
+		fw, err := flate.NewWriter(out, flateLevel(opts.Level))
 		if err != nil {
 			return nil, err
 		}
@@ -135,12 +181,10 @@ func Encode(s relation.Schema, rows []relation.Row, opts Options) ([]byte, error
 	return res, nil
 }
 
-func encodeColumn(w *bytes.Buffer, rows []relation.Row, ci int, scratch []byte) {
-	// One pass to classify the column: homogeneous (all non-null cells
-	// share a kind) or mixed, and whether any cell is null.
-	kind := relation.KindNull
-	mixed := false
-	nulls := false
+// classifyColumn makes one pass over a column: homogeneous (all
+// non-null cells share a kind) or mixed, and whether any cell is null.
+func classifyColumn(rows []relation.Row, ci int) (kind relation.Kind, mixed, nulls bool) {
+	kind = relation.KindNull
 	for _, r := range rows {
 		k := r[ci].K
 		if k == relation.KindNull {
@@ -153,6 +197,11 @@ func encodeColumn(w *bytes.Buffer, rows []relation.Row, ci int, scratch []byte) 
 			mixed = true
 		}
 	}
+	return kind, mixed, nulls
+}
+
+func encodeColumn(w *bytes.Buffer, rows []relation.Row, ci int, scratch []byte) {
+	kind, mixed, nulls := classifyColumn(rows, ci)
 
 	tag := byte(kind)
 	if mixed {
@@ -287,6 +336,10 @@ func Decode(s relation.Schema, data []byte) ([]relation.Row, error) {
 		return nil, fmt.Errorf("colcodec: bad magic")
 	}
 	flags := data[2]
+	if flags&^byte(flagCompressed|flagEncoded) != 0 {
+		return nil, fmt.Errorf("colcodec: unknown flags %#x", flags)
+	}
+	encoded := flags&flagEncoded != 0
 	rd := &reader{buf: data[3:]}
 	nrows, err := rd.uvarint()
 	if err != nil {
@@ -298,6 +351,9 @@ func Decode(s relation.Schema, data []byte) ([]relation.Row, error) {
 	}
 	if nrows > maxDecodeRows {
 		return nil, fmt.Errorf("colcodec: row count %d exceeds limit", nrows)
+	}
+	if encoded && nrows > maxEncodedRows {
+		return nil, fmt.Errorf("colcodec: encoded row count %d exceeds limit", nrows)
 	}
 	if int(ncols) != s.Len() {
 		return nil, fmt.Errorf("colcodec: payload has %d columns, schema has %d", ncols, s.Len())
@@ -323,12 +379,18 @@ func Decode(s relation.Schema, data []byte) ([]relation.Row, error) {
 	}
 
 	n := int(nrows)
-	// Plausibility gate before the big allocation: every well-formed
+	// Plausibility gate before the big allocation: every well-formed raw
 	// column costs at least one tag byte plus either a null bitmap or a
 	// denser payload, so a body shorter than ncols*(1+ceil(n/8)) bytes
-	// cannot be describing n rows — reject it before make() does.
+	// cannot be describing n rows — reject it before make() does. An
+	// encoded column can legitimately be a handful of bytes (one RLE run
+	// covers any row count), so those payloads only owe two bytes per
+	// column here and lean on the maxEncodedRows cap above instead.
 	if n > 0 {
 		minBody := int64(ncols) * int64(1+(n+7)/8)
+		if encoded {
+			minBody = int64(ncols) * 2
+		}
 		if int64(len(rd.rest())) < minBody {
 			return nil, fmt.Errorf("colcodec: body has %d bytes, %d rows need at least %d", len(rd.rest()), n, minBody)
 		}
@@ -339,7 +401,13 @@ func Decode(s relation.Schema, data []byte) ([]relation.Row, error) {
 		rows[i] = cells[i*int(ncols) : (i+1)*int(ncols) : (i+1)*int(ncols)]
 	}
 	for ci := 0; ci < int(ncols); ci++ {
-		if err := decodeColumn(rd, rows, ci, n); err != nil {
+		var err error
+		if encoded {
+			err = decodeColumnSelect(rd, rows, ci, n)
+		} else {
+			err = decodeColumn(rd, rows, ci, n)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("colcodec: column %d: %w", ci, err)
 		}
 	}

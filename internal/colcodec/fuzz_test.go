@@ -2,6 +2,9 @@ package colcodec
 
 import (
 	"math"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 
 	"ivnt/internal/relation"
@@ -53,17 +56,49 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed []byte) {
 		s, rows := rowsFromSeed(seed)
 		for _, compress := range []bool{false, true} {
-			data, err := Encode(s, rows, Options{Compress: compress})
-			if err != nil {
-				t.Fatalf("encode(compress=%v): %v", compress, err)
+			for _, encodings := range []bool{false, true} {
+				data, err := Encode(s, rows, Options{Compress: compress, Encodings: encodings})
+				if err != nil {
+					t.Fatalf("encode(compress=%v, encodings=%v): %v", compress, encodings, err)
+				}
+				got, err := Decode(s, data)
+				if err != nil {
+					t.Fatalf("decode(compress=%v, encodings=%v): %v", compress, encodings, err)
+				}
+				assertRowsEqual(t, got, rows)
 			}
-			got, err := Decode(s, data)
-			if err != nil {
-				t.Fatalf("decode(compress=%v): %v", compress, err)
-			}
-			assertRowsEqual(t, got, rows)
 		}
 	})
+}
+
+// TestFuzzCorpusCheckedIn pins the malicious dict/RLE shapes as
+// seed-corpus files under testdata/fuzz/FuzzDecode, so `go test -fuzz`
+// (and plain runs of the fuzz target) always start from them.
+// Regenerate with UPDATE_FUZZ_CORPUS=1 after changing the format.
+func TestFuzzCorpusCheckedIn(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	update := os.Getenv("UPDATE_FUZZ_CORPUS") != ""
+	if update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, data := range maliciousEncoded() {
+		want := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		path := filepath.Join(dir, name)
+		if update {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("corpus file missing (run with UPDATE_FUZZ_CORPUS=1 to regenerate): %v", err)
+		}
+		if string(got) != want {
+			t.Fatalf("corpus file %s is stale (run with UPDATE_FUZZ_CORPUS=1 to regenerate)", name)
+		}
+	}
 }
 
 // FuzzDecode feeds arbitrary bytes straight into Decode: it must return
@@ -87,13 +122,30 @@ func FuzzDecode(f *testing.F) {
 	f.Add(craft(64, uint64(s.Len()), false, append([]byte{0}, make([]byte, 64)...)))
 	f.Add(craft(8, uint64(s.Len()), false, append([]byte{byte(relation.KindString), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, make([]byte, 32)...)))
 	f.Add(craft(1<<21, 0, false, nil))
+	// The dict/RLE hardening shapes (out-of-range dictionary index,
+	// run-count overflow, ...) plus a valid encoded payload so mutations
+	// reach the flagEncoded paths. Checked in via TestFuzzCorpusCheckedIn.
+	goodEnc, err := Encode(s, kitchenSinkRows(), Options{Encodings: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(goodEnc)
+	for _, data := range maliciousEncoded() {
+		f.Add(data)
+	}
+	// The one-column schema matches the malicious encoded shapes, so the
+	// dict/RLE validation paths actually run instead of dying at the
+	// column-count check.
+	one := relation.NewSchema(relation.Column{Name: "a", Kind: relation.KindInt})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		rows, err := Decode(s, data)
-		if err == nil {
-			// Whatever decoded must at least be schema-shaped.
-			for _, r := range rows {
-				if len(r) != s.Len() {
-					t.Fatalf("decoded row has %d cells, schema has %d", len(r), s.Len())
+		for _, sch := range []relation.Schema{s, one} {
+			rows, err := Decode(sch, data)
+			if err == nil {
+				// Whatever decoded must at least be schema-shaped.
+				for _, r := range rows {
+					if len(r) != sch.Len() {
+						t.Fatalf("decoded row has %d cells, schema has %d", len(r), sch.Len())
+					}
 				}
 			}
 		}

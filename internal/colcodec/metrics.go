@@ -1,0 +1,51 @@
+// Codec observability: the colcodec_* counter catalogue, pre-registered
+// at init so every /metrics scrape carries the full family set, gated
+// by cmd/vetmetrics like the engine and segstore catalogues.
+package colcodec
+
+import (
+	"fmt"
+
+	"ivnt/internal/telemetry"
+)
+
+// mEncodings counts per-column encoding decisions made by the
+// selection path (Options.Encodings), labelled by the winner.
+var mEncodings = telemetry.Default().CounterVec(
+	"colcodec_encoding_total",
+	"Columns written by the encoding-selection path, by chosen encoding.",
+	"kind",
+)
+
+func init() {
+	// Pre-register every kind so scrapes and vet-metrics see the full
+	// label set before the first encode.
+	mEncodings.With("raw")
+	mEncodings.With("dict")
+	mEncodings.With("rle")
+}
+
+// metricNames lists the families this package must register.
+var metricNames = []string{
+	"colcodec_encoding_total",
+}
+
+// VerifyMetrics is the vet-metrics gate for the colcodec catalogue: it
+// fails when any colcodec_* family is missing from the default registry
+// or registered under the wrong type.
+func VerifyMetrics() error {
+	found := map[string]string{}
+	for _, fam := range telemetry.Default().Snapshot() {
+		found[fam.Name] = fam.Type
+	}
+	for _, name := range metricNames {
+		typ, ok := found[name]
+		if !ok {
+			return fmt.Errorf("colcodec metric family %q is not registered", name)
+		}
+		if typ != telemetry.TypeCounter {
+			return fmt.Errorf("colcodec metric family %q registered as %s, want %s", name, typ, telemetry.TypeCounter)
+		}
+	}
+	return nil
+}

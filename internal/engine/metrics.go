@@ -46,6 +46,12 @@ var (
 		"engine_fused_steps_total",
 		"Operators executed as part of a fused vectorized run, by operator kind.",
 		"op")
+	// runSkipRowsCtr counts filter evaluations avoided by run skipping:
+	// selected rows whose referenced cells were bitwise-identical to the
+	// previous row's, so the previous verdict was reused.
+	runSkipRowsCtr = telemetry.Default().Counter(
+		"engine_runskip_rows_total",
+		"Fused filter evaluations skipped by reusing the verdict of a bitwise-identical row.")
 
 	// Spill families: how often governed operators took the external
 	// path and how much they wrote. Labels are pre-registered for every

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,7 +31,22 @@ import (
 // and benchmarks exercise both explicitly).
 var Vectorize atomic.Bool
 
-func init() { Vectorize.Store(true) }
+// RunSkip enables run skipping inside fused filter steps: when
+// consecutive selected rows carry bitwise-identical cells in every
+// column the filter reads, the previous verdict is reused instead of
+// re-evaluating the program. Dict/RLE-encoded segment scans produce
+// exactly this shape — long runs of repeated status values — so on
+// low-cardinality traces most filter evaluations collapse into memcmp
+// of a few cells. Sound because fused filters are window-free (fusable
+// excludes window programs) and every expression builtin is pure: equal
+// inputs give equal verdicts. Default on; the differential harness
+// exercises both settings.
+var RunSkip atomic.Bool
+
+func init() {
+	Vectorize.Store(true)
+	RunSkip.Store(true)
+}
 
 // batchSize is the number of input rows processed per fused batch.
 // 1024 rows keeps a batch's selection vector and scratch columns in
@@ -55,6 +72,11 @@ type fusedStep struct {
 	kind OpKind
 	prog *expr.FlatProgram // column-remapped into the run's physical space
 	dst  int               // scratch slot written by OpAddColumn, -1 for OpFilter
+	// skipCols, when non-nil, lists the input row columns this filter
+	// reads — the columns whose bitwise equality across rows licenses
+	// verdict reuse. nil disables run skipping for the step (the program
+	// reads a scratch column or uses window state).
+	skipCols []int32
 }
 
 // fusedRun is a maximal run of fusable steps compiled against a fixed
@@ -142,7 +164,8 @@ func (p *StagePipeline) compileFusedRun(stepIdx []int) *fusedRun {
 		switch st.desc.Kind {
 		case OpFilter:
 			remapped := st.prog.Flatten().RemapColumns(func(c int) int { return int(cur[c]) })
-			run.steps = append(run.steps, fusedStep{kind: OpFilter, prog: remapped, dst: -1})
+			run.steps = append(run.steps, fusedStep{kind: OpFilter, prog: remapped, dst: -1,
+				skipCols: skipColumns(remapped, run.inWidth)})
 		case OpAddColumn:
 			remapped := st.prog.Flatten().RemapColumns(func(c int) int { return int(cur[c]) })
 			slot := run.nScratch
@@ -168,6 +191,46 @@ func (p *StagePipeline) compileFusedRun(stepIdx []int) *fusedRun {
 		}
 	}
 	return run
+}
+
+// skipColumns returns the filter's referenced columns when every one is
+// an input row column (physical index below inWidth) and the program is
+// window-free — the conditions under which bitwise-equal referenced
+// cells guarantee an equal verdict. Any scratch-column or window
+// reference returns nil, disabling run skipping for the step.
+func skipColumns(fp *expr.FlatProgram, inWidth int) []int32 {
+	if fp.Window {
+		return nil
+	}
+	cols := fp.Columns()
+	out := make([]int32, len(cols))
+	for k, c := range cols {
+		if c >= inWidth {
+			return nil
+		}
+		out[k] = int32(c)
+	}
+	return out
+}
+
+// cellsSameBits reports bitwise equality of the given columns across
+// two rows, with short rows reading as null exactly like OpPushCol.
+func cellsSameBits(a, b relation.Row, cols []int32) bool {
+	for _, c := range cols {
+		av, bv := relation.Null(), relation.Null()
+		if int(c) < len(a) {
+			av = a[c]
+		}
+		if int(c) < len(b) {
+			bv = b[c]
+		}
+		if av.K != bv.K || av.I != bv.I ||
+			math.Float64bits(av.F) != math.Float64bits(bv.F) ||
+			av.S != bv.S || !bytes.Equal(av.B, bv.B) {
+			return false
+		}
+	}
+	return true
 }
 
 // ApplyVectorized runs the pipeline over one partition on the
@@ -258,9 +321,32 @@ func runFused(run *fusedRun, rows []relation.Row, sc *vecScratch) []relation.Row
 			step := &run.steps[si]
 			if step.dst < 0 {
 				kept := sel[:0]
-				for _, i := range sel {
-					if sc.machine.EvalColsAt(step.prog, rows, int(i), run.inWidth, sc.cols, lo).AsBool() {
-						kept = append(kept, i)
+				if step.skipCols != nil && RunSkip.Load() {
+					// Run skipping: selected rows whose referenced cells are
+					// bitwise-identical to the previously evaluated row reuse
+					// its verdict. RLE-shaped data makes these runs long.
+					last := int32(-1)
+					verdict := false
+					skipped := int64(0)
+					for _, i := range sel {
+						if last >= 0 && cellsSameBits(rows[i], rows[last], step.skipCols) {
+							skipped++
+						} else {
+							verdict = sc.machine.EvalColsAt(step.prog, rows, int(i), run.inWidth, sc.cols, lo).AsBool()
+							last = i
+						}
+						if verdict {
+							kept = append(kept, i)
+						}
+					}
+					if skipped > 0 {
+						runSkipRowsCtr.Add(skipped)
+					}
+				} else {
+					for _, i := range sel {
+						if sc.machine.EvalColsAt(step.prog, rows, int(i), run.inWidth, sc.cols, lo).AsBool() {
+							kept = append(kept, i)
+						}
 					}
 				}
 				sel = kept

@@ -2,6 +2,7 @@ package expr
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ivnt/internal/relation"
@@ -123,6 +124,25 @@ func (fp *FlatProgram) RemapColumns(m func(int) int) *FlatProgram {
 		}
 	}
 	return &out
+}
+
+// Columns returns the distinct column operands the program reads, in
+// ascending order. The engine uses it to decide whether two rows are
+// indistinguishable to a filter (run skipping over RLE-shaped data).
+func (fp *FlatProgram) Columns() []int {
+	seen := map[int]bool{}
+	for _, ins := range fp.Code {
+		switch ins.Op {
+		case OpPushCol, OpLag, OpLagDyn, OpGapDelta:
+			seen[int(ins.A)] = true
+		}
+	}
+	cols := make([]int, 0, len(seen))
+	for c := range seen {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	return cols
 }
 
 // Disasm renders the bytecode for debugging and tests.

@@ -38,6 +38,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 
 	"ivnt/internal/colcodec"
 	"ivnt/internal/relation"
@@ -378,6 +379,15 @@ func parseColMeta(rd *reader, nrows int) (colMeta, error) {
 
 // ------------------------------------------------------------- reading
 
+// Mmap controls whether OpenSegment maps committed segment files into
+// memory instead of issuing per-chunk pread copies. On by default where
+// the platform supports it (see mmap_unix.go); a failed map silently
+// falls back to file reads, and the CRC/footer validation is identical
+// either way. Flip off to A/B the copying path.
+var Mmap atomic.Bool
+
+func init() { Mmap.Store(mmapSupported) }
+
 // Segment is an open segment file: footer parsed and validated, chunks
 // read lazily per column. The zero decode guarantee lives here — only
 // ReadColumns touches chunk bytes, and only for the columns asked.
@@ -385,6 +395,7 @@ type Segment struct {
 	path string
 	r    io.ReaderAt
 	f    *os.File // non-nil when opened from a path (owned; Close closes it)
+	mm   []byte   // non-nil when the file is mmapped (Close unmaps)
 	foot *footer
 }
 
@@ -406,6 +417,12 @@ func OpenSegment(path string) (*Segment, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	g.path, g.f = path, f
+	if Mmap.Load() {
+		if mm, err := mmapFile(f, st.Size()); err == nil {
+			g.mm = mm
+			mSegmentsMmapped.Inc()
+		}
+	}
 	return g, nil
 }
 
@@ -452,13 +469,34 @@ func OpenSegmentReaderAt(r io.ReaderAt, size int64) (*Segment, error) {
 	return &Segment{r: r, foot: foot}, nil
 }
 
-// Close releases the underlying file (no-op for ReaderAt-backed
-// segments).
+// Close releases the mapping and the underlying file (no-op for
+// ReaderAt-backed segments).
 func (g *Segment) Close() error {
+	if g.mm != nil {
+		_ = munmapFile(g.mm)
+		g.mm = nil
+	}
 	if g.f != nil {
 		return g.f.Close()
 	}
 	return nil
+}
+
+// sliceAt returns the chunk bytes [off, off+size): a zero-copy window
+// into the mapping when the segment is mmapped, a pread copy otherwise.
+// The footer parser already proved the range lies inside the data
+// region. Handing the mapping out directly is safe because
+// colcodec.Decode never retains its input — strings and byte cells are
+// copied out during decode.
+func (g *Segment) sliceAt(off, size int64) ([]byte, error) {
+	if g.mm != nil && off >= 0 && size >= 0 && off+size <= int64(len(g.mm)) {
+		return g.mm[off : off+size : off+size], nil
+	}
+	chunk := make([]byte, size)
+	if _, err := g.r.ReadAt(chunk, off); err != nil {
+		return nil, err
+	}
+	return chunk, nil
 }
 
 // Rows returns the segment's row count (from the footer, no decode).
@@ -503,8 +541,8 @@ func (g *Segment) ReadColumns(cols []string) (relation.Schema, []relation.Row, e
 	var decoded int64
 	for mi, c := range metas {
 		outCols[mi] = relation.Column{Name: c.name, Kind: c.kind}
-		chunk := make([]byte, c.size)
-		if _, err := g.r.ReadAt(chunk, c.off); err != nil {
+		chunk, err := g.sliceAt(c.off, c.size)
+		if err != nil {
 			return relation.Schema{}, nil, fmt.Errorf("segstore: %s: column %q chunk: %w", g.path, c.name, err)
 		}
 		decoded += c.size

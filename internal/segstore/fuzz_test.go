@@ -98,11 +98,107 @@ func maliciousSegments(t testing.TB) map[string][]byte {
 	}
 }
 
+// maliciousChunkSegments builds segments whose footers are VALID — they
+// open fine, their zone maps parse, the CRC holds — but whose column
+// chunks carry malicious dict/RLE payloads. Rejection must happen at
+// ReadColumns, inside the colcodec layer.
+func maliciousChunkSegments(t testing.TB) map[string][]byte {
+	t.Helper()
+	// Hand-assembled colcodec chunk: one int column "v", eight rows,
+	// flagEncoded, uncompressed.
+	chunkHeader := func() *byteWriter {
+		w := newByteWriter()
+		w.byte('C')
+		w.byte('1')
+		w.byte(0x02) // flagEncoded
+		w.uvarint(8) // nrows
+		w.uvarint(1) // ncols
+		return w
+	}
+	zigzag := func(w *byteWriter, v int64) { w.uvarint(uint64(v)<<1 ^ uint64(v>>63)) }
+
+	// Dictionary of one entry, but the last index points to slot 5.
+	w := chunkHeader()
+	w.byte(0x01) // encDict
+	w.byte(byte(relation.KindInt))
+	w.uvarint(1) // dcount
+	zigzag(w, 7) // the single dictionary value
+	for i := 0; i < 7; i++ {
+		w.uvarint(0)
+	}
+	w.uvarint(5) // index out of range
+	dictChunk := w.bytes()
+
+	// Two runs claiming 7+9 = 16 cells against 8 non-null rows.
+	w = chunkHeader()
+	w.byte(0x02) // encRLE
+	w.byte(byte(relation.KindInt))
+	w.uvarint(2) // nruns
+	w.uvarint(7)
+	zigzag(w, 1)
+	w.uvarint(9) // overflows the 1 remaining cell
+	zigzag(w, 2)
+	rleChunk := w.bytes()
+
+	// Wrap each chunk in a fully consistent footer: counts match the
+	// claimed 8 int rows, float bounds are ordered, CRC is correct.
+	wrap := func(chunk []byte) []byte {
+		w := newByteWriter()
+		w.byte(formatVersion)
+		w.uvarint(8) // rows
+		w.uvarint(1) // cols
+		w.str("v")
+		w.byte(byte(relation.KindInt))
+		w.uvarint(uint64(headerLen))
+		w.uvarint(uint64(len(chunk)))
+		w.uvarint(0) // nulls
+		w.uvarint(8) // numkind
+		w.uvarint(8) // numord
+		w.uvarint(0) // nans
+		w.uvarint(0) // strs
+		w.byte(zoneFlagF)
+		w.float(0)
+		w.float(7)
+		return assemble(chunk, w.bytes())
+	}
+	return map[string][]byte{
+		"dict-index-out-of-range": wrap(dictChunk),
+		"rle-run-overflow":        wrap(rleChunk),
+	}
+}
+
+// allMaliciousSegments merges the footer-level and chunk-level shapes
+// for corpus check-in and fuzz seeding.
+func allMaliciousSegments(t testing.TB) map[string][]byte {
+	all := maliciousSegments(t)
+	for name, data := range maliciousChunkSegments(t) {
+		all[name] = data
+	}
+	return all
+}
+
 func TestMaliciousSegmentsRejected(t *testing.T) {
 	for name, data := range maliciousSegments(t) {
 		t.Run(name, func(t *testing.T) {
 			if _, err := OpenSegmentReaderAt(bytes.NewReader(data), int64(len(data))); err == nil {
 				t.Fatalf("%s accepted (%d bytes)", name, len(data))
+			}
+		})
+	}
+}
+
+// TestMaliciousChunksRejected: the chunk-level shapes get PAST the
+// footer gate (open succeeds — the footer really is valid) and die in
+// colcodec validation when the chunks are decoded.
+func TestMaliciousChunksRejected(t *testing.T) {
+	for name, data := range maliciousChunkSegments(t) {
+		t.Run(name, func(t *testing.T) {
+			g, err := OpenSegmentReaderAt(bytes.NewReader(data), int64(len(data)))
+			if err != nil {
+				t.Fatalf("%s rejected at open — it must reach chunk decode: %v", name, err)
+			}
+			if _, _, err := g.ReadColumns(nil); err == nil {
+				t.Fatalf("%s decoded cleanly", name)
 			}
 		})
 	}
@@ -120,7 +216,7 @@ func TestFuzzCorpusCheckedIn(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for name, data := range maliciousSegments(t) {
+	for name, data := range allMaliciousSegments(t) {
 		want := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
 		path := filepath.Join(dir, name)
 		if update {
@@ -145,7 +241,7 @@ func FuzzSegmentDecode(f *testing.F) {
 	f.Add(validSegmentBytes(f))
 	f.Add([]byte{})
 	f.Add([]byte("IVSG\x01"))
-	for _, data := range maliciousSegments(f) {
+	for _, data := range allMaliciousSegments(f) {
 		f.Add(data)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -19,6 +19,10 @@ var (
 		"Segments whose column chunks were decoded for a scan.")
 	mBytesDecoded = telemetry.Default().Counter("segstore_bytes_decoded_total",
 		"Chunk bytes read and decoded from segment files.")
+	mCompactions = telemetry.Default().Counter("segstore_compactions_total",
+		"Adjacent segment groups rewritten into one segment by compaction.")
+	mSegmentsMmapped = telemetry.Default().Counter("segstore_mmap_segments_total",
+		"Segment files opened via mmap (zero-copy chunk reads).")
 )
 
 // metricNames lists the families this package must register.
@@ -27,6 +31,8 @@ var metricNames = []string{
 	"segstore_segments_pruned_total",
 	"segstore_segments_scanned_total",
 	"segstore_bytes_decoded_total",
+	"segstore_compactions_total",
+	"segstore_mmap_segments_total",
 }
 
 // VerifyMetrics is the vet-metrics gate for the segstore catalogue: it

@@ -1,0 +1,18 @@
+//go:build !(linux || darwin)
+
+package segstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported: no syscall mapping path on this platform; segment
+// reads fall back to pread copies transparently.
+const mmapSupported = false
+
+var errNoMmap = errors.New("segstore: mmap unsupported on this platform")
+
+func mmapFile(*os.File, int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,22 @@
+//go:build linux || darwin
+
+package segstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported: this platform has the syscall mapping path.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only. The caller owns the mapping
+// and must munmapFile it before closing the store's view of the file.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

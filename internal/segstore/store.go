@@ -32,6 +32,21 @@ type Options struct {
 	// compressed framing). Chunks decompress independently, so
 	// projection still skips unread columns entirely.
 	Compress bool
+
+	// Level is the DEFLATE level when Compress is set (0 =
+	// flate.BestSpeed; see colcodec.Options.Level).
+	Level int
+
+	// Encodings enables per-column dictionary/RLE chunk encodings:
+	// the writer keeps whichever of raw/dict/RLE is smallest for each
+	// column. Readers accept all encodings regardless of this option,
+	// so stores written either way coexist in one directory.
+	Encodings bool
+}
+
+// codecOpts maps store options onto the chunk codec.
+func (st *Store) codecOpts() colcodec.Options {
+	return colcodec.Options{Compress: st.opts.Compress, Level: st.opts.Level, Encodings: st.opts.Encodings}
 }
 
 // Debug hooks, nil in production (same pattern as the engine's spill
@@ -97,6 +112,13 @@ type Store struct {
 	gen    uint64 // committed manifest generation (seal counter)
 	nextID int
 	foots  map[string]*footer // pruning footer cache, keyed by path
+
+	// compactMu serializes compactions (one rewrite cycle at a time);
+	// retired holds paths replaced by a committed compaction, deleted
+	// one full cycle later so scans that snapshotted the pre-compaction
+	// manifest can finish (see Compact).
+	compactMu sync.Mutex
+	retired   []string
 }
 
 var (
@@ -118,6 +140,7 @@ func Open(dir string, schema relation.Schema, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	var segNames []string
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasSuffix(name, ".tmp") {
@@ -128,8 +151,11 @@ func Open(dir string, schema relation.Schema, opts Options) (*Store, error) {
 			}
 			continue
 		}
-		if id, ok := parseSegName(name); ok && id >= st.nextID {
-			st.nextID = id + 1
+		if id, ok := parseSegName(name); ok {
+			if id >= st.nextID {
+				st.nextID = id + 1
+			}
+			segNames = append(segNames, name)
 		}
 	}
 	mpath := filepath.Join(dir, manifestName)
@@ -161,6 +187,19 @@ func Open(dir string, schema relation.Schema, opts Options) (*Store, error) {
 		}
 	default:
 		return nil, err
+	}
+	// Reclaim orphans: segment files the manifest does not name are
+	// uncommitted by contract — a seal that died before its manifest
+	// update, or a pre-compaction segment whose deferred deletion never
+	// ran. nextID already counted them, so their names are not reused.
+	committed := make(map[string]bool, len(st.segs))
+	for _, s := range st.segs {
+		committed[s.Name] = true
+	}
+	for _, name := range segNames {
+		if !committed[name] {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
 	}
 	return st, nil
 }
@@ -332,69 +371,15 @@ func (st *Store) SegmentPaths() []string {
 func (st *Store) AppendSegment(rows []relation.Row) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	img, err := encodeSegment(st.schema, rows, colcodec.Options{Compress: st.opts.Compress})
+	img, err := encodeSegment(st.schema, rows, st.codecOpts())
 	if err != nil {
 		return err
-	}
-	crash := func(stage string) error {
-		if DebugSealFailure == nil {
-			return nil
-		}
-		if err := DebugSealFailure(stage); err != nil {
-			return fmt.Errorf("segstore: injected crash at %s: %w", stage, err)
-		}
-		return nil
 	}
 	name := fmt.Sprintf("seg-%06d.ivsg", st.nextID)
-	path := filepath.Join(st.dir, name)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	if err := writeSegmentFile(filepath.Join(st.dir, name), img); err != nil {
 		return err
 	}
-	fail := func(err error) error { // ordinary failure: clean up the temp
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if _, err := f.Write(img.header); err != nil {
-		return fail(err)
-	}
-	if err := crash("chunks"); err != nil {
-		f.Close()
-		return err
-	}
-	for _, chunk := range img.chunks {
-		if _, err := f.Write(chunk); err != nil {
-			return fail(err)
-		}
-	}
-	if err := crash("footer"); err != nil {
-		f.Close()
-		return err
-	}
-	if _, err := f.Write(img.tail); err != nil {
-		return fail(err)
-	}
-	if err := crash("sync"); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := crash("rename"); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := crash("manifest"); err != nil {
+	if err := sealCrash("manifest"); err != nil {
 		return err
 	}
 	st.segs = append(st.segs, manifestSeg{Name: name, Rows: len(rows)})
@@ -408,6 +393,73 @@ func (st *Store) AppendSegment(rows []relation.Row) error {
 	}
 	st.nextID++
 	mSegmentsWritten.Inc()
+	return nil
+}
+
+// sealCrash consults the DebugSealFailure hook for one seal stage.
+func sealCrash(stage string) error {
+	if DebugSealFailure == nil {
+		return nil
+	}
+	if err := DebugSealFailure(stage); err != nil {
+		return fmt.Errorf("segstore: injected crash at %s: %w", stage, err)
+	}
+	return nil
+}
+
+// writeSegmentFile writes a sealed segment image under the crash
+// contract shared by AppendSegment and Compact: chunk bytes →
+// footer+trailer → fsync → rename *.tmp into place. The caller commits
+// the file by naming it in the manifest; until then it is a removable
+// orphan.
+func writeSegmentFile(path string, img *segmentImage) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error { // ordinary failure: clean up the temp
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(img.header); err != nil {
+		return fail(err)
+	}
+	if err := sealCrash("chunks"); err != nil {
+		f.Close()
+		return err
+	}
+	for _, chunk := range img.chunks {
+		if _, err := f.Write(chunk); err != nil {
+			return fail(err)
+		}
+	}
+	if err := sealCrash("footer"); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(img.tail); err != nil {
+		return fail(err)
+	}
+	if err := sealCrash("sync"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := sealCrash("rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
 	return nil
 }
 

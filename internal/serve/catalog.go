@@ -117,3 +117,21 @@ func (c *Catalog) Store(tenant, rel string) (*segstore.Store, error) {
 	c.stores[dir] = st
 	return st, nil
 }
+
+// Stores snapshots every store opened so far (each shared directory
+// once), in stable directory order. The background compactor walks
+// this list; stores no tenant has queried yet are untouched.
+func (c *Catalog) Stores() []*segstore.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dirs := make([]string, 0, len(c.stores))
+	for dir := range c.stores {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	out := make([]*segstore.Store, len(dirs))
+	for i, dir := range dirs {
+		out[i] = c.stores[dir]
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Background compaction in the query service. Streaming ingest seals
+// many small segments; every one costs a footer read and a partition
+// slot per query. The compactor rewrites them into few large segments
+// during idle time, and correctness needs no coordination with the
+// result cache: segstore.Compact bumps the store's manifest generation,
+// which is part of every result-cache key, so cached responses over the
+// pre-compaction layout simply stop being addressable. Queries in
+// flight keep reading the replaced files — segstore defers their
+// deletion by one full compaction cycle.
+package serve
+
+import (
+	"context"
+	"time"
+
+	"ivnt/internal/segstore"
+)
+
+// InFlight reports the number of queries currently executing (admitted,
+// not merely waiting). The compactor uses it to keep compaction off the
+// query path.
+func (s *Server) InFlight() int64 { return s.active.Load() }
+
+// CompactStores runs one compaction pass over every store the catalog
+// has opened. It returns the number of segment groups rewritten and the
+// first error; later stores still run after one fails (a wedged tenant
+// directory must not stall the rest).
+func (s *Server) CompactStores(opts segstore.CompactOptions) (int, error) {
+	var groups int
+	var first error
+	for _, st := range s.Catalog.Stores() {
+		n, err := st.Compact(opts)
+		groups += n
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return groups, first
+}
+
+// RunCompactor loops CompactStores every interval until ctx is done,
+// skipping any tick that would race live queries (InFlight > 0 — the
+// next tick retries). Run it in its own goroutine; cmd/served wires it
+// behind the -compact-interval flag. Errors are counted in
+// serve_compact_errors_total and do not stop the loop.
+func (s *Server) RunCompactor(ctx context.Context, interval time.Duration, opts segstore.CompactOptions) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if s.InFlight() > 0 {
+			continue
+		}
+		if _, err := s.CompactStores(opts); err != nil {
+			mCompactErrors.Inc()
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"ivnt/internal/segstore"
+)
+
+// TestCompactionInvalidatesResultCache is the regression pinning the
+// cache-coherence contract: compaction bumps the store generation,
+// generations are part of every result-cache key, so a compacted store
+// can never serve a stale cached response — and the fresh execution
+// over the rewritten segments returns identical rows.
+func TestCompactionInvalidatesResultCache(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	s := newTestServer(t, map[string]*TenantConfig{
+		"acme": {Relations: map[string]string{"trace": dir}},
+	})
+	const sql = "select ts, val, sid from trace where val >= 0 order by ts"
+
+	first, err := s.Query(context.Background(), "acme", sql, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cache != "miss" {
+		t.Fatalf("first query cache = %q, want miss", first.Cache)
+	}
+	cached, err := s.Query(context.Background(), "acme", sql, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Cache != "hit" {
+		t.Fatalf("repeat query cache = %q, want hit", cached.Cache)
+	}
+
+	st, err := s.Catalog.Store("acme", "trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	genBefore := st.Generation()
+	groups, err := s.CompactStores(segstore.CompactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groups == 0 {
+		t.Fatal("compaction rewrote no groups over a 3-segment store")
+	}
+	if st.Generation() <= genBefore {
+		t.Fatal("compaction did not bump the store generation")
+	}
+
+	after, err := s.Query(context.Background(), "acme", sql, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cache != "miss" {
+		t.Fatalf("post-compaction query cache = %q, want miss (stale key must be unreachable)", after.Cache)
+	}
+	if !reflect.DeepEqual(after.Rows, first.Rows) {
+		t.Fatal("post-compaction rows differ from pre-compaction rows")
+	}
+}
+
+// TestRunCompactorSkipsBusyTicks: the idle-time loop compacts when no
+// query is in flight and holds off while one is.
+func TestRunCompactorSkipsBusyTicks(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	s := newTestServer(t, map[string]*TenantConfig{
+		"acme": {Relations: map[string]string{"trace": dir}},
+	})
+	// Open the store through the catalog so the compactor sees it.
+	st, err := s.Catalog.Store("acme", "trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate an in-flight query: the loop must leave the store alone.
+	s.active.Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.RunCompactor(ctx, time.Millisecond, segstore.CompactOptions{})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if n := st.NumSegments(); n != 3 {
+		t.Fatalf("compactor ran with a query in flight (segments = %d)", n)
+	}
+
+	// Idle: the next ticks compact down to one segment.
+	s.active.Add(-1)
+	deadline := time.Now().Add(5 * time.Second)
+	for st.NumSegments() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor idle pass never ran (segments = %d)", st.NumSegments())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+}

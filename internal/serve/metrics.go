@@ -25,6 +25,8 @@ var (
 		"Wall time per query by terminal status.", telemetry.DurationBuckets, "status")
 	mIngestedSegments = telemetry.Default().Counter("serve_ingested_segments_total",
 		"Segments sealed through the /ingest endpoint.")
+	mCompactErrors = telemetry.Default().Counter("serve_compact_errors_total",
+		"Background compaction passes that reported an error.")
 )
 
 var metricNames = map[string]string{
@@ -37,6 +39,7 @@ var metricNames = map[string]string{
 	"serve_active_queries":            telemetry.TypeGauge,
 	"serve_query_seconds":             telemetry.TypeHistogram,
 	"serve_ingested_segments_total":   telemetry.TypeCounter,
+	"serve_compact_errors_total":      telemetry.TypeCounter,
 }
 
 // VerifyMetrics checks that every serve_* metric family this package

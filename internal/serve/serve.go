@@ -92,6 +92,7 @@ type Server struct {
 	initOnce sync.Once
 	draining atomic.Bool
 	inflight sync.WaitGroup
+	active   atomic.Int64
 
 	mu      sync.Mutex
 	sems    map[string]chan struct{}
@@ -236,6 +237,8 @@ func (s *Server) query(ctx context.Context, tenant, sql string, nocache bool) (*
 	defer release()
 	mActive.Add(1)
 	defer mActive.Add(-1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
 	s.inflight.Add(1)
 	defer s.inflight.Done()
 
